@@ -1,0 +1,72 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation at laptop scale: it prints the same rows/series the paper reports
+(so the *shape* — who wins, by roughly what factor, where crossovers fall —
+can be compared) and registers one representative simulation with
+pytest-benchmark so ``pytest benchmarks/ --benchmark-only`` also reports
+simulator wall-clock times.
+
+Workload scales are deliberately reduced (see DESIGN.md §3); the knobs at the
+top of each module can be raised to approach the paper's sizes.
+"""
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import pytest
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print one experiment table in a fixed-width layout."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(header))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark (no warm-up rounds)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def small_ai_workloads():
+    """Scaled-down versions of the paper's Fig. 8 AI workloads."""
+    from repro.apps.ai import ParallelismConfig, llama_7b, llama_70b, mistral_8x7b, moe_8x13b
+
+    return [
+        # (label, model, parallelism, gpus_per_node)
+        (
+            "Llama 7B  16 GPUs (TP1 PP1 DP16)",
+            llama_7b().scaled(0.04),
+            ParallelismConfig(tp=1, pp=1, dp=16, microbatches=2, global_batch=32),
+            4,
+        ),
+        (
+            "Llama 70B  16 GPUs (TP1 PP4 DP4)",
+            llama_70b().scaled(0.02),
+            ParallelismConfig(tp=1, pp=4, dp=4, microbatches=4, global_batch=32),
+            4,
+        ),
+        (
+            "Mistral 8x7B  16 GPUs (TP1 PP2 DP8 EP2)",
+            mistral_8x7b().scaled(0.03),
+            ParallelismConfig(tp=1, pp=2, dp=8, ep=2, microbatches=2, global_batch=32),
+            4,
+        ),
+        (
+            "MoE 8x13B  16 GPUs (TP2 PP2 DP4 EP4)",
+            moe_8x13b().scaled(0.03),
+            ParallelismConfig(tp=2, pp=2, dp=4, ep=4, microbatches=2, global_batch=32),
+            4,
+        ),
+    ]

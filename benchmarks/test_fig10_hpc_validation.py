@@ -1,0 +1,73 @@
+"""Fig. 10: HPC applications — measured vs ATLAHS-predicted runtimes.
+
+For every HPC application model at two scales (including a strong-scaling
+point for HPCG, as in the paper) the harness compares the LGS and packet
+backend predictions against the reference measurement and prints the
+non-overlapped-compute fraction plus both prediction errors — the quantities
+annotated on the bars of Fig. 10 (paper: errors consistently below 5%).
+"""
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, run_once
+from repro.apps.hpc import HPC_APPLICATIONS, HpcRunConfig
+from repro.measurement import measure_reference_runtime, prediction_error
+from repro.network import LogGOPSParams, SimulationConfig
+from repro.schedgen import mpi_trace_to_goal
+from repro.scheduler import simulate
+
+WORKLOADS = [
+    ("cloverleaf", 8, "weak"),
+    ("hpcg", 8, "weak"),
+    ("hpcg", 16, "strong"),
+    ("lulesh", 8, "weak"),
+    ("lammps", 16, "weak"),
+    ("icon", 16, "weak"),
+    ("openmx", 8, "weak"),
+]
+
+
+def _lgs_config():
+    return SimulationConfig(loggops=LogGOPSParams(L=1500, o=200, g=5, G=0.04, O=0.0, S=256000))
+
+
+def _reference_config():
+    return SimulationConfig(topology="fat_tree", nodes_per_tor=8, oversubscription=1.0)
+
+
+def test_fig10_hpc_validation(benchmark):
+    def run_all():
+        rows = []
+        errors = []
+        for app, ranks, scaling in WORKLOADS:
+            run = HpcRunConfig(num_ranks=ranks, iterations=3, cells_per_rank=12_000, scaling=scaling)
+            trace = HPC_APPLICATIONS[app].trace(run)
+            schedule = mpi_trace_to_goal(trace)
+            measured = measure_reference_runtime(schedule, base_config=_reference_config(), trials=2)
+            t_lgs = simulate(schedule, backend="lgs", config=_lgs_config()).finish_time_ns
+            t_pkt = simulate(schedule, backend="htsim", config=_reference_config().replace(seed=7)).finish_time_ns
+            err_lgs = prediction_error(t_lgs, measured.runtime_ns)
+            err_pkt = prediction_error(t_pkt, measured.runtime_ns)
+            errors.append((app, err_lgs, err_pkt))
+            rows.append(
+                (
+                    f"{app} ({ranks}/{scaling})",
+                    f"{measured.compute_fraction * 100:.0f}%",
+                    f"{measured.runtime_ns / 1e6:.2f} ms",
+                    f"{err_lgs * 100:+.1f}%",
+                    f"{err_pkt * 100:+.1f}%",
+                )
+            )
+        return rows, errors
+
+    rows, errors = run_once(benchmark, run_all)
+    print_table(
+        "Fig. 10  HPC validation (prediction error vs reference measurement)",
+        ["application (ranks/scaling)", "compute %", "measured", "ATLAHS LGS err", "ATLAHS htsim err"],
+        rows,
+    )
+
+    for app, err_lgs, err_pkt in errors:
+        assert abs(err_pkt) < 0.10, f"{app}: packet-backend error {err_pkt:+.1%}"
+        assert abs(err_lgs) < 0.25, f"{app}: LGS error {err_lgs:+.1%}"

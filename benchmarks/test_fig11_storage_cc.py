@@ -1,0 +1,77 @@
+"""Fig. 11: effect of congestion control on distributed-storage request MCT.
+
+Replays a Financial-distribution-like block-I/O workload against the Direct
+Drive model on two fat trees (fully provisioned and 8:1 oversubscribed) under
+MPRDMA (sender-based) and NDP (receiver-based), and prints the mean / 99th
+percentile / max message completion times — the bars of Fig. 11.  The paper's
+qualitative finding is that the two algorithms are equivalent on the fully
+provisioned fabric while NDP degrades under ToR→core oversubscription.
+"""
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, run_once
+from repro.core import Atlahs
+from repro.network import SimulationConfig
+from repro.schedgen.storage import DirectDriveConfig
+from repro.tracers.storage import FinancialWorkloadGenerator
+
+NUM_OPERATIONS = 1500  # paper: 5k; scaled down for pure-Python packet simulation
+
+
+def _config(oversubscription: float, cc: str) -> SimulationConfig:
+    return SimulationConfig(
+        topology="fat_tree",
+        nodes_per_tor=8,
+        oversubscription=oversubscription,
+        cc_algorithm=cc,
+        buffer_size=1 << 18,
+        seed=3,
+    )
+
+
+def test_fig11_storage_mct(benchmark):
+    trace = FinancialWorkloadGenerator(seed=7, mean_size_bytes=16384).generate(NUM_OPERATIONS)
+    direct_drive = DirectDriveConfig(num_clients=4, num_ccs=4, num_bss=8, timescale=0.005)
+    atlahs = Atlahs()
+
+    def run_all():
+        results = {}
+        for oversub, label in ((1.0, "no oversubscription"), (8.0, "8:1 oversubscription")):
+            for cc in ("mprdma", "ndp"):
+                out = atlahs.run_storage(trace, direct_drive, backend="htsim", config=_config(oversub, cc))
+                results[(label, cc)] = (out.result.mct_statistics(), out.result.stats)
+        return results
+
+    results = run_once(benchmark, run_all)
+    rows = []
+    for (label, cc), (mct, stats) in results.items():
+        rows.append(
+            (
+                label,
+                cc.upper(),
+                f"{mct['mean'] / 1e3:.1f}",
+                f"{mct['p99'] / 1e3:.1f}",
+                f"{mct['max'] / 1e3:.1f}",
+                stats.packets_dropped,
+                stats.packets_trimmed,
+            )
+        )
+    print_table(
+        "Fig. 11  storage MCT under different congestion control (us)",
+        ["topology", "CC", "mean", "p99", "max", "drops", "trims"],
+        rows,
+    )
+
+    mct_full_mprdma = results[("no oversubscription", "mprdma")][0]
+    mct_full_ndp = results[("no oversubscription", "ndp")][0]
+    mct_over_mprdma = results[("8:1 oversubscription", "mprdma")][0]
+    mct_over_ndp = results[("8:1 oversubscription", "ndp")][0]
+
+    # shape 1: on the fully provisioned fabric both algorithms are comparable
+    assert abs(mct_full_ndp["mean"] - mct_full_mprdma["mean"]) / mct_full_mprdma["mean"] < 0.10
+    # shape 2: oversubscription hurts, and it hurts NDP's tail at least as much
+    assert mct_over_mprdma["p99"] > mct_full_mprdma["p99"]
+    assert mct_over_ndp["p99"] >= mct_over_mprdma["p99"] * 0.95
+    assert mct_over_ndp["mean"] >= mct_over_mprdma["mean"] * 0.95

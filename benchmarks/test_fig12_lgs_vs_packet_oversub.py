@@ -1,0 +1,71 @@
+"""Fig. 12: ATLAHS LGS vs ATLAHS htsim under topology oversubscription.
+
+The message-level backend is congestion-oblivious: it keeps the same
+prediction whether or not the ToR→core links are oversubscribed, while the
+packet-level backend sees queueing and drops on the shared uplinks.  The
+harness prints both predictions for a Llama-like training workload on the
+fully provisioned and the 4:1 oversubscribed fat tree, plus the packet drops
+that only the packet-level backend can report (right panel of Fig. 12).
+"""
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, run_once
+from repro.apps.ai import LlmTrainer, ParallelismConfig, llama_7b
+from repro.network import LogGOPSParams, SimulationConfig
+from repro.schedgen import nccl_trace_to_goal
+from repro.scheduler import simulate
+
+
+def _schedule():
+    model = llama_7b().scaled(0.04)
+    par = ParallelismConfig(tp=1, pp=1, dp=16, microbatches=2, global_batch=32)
+    report = LlmTrainer(model, par, gpus_per_node=1, iterations=1).trace()
+    return nccl_trace_to_goal(report, gpus_per_node=1)
+
+
+def test_fig12_lgs_vs_packet_under_oversubscription(benchmark):
+    schedule = _schedule()
+    lgs_cfg = SimulationConfig(loggops=LogGOPSParams(L=1500, o=200, g=5, G=0.04, O=0.0, S=0))
+
+    def packet_cfg(oversub):
+        return SimulationConfig(
+            topology="fat_tree",
+            nodes_per_tor=4,
+            oversubscription=oversub,
+            buffer_size=1 << 17,
+            seed=5,
+        )
+
+    def run_all():
+        t_lgs = simulate(schedule, backend="lgs", config=lgs_cfg).finish_time_ns
+        out = {}
+        for oversub, label in ((1.0, "no oversubscription"), (4.0, "4:1 oversubscription")):
+            res = simulate(schedule, backend="htsim", config=packet_cfg(oversub))
+            out[label] = (t_lgs, res.finish_time_ns, res.stats.packets_dropped, res.stats.packets_ecn_marked)
+        return out
+
+    results = run_once(benchmark, run_all)
+    rows = []
+    for label, (t_lgs, t_pkt, drops, marks) in results.items():
+        gap = (t_lgs - t_pkt) / t_pkt
+        rows.append(
+            (label, f"{t_lgs / 1e6:.2f} ms", f"{t_pkt / 1e6:.2f} ms", f"{gap * 100:+.1f}%", drops, marks)
+        )
+    print_table(
+        "Fig. 12  LGS vs packet backend under oversubscription",
+        ["topology", "ATLAHS LGS", "ATLAHS htsim", "LGS error vs htsim", "packet drops", "ECN marks"],
+        rows,
+    )
+
+    t_lgs, t_full, _, _ = results["no oversubscription"]
+    _, t_over, drops_over, marks_over = results["4:1 oversubscription"]
+    gap_full = abs(t_lgs - t_full) / t_full
+    gap_over = abs(t_lgs - t_over) / t_over
+    # shape: LGS is accurate on the fully provisioned fabric and increasingly
+    # wrong under oversubscription, where the packet backend observes
+    # congestion signals that LGS cannot see
+    assert t_over > t_full
+    assert gap_over > gap_full
+    assert drops_over + marks_over > 0

@@ -1,0 +1,82 @@
+"""Fig. 8: AI training — measured runtime vs ATLAHS LGS / htsim / AstraSim.
+
+For each scaled-down training configuration the harness produces a reference
+("measured") runtime with the measurement harness and compares the
+predictions of ATLAHS-LGS, ATLAHS-htsim and the AstraSim-like baseline,
+printing the per-backend prediction error (the red percentages of Fig. 8).
+Configurations with pipeline/expert parallelism reproduce the baseline's
+"src and dest have the same address" failure.
+"""
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, run_once
+from repro.baselines.astrasim import AstraSimBaseline, AstraSimUnsupportedError, nsys_to_chakra
+from repro.apps.ai import LlmTrainer
+from repro.measurement import measure_reference_runtime, prediction_error
+from repro.network import LogGOPSParams, SimulationConfig
+from repro.schedgen import nccl_trace_to_goal
+from repro.scheduler import simulate
+
+ITERATIONS = 1
+
+
+def _lgs_config():
+    return SimulationConfig(loggops=LogGOPSParams(L=1500, o=200, g=5, G=0.04, O=0.0, S=0))
+
+
+def _packet_config():
+    return SimulationConfig(
+        topology="fat_tree", nodes_per_tor=4, oversubscription=1.0, link_latency=500, host_overhead=200
+    )
+
+
+def test_fig8_ai_validation(benchmark, small_ai_workloads):
+    def run_all():
+        rows = []
+        errors = []
+        for label, model, par, gpus_per_node in small_ai_workloads:
+            trainer = LlmTrainer(model, par, gpus_per_node=gpus_per_node, iterations=ITERATIONS)
+            report = trainer.trace()
+            schedule = nccl_trace_to_goal(report, gpus_per_node=gpus_per_node)
+
+            measured = measure_reference_runtime(schedule, base_config=_packet_config(), trials=2)
+            t_lgs = simulate(schedule, backend="lgs", config=_lgs_config()).finish_time_ns
+            t_pkt = simulate(schedule, backend="htsim", config=_packet_config()).finish_time_ns
+
+            err_lgs = prediction_error(t_lgs, measured.runtime_ns)
+            err_pkt = prediction_error(t_pkt, measured.runtime_ns)
+            errors.append((label, err_lgs, err_pkt))
+
+            try:
+                astra = AstraSimBaseline().simulate(nsys_to_chakra(report))
+                astra_cell = f"{prediction_error(astra.finish_time_ns, measured.runtime_ns) * 100:+.1f}%"
+            except AstraSimUnsupportedError as exc:
+                astra_cell = f"failed: {exc}"
+
+            rows.append(
+                (
+                    label,
+                    f"{measured.compute_fraction * 100:.0f}%",
+                    f"{measured.runtime_ns / 1e6:.2f} ms",
+                    f"{err_lgs * 100:+.1f}%",
+                    f"{err_pkt * 100:+.1f}%",
+                    astra_cell,
+                )
+            )
+        return rows, errors
+
+    rows, errors = run_once(benchmark, run_all)
+    print_table(
+        "Fig. 8  AI validation (prediction error vs reference measurement)",
+        ["workload", "compute %", "measured", "ATLAHS LGS err", "ATLAHS htsim err", "AstraSim"],
+        rows,
+    )
+
+    # shape: both ATLAHS backends stay within a modest error envelope (the
+    # paper reports <5% against real hardware; the scaled-down reference
+    # allows a wider but still tight band)
+    for label, err_lgs, err_pkt in errors:
+        assert abs(err_pkt) < 0.15, f"{label}: packet-backend error {err_pkt:+.1%}"
+        assert abs(err_lgs) < 0.30, f"{label}: LGS error {err_lgs:+.1%}"

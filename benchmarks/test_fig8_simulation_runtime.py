@@ -1,0 +1,67 @@
+"""§5.2 simulator-runtime comparison: ATLAHS LGS vs AstraSim vs ATLAHS htsim.
+
+The paper reports ATLAHS-LGS simulating the same workload 13.9x / 2.7x faster
+than AstraSim's congestion-unaware backend, with the packet-level backend
+being far slower than both.  This harness measures wall-clock simulation time
+of the three simulators on the same data-parallel workload (the only kind the
+baseline supports).
+"""
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table, run_once
+from repro.apps.ai import LlmTrainer, ParallelismConfig, llama_7b
+from repro.baselines.astrasim import AstraSimBaseline, nsys_to_chakra
+from repro.network import LogGOPSParams, SimulationConfig
+from repro.schedgen import nccl_trace_to_goal
+from repro.scheduler import simulate
+
+
+def test_fig8_simulation_runtime(benchmark):
+    model = llama_7b().scaled(0.05)
+    par = ParallelismConfig(tp=1, pp=1, dp=16, microbatches=2, global_batch=32)
+    report = LlmTrainer(model, par, gpus_per_node=4, iterations=1).trace()
+    schedule = nccl_trace_to_goal(report, gpus_per_node=4)
+    chakra = nsys_to_chakra(report)
+
+    lgs_cfg = SimulationConfig(loggops=LogGOPSParams.ai_cluster())
+    pkt_cfg = SimulationConfig(topology="fat_tree", nodes_per_tor=4)
+
+    def run_all():
+        timings = {}
+        t0 = time.perf_counter()
+        simulate(schedule, backend="lgs", config=lgs_cfg, validate=False)
+        timings["ATLAHS LGS"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        AstraSimBaseline().simulate(chakra)
+        timings["AstraSim (congestion unaware)"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        simulate(schedule, backend="htsim", config=pkt_cfg, validate=False)
+        timings["ATLAHS htsim"] = time.perf_counter() - t0
+        return timings
+
+    timings = run_once(benchmark, run_all)
+    speedup = timings["AstraSim (congestion unaware)"] / timings["ATLAHS LGS"]
+    print_table(
+        "Fig. 8 (text)  simulation wall-clock time, Llama 7B DP16",
+        ["simulator", "wall clock (s)", "vs ATLAHS LGS"],
+        [
+            (name, f"{t:.3f}", f"{t / timings['ATLAHS LGS']:.1f}x")
+            for name, t in timings.items()
+        ],
+    )
+    print(f"ATLAHS LGS speedup over AstraSim: {speedup:.1f}x")
+
+    # Shape note: the paper reports ATLAHS LGS simulating 2.7-13.9x faster than
+    # the real AstraSim.  Our from-scratch baseline is far simpler than the real
+    # system (it keeps collectives as single analytical nodes), so it does
+    # strictly less work than a real AstraSim run and this particular ordering
+    # is NOT expected to reproduce (see EXPERIMENTS.md).  The robust shape is
+    # that the packet-level backend is the slowest simulator by a wide margin.
+    assert timings["ATLAHS htsim"] >= timings["ATLAHS LGS"]
+    assert timings["ATLAHS htsim"] >= timings["AstraSim (congestion unaware)"]

@@ -1,0 +1,41 @@
+"""Fig. 9: trace size comparison — binary GOAL vs Chakra-like traces.
+
+For the AI workloads the harness generates both the compact binary GOAL file
+used by ATLAHS and the Chakra-like execution trace consumed by the AstraSim
+baseline, and prints their sizes and the Chakra:GOAL ratio (the green labels
+of Fig. 9; the paper reports ratios between 1.8x and 10.6x).
+"""
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, run_once
+from repro.apps.ai import LlmTrainer
+from repro.baselines.astrasim import nsys_to_chakra
+from repro.goal import encode_goal
+from repro.schedgen import nccl_trace_to_goal
+
+
+def test_fig9_goal_vs_chakra_sizes(benchmark, small_ai_workloads):
+    def build():
+        rows = []
+        for label, model, par, gpus_per_node in small_ai_workloads:
+            report = LlmTrainer(model, par, gpus_per_node=gpus_per_node, iterations=1).trace()
+            goal_bytes = len(encode_goal(nccl_trace_to_goal(report, gpus_per_node=gpus_per_node)))
+            chakra_bytes = nsys_to_chakra(report).size_bytes()
+            rows.append((label, goal_bytes, chakra_bytes))
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table(
+        "Fig. 9  GOAL vs Chakra trace sizes",
+        ["workload", "GOAL (KiB)", "Chakra (KiB)", "Chakra / GOAL"],
+        [
+            (label, f"{g / 1024:.1f}", f"{c / 1024:.1f}", f"{c / g:.1f}x")
+            for label, g, c in rows
+        ],
+    )
+
+    # shape: GOAL binaries are consistently smaller than the Chakra traces
+    for label, goal_bytes, chakra_bytes in rows:
+        assert goal_bytes < chakra_bytes, f"{label}: GOAL not smaller than Chakra"

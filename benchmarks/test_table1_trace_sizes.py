@@ -1,0 +1,79 @@
+"""Table 1: raw trace sizes vs compact GOAL sizes across applications.
+
+Regenerates the released-trace summary at laptop scale: for each application
+and configuration the harness produces the raw trace (nsys-like JSON for AI,
+liballprof text for HPC, SPC text for storage) and the binary GOAL file, and
+prints both sizes.  Absolute sizes are far smaller than the paper's (the
+workloads are scaled down), but the relationship between trace and GOAL sizes
+per domain is the comparable quantity.
+"""
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, run_once
+from repro.apps.ai import DlrmTrainer, LlmTrainer, ParallelismConfig, llama_7b, mistral_8x7b
+from repro.apps.hpc import HPC_APPLICATIONS, HpcRunConfig
+from repro.goal import encode_goal
+from repro.schedgen import mpi_trace_to_goal, nccl_trace_to_goal, storage_trace_to_goal
+from repro.schedgen.storage import DirectDriveConfig
+from repro.tracers.storage import FinancialWorkloadGenerator
+
+
+def _ai_entries():
+    entries = []
+    dlrm = DlrmTrainer(num_gpus=8, gpus_per_node=4, iterations=1)
+    entries.append(("DLRM", "8 GPUs 2 Nodes", dlrm.trace()))
+    llama = LlmTrainer(
+        llama_7b().scaled(0.04),
+        ParallelismConfig(dp=16, microbatches=2, global_batch=32),
+        gpus_per_node=4,
+        iterations=1,
+    )
+    entries.append(("Llama 7B", "16 GPUs 4 Nodes", llama.trace()))
+    moe = LlmTrainer(
+        mistral_8x7b().scaled(0.03),
+        ParallelismConfig(pp=2, dp=8, ep=2, microbatches=2, global_batch=32),
+        gpus_per_node=4,
+        iterations=1,
+    )
+    entries.append(("MoE (Mistral) 8x7B", "16 GPUs 4 Nodes", moe.trace()))
+    return entries
+
+
+def _hpc_entries():
+    entries = []
+    for name, ranks in (("cloverleaf", 8), ("hpcg", 16), ("lulesh", 8), ("lammps", 16), ("icon", 16), ("openmx", 8)):
+        cfg = HpcRunConfig(num_ranks=ranks, iterations=3, cells_per_rank=8000)
+        entries.append((name.upper() if name != "cloverleaf" else "CloverLeaf", f"{ranks} procs", HPC_APPLICATIONS[name].trace(cfg)))
+    return entries
+
+
+def test_table1_trace_and_goal_sizes(benchmark):
+    def build():
+        rows = []
+        for label, config, report in _ai_entries():
+            goal = nccl_trace_to_goal(report, gpus_per_node=report.gpus_per_node)
+            rows.append((label, config, report.size_bytes(), len(encode_goal(goal))))
+        for label, config, trace in _hpc_entries():
+            goal = mpi_trace_to_goal(trace)
+            rows.append((label, config, trace.size_bytes(), len(encode_goal(goal))))
+        storage = FinancialWorkloadGenerator(seed=1).generate(500)
+        goal = storage_trace_to_goal(storage, DirectDriveConfig())
+        rows.append(("Storage (Financial-like)", "500 ops", storage.size_bytes(), len(encode_goal(goal))))
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table(
+        "Table 1  trace vs GOAL sizes (scaled-down workloads)",
+        ["application", "configuration", "trace (KiB)", "GOAL (KiB)", "GOAL/trace"],
+        [
+            (label, config, f"{t / 1024:.1f}", f"{g / 1024:.1f}", f"{g / t:.2f}x")
+            for label, config, t, g in rows
+        ],
+    )
+
+    # every workload must produce non-empty artefacts of plausible magnitude
+    for label, _config, trace_bytes, goal_bytes in rows:
+        assert trace_bytes > 0 and goal_bytes > 0
+        assert goal_bytes < 50 * trace_bytes

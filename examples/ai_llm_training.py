@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""AI pipeline example: trace a scaled-down Llama training run and simulate it.
+
+The script runs the full 4-stage GOAL generation pipeline of the paper
+(§3.1.2): the LLM trainer model emits an nsys-like per-GPU/per-stream trace,
+the generator decomposes the NCCL collectives according to the chosen
+NCCL algorithm/protocol/channel configuration, groups GPUs into nodes, and
+finally the schedule is replayed on both the message-level and the
+packet-level backend.  It also converts the same trace to the Chakra-like
+format and runs the AstraSim-like baseline for comparison.
+
+Run with::
+
+    python examples/ai_llm_training.py
+"""
+from repro.apps.ai import ParallelismConfig, llama_7b
+from repro.collectives.nccl import NcclConfig
+from repro.core import Atlahs
+from repro.network import SimulationConfig
+
+
+def main() -> None:
+    # Scaled-down Llama 7B trained with pure data parallelism on 16 GPUs / 4 nodes,
+    # the first configuration of the paper's Fig. 8.
+    model = llama_7b().scaled(0.05)
+    parallelism = ParallelismConfig(tp=1, pp=1, dp=16, microbatches=2, global_batch=32)
+    print(f"model={model.name}  layers={model.num_layers} hidden={model.hidden}  "
+          f"parallelism={parallelism.describe()}  gpus={parallelism.num_gpus}")
+
+    atlahs = Atlahs()
+    nccl = NcclConfig(algorithm="ring", protocol="Simple", nchannels=2)
+
+    iterations = 2
+    out = atlahs.run_ai_training(
+        model, parallelism, iterations=iterations, gpus_per_node=4, nccl_config=nccl, backend="lgs"
+    )
+    per_iter_lgs = out.result.finish_time_s / iterations
+    print(f"ATLAHS LGS   : {per_iter_lgs * 1e3:8.2f} ms / iteration   "
+          f"(goal: {out.goal_bytes / 1024:.1f} KiB, trace: {out.trace_bytes / 1024:.1f} KiB)")
+
+    pkt_config = SimulationConfig(topology="fat_tree", nodes_per_tor=4, oversubscription=1.0)
+    result_pkt = atlahs.simulate_goal(out.schedule, backend="htsim", config=pkt_config)
+    print(f"ATLAHS htsim : {result_pkt.finish_time_s / iterations * 1e3:8.2f} ms / iteration   "
+          f"(packets: {result_pkt.stats.packets_sent}, drops: {result_pkt.stats.packets_dropped})")
+
+    baseline = atlahs.compare_with_astrasim(out.extras["report"])
+    if "error" in baseline:
+        print(f"AstraSim     : failed ({baseline['error']})")
+    else:
+        print(f"AstraSim     : {baseline['finish_time_ns'] / iterations / 1e6:8.2f} ms / iteration   "
+              f"(chakra: {baseline['chakra_bytes'] / 1024:.1f} KiB)")
+    print(f"trace-size ratio  GOAL : Chakra = 1 : {baseline['chakra_bytes'] / out.goal_bytes:.1f}")
+
+
+if __name__ == "__main__":
+    main()

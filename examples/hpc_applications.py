@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""HPC pipeline example: trace the proxy applications and validate predictions.
+
+For a selection of the paper's HPC applications (Fig. 10) the script traces
+the application model, converts the trace to GOAL with Schedgen, produces a
+"measured" reference runtime with the measurement harness, and compares the
+LogGOPS-backend prediction against it — printing the same compute-fraction
+and prediction-error quantities the paper annotates on its bars.
+
+Run with::
+
+    python examples/hpc_applications.py
+"""
+from repro.apps.hpc import HpcRunConfig
+from repro.core import Atlahs
+from repro.measurement import measure_reference_runtime, prediction_error
+from repro.network import LogGOPSParams, SimulationConfig
+
+
+def main() -> None:
+    atlahs = Atlahs()
+    lgs_config = SimulationConfig(loggops=LogGOPSParams.hpc_cluster())
+    reference_config = SimulationConfig(topology="fat_tree", nodes_per_tor=8, oversubscription=1.0)
+
+    workloads = [
+        ("cloverleaf", 8, "weak"),
+        ("hpcg", 8, "weak"),
+        ("hpcg", 16, "strong"),
+        ("lulesh", 8, "weak"),
+        ("lammps", 16, "weak"),
+        ("icon", 16, "weak"),
+    ]
+
+    print(f"{'application':<14} {'ranks':>5} {'scaling':>8} {'measured (ms)':>14} "
+          f"{'predicted (ms)':>15} {'error':>8} {'compute %':>10}")
+    for app, ranks, scaling in workloads:
+        run = HpcRunConfig(num_ranks=ranks, iterations=4, cells_per_rank=16_000, scaling=scaling)
+        out = atlahs.run_hpc(app, run, backend="lgs", config=lgs_config)
+        measured = measure_reference_runtime(out.schedule, base_config=reference_config, trials=2)
+        err = prediction_error(out.result.finish_time_ns, measured.runtime_ns)
+        print(
+            f"{app:<14} {ranks:>5} {scaling:>8} {measured.runtime_ns / 1e6:>14.2f} "
+            f"{out.result.finish_time_ns / 1e6:>15.2f} {err * 100:>7.1f}% "
+            f"{measured.compute_fraction * 100:>9.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Application models: the workloads the toolchain traces.
+
+On the real systems of the paper these are the actual applications (HPCG,
+LULESH, Llama training, ...) running on a cluster; here they are
+communication-skeleton models that execute the same sequence of MPI / NCCL /
+block-I/O operations and hand them to the tracers in :mod:`repro.tracers`.
+
+* :mod:`repro.apps.hpc` — MPI proxy applications (CloverLeaf, HPCG, LULESH,
+  LAMMPS, ICON, OpenMX),
+* :mod:`repro.apps.ai` — distributed LLM training models (Llama, MoE, DLRM)
+  with TP/PP/DP/EP parallelism emitting NCCL operations per GPU and CUDA
+  stream.
+
+Storage applications are represented directly by the workload generators in
+:mod:`repro.tracers.storage` (the "application" there is any VM issuing block
+I/O; only the request stream matters).
+"""

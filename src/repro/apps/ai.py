@@ -1,0 +1,409 @@
+"""Distributed LLM-training application models (the paper's AI workloads).
+
+The models execute the communication skeleton of large-model training under
+the parallelisation strategies used in the paper's Fig. 8 — tensor
+parallelism (TP), pipeline parallelism (PP), data parallelism (DP) and expert
+parallelism (EP) — and record the resulting NCCL operations per GPU and CUDA
+stream through :class:`~repro.tracers.nccl.NcclTracer`, producing the
+nsys-like reports that Stage 2 of the GOAL pipeline consumes.
+
+Mapping of operations to CUDA streams (mirroring a Megatron-style trainer):
+
+* stream 0 — compute kernels, TP allreduces, EP all-to-alls and PP
+  activation/gradient sends/receives (all data-dependent on the compute),
+* stream 1 — DP gradient-bucket allreduces, which overlap with backward
+  computation.
+
+Cross-stream data dependencies are *not* recorded, matching the limitation
+the paper acknowledges in §7 ("data dependencies among CUDA kernels across
+streams are not currently captured").
+
+Presets for the paper's workloads (Llama 7B / 70B, Mistral 8x7B, MoE 8x13B /
+8x70B, DLRM) are provided with a ``scale`` knob that shrinks hidden sizes and
+layer counts so the resulting GOAL schedules remain simulable in pure Python;
+the communication *structure* per iteration is unchanged.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tracers.nccl import NcclTracer, NsysReport
+
+#: Effective per-GPU throughput used to turn model FLOPs into kernel times.
+GPU_TFLOPS = 100.0
+#: Bytes per parameter / activation element (bf16).
+BYTES_PER_ELEMENT = 2
+
+
+@dataclass(frozen=True)
+class ParallelismConfig:
+    """Parallelisation strategy of a training run (the TP/PP/DP/EP of Fig. 8)."""
+
+    tp: int = 1
+    pp: int = 1
+    dp: int = 1
+    ep: int = 1
+    microbatches: int = 4
+    global_batch: int = 32
+
+    def __post_init__(self) -> None:
+        for name in ("tp", "pp", "dp", "ep", "microbatches", "global_batch"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.ep > self.dp:
+            raise ValueError("expert parallelism cannot exceed data parallelism")
+        if self.dp % self.ep:
+            raise ValueError("dp must be a multiple of ep")
+        if self.global_batch % (self.dp * self.microbatches):
+            raise ValueError("global_batch must be divisible by dp * microbatches")
+
+    @property
+    def num_gpus(self) -> int:
+        return self.tp * self.pp * self.dp
+
+    @property
+    def microbatch_size(self) -> int:
+        return self.global_batch // (self.dp * self.microbatches)
+
+    def describe(self) -> str:
+        return f"TP{self.tp} PP{self.pp} DP{self.dp} EP{self.ep}"
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Transformer model shape (optionally Mixture-of-Experts).
+
+    ``moe_experts == 0`` means a dense model; otherwise every
+    ``moe_every``-th layer is an MoE layer with that many experts.
+    """
+
+    name: str
+    num_layers: int
+    hidden: int
+    seq_len: int
+    moe_experts: int = 0
+    moe_every: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0 or self.hidden <= 0 or self.seq_len <= 0:
+            raise ValueError("num_layers, hidden and seq_len must be positive")
+        if self.moe_experts < 0 or self.moe_every <= 0:
+            raise ValueError("moe_experts must be >= 0 and moe_every positive")
+
+    # -- derived quantities ------------------------------------------------------
+    def params_per_layer(self) -> int:
+        """Approximate parameter count of one transformer layer."""
+        return 12 * self.hidden * self.hidden
+
+    def flops_forward_layer(self, tokens: int) -> float:
+        """Approximate forward FLOPs of one layer for ``tokens`` tokens."""
+        return 12.0 * tokens * self.hidden * self.hidden
+
+    def is_moe_layer(self, layer: int) -> bool:
+        return self.moe_experts > 0 and (layer % self.moe_every == 0)
+
+    def scaled(self, factor: float) -> "ModelConfig":
+        """Return a proportionally smaller model (both layers and hidden size)."""
+        if factor <= 0 or factor > 1:
+            raise ValueError("scale factor must be in (0, 1]")
+        return ModelConfig(
+            name=self.name,
+            num_layers=max(2, int(round(self.num_layers * factor))),
+            hidden=max(64, int(round(self.hidden * math.sqrt(factor)))),
+            seq_len=self.seq_len,
+            moe_experts=self.moe_experts,
+            moe_every=self.moe_every,
+        )
+
+
+# ---------------------------------------------------------------------------
+# model presets (paper Fig. 8 / Table 1 workloads)
+# ---------------------------------------------------------------------------
+def llama_7b() -> ModelConfig:
+    return ModelConfig(name="llama-7b", num_layers=32, hidden=4096, seq_len=2048)
+
+
+def llama_70b() -> ModelConfig:
+    return ModelConfig(name="llama-70b", num_layers=80, hidden=8192, seq_len=2048)
+
+
+def mistral_8x7b() -> ModelConfig:
+    return ModelConfig(name="mistral-8x7b", num_layers=32, hidden=4096, seq_len=2048, moe_experts=8)
+
+
+def moe_8x13b() -> ModelConfig:
+    return ModelConfig(name="moe-8x13b", num_layers=40, hidden=5120, seq_len=2048, moe_experts=8)
+
+
+def moe_8x70b() -> ModelConfig:
+    return ModelConfig(name="moe-8x70b", num_layers=80, hidden=8192, seq_len=2048, moe_experts=8)
+
+
+def dlrm() -> ModelConfig:
+    # DLRM is not a transformer; reuse the container with a small "hidden"
+    # standing in for the MLP width.  The DLRM trainer below interprets it.
+    return ModelConfig(name="dlrm", num_layers=8, hidden=1024, seq_len=1)
+
+
+MODEL_PRESETS = {
+    "llama-7b": llama_7b,
+    "llama-70b": llama_70b,
+    "mistral-8x7b": mistral_8x7b,
+    "moe-8x13b": moe_8x13b,
+    "moe-8x70b": moe_8x70b,
+    "dlrm": dlrm,
+}
+
+
+# ---------------------------------------------------------------------------
+# the trainer model
+# ---------------------------------------------------------------------------
+class LlmTrainer:
+    """Emits the NCCL trace of a (possibly MoE) transformer training run.
+
+    Parameters
+    ----------
+    model / parallelism:
+        Model shape and parallelisation strategy.
+    gpus_per_node:
+        GPUs per physical node (Stage 4 grouping granularity).
+    iterations:
+        Training iterations to trace (after the paper's warm-up discipline,
+        only the steady-state iterations are traced).
+    gradient_buckets:
+        Number of DP allreduce buckets per pipeline stage.
+    compute_jitter:
+        Relative log-normal jitter applied to kernel durations.
+    seed:
+        RNG seed for the jitter.
+    """
+
+    COMPUTE_STREAM = 0
+    DP_STREAM = 1
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        parallelism: ParallelismConfig,
+        gpus_per_node: int = 4,
+        iterations: int = 2,
+        gradient_buckets: int = 4,
+        compute_jitter: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.par = parallelism
+        self.gpus_per_node = gpus_per_node
+        self.iterations = iterations
+        self.gradient_buckets = max(1, gradient_buckets)
+        self.compute_jitter = compute_jitter
+        self.rng = np.random.default_rng(seed)
+        if model.moe_experts and parallelism.ep > model.moe_experts:
+            raise ValueError("ep cannot exceed the number of experts")
+
+    # -- GPU / communicator layout ------------------------------------------------
+    def gpu_id(self, dp: int, pp: int, tp: int) -> int:
+        return (dp * self.par.pp + pp) * self.par.tp + tp
+
+    def _layers_of_stage(self, pp: int) -> List[int]:
+        """Model layers owned by pipeline stage ``pp`` (contiguous split)."""
+        per_stage = self.model.num_layers // self.par.pp
+        extra = self.model.num_layers % self.par.pp
+        start = pp * per_stage + min(pp, extra)
+        count = per_stage + (1 if pp < extra else 0)
+        return list(range(start, start + count))
+
+    def _define_communicators(self, tracer: NcclTracer) -> Dict[str, Dict[Tuple[int, ...], int]]:
+        """Register TP / DP / EP communicators; return lookup maps."""
+        comms: Dict[str, Dict[Tuple[int, ...], int]] = {"tp": {}, "dp": {}, "ep": {}}
+        next_id = 1
+        if self.par.tp > 1:
+            for dp in range(self.par.dp):
+                for pp in range(self.par.pp):
+                    members = [self.gpu_id(dp, pp, t) for t in range(self.par.tp)]
+                    tracer.define_communicator(next_id, members)
+                    comms["tp"][(dp, pp)] = next_id
+                    next_id += 1
+        if self.par.dp > 1:
+            for pp in range(self.par.pp):
+                for tp in range(self.par.tp):
+                    members = [self.gpu_id(d, pp, tp) for d in range(self.par.dp)]
+                    tracer.define_communicator(next_id, members)
+                    comms["dp"][(pp, tp)] = next_id
+                    next_id += 1
+        if self.model.moe_experts and self.par.ep > 1:
+            groups = self.par.dp // self.par.ep
+            for g in range(groups):
+                for pp in range(self.par.pp):
+                    for tp in range(self.par.tp):
+                        members = [
+                            self.gpu_id(g * self.par.ep + e, pp, tp) for e in range(self.par.ep)
+                        ]
+                        tracer.define_communicator(next_id, members)
+                        comms["ep"][(g, pp, tp)] = next_id
+                        next_id += 1
+        return comms
+
+    # -- sizes and times ------------------------------------------------------------
+    def _tokens_per_microbatch(self) -> int:
+        return self.par.microbatch_size * self.model.seq_len
+
+    def _activation_bytes(self) -> int:
+        return max(1, self._tokens_per_microbatch() * self.model.hidden * BYTES_PER_ELEMENT // self.par.tp)
+
+    def _layer_fwd_ns(self) -> float:
+        flops = self.model.flops_forward_layer(self._tokens_per_microbatch()) / self.par.tp
+        return flops / (GPU_TFLOPS * 1e3)  # TFLOPs -> flops per ns
+
+    def _grad_bucket_bytes(self, pp: int) -> int:
+        layers = len(self._layers_of_stage(pp))
+        stage_params = layers * self.model.params_per_layer() // self.par.tp
+        return max(1, stage_params * BYTES_PER_ELEMENT // self.gradient_buckets)
+
+    def _jitter(self) -> float:
+        return float(self.rng.lognormal(mean=0.0, sigma=self.compute_jitter))
+
+    # -- the trace ------------------------------------------------------------------
+    def trace(self) -> NsysReport:
+        """Execute the training skeleton and return the nsys-like report."""
+        par = self.par
+        tracer = NcclTracer(par.num_gpus, gpus_per_node=self.gpus_per_node, name=self.model.name)
+        comms = self._define_communicators(tracer)
+
+        for _ in range(self.iterations):
+            self._trace_iteration(tracer, comms)
+        return tracer.finish()
+
+    def _trace_iteration(self, tracer: NcclTracer, comms) -> None:
+        par, model = self.par, self.model
+        act_bytes = self._activation_bytes()
+        fwd_ns = self._layer_fwd_ns()
+
+        for dp in range(par.dp):
+            for pp in range(par.pp):
+                layers = self._layers_of_stage(pp)
+                for tp in range(par.tp):
+                    gpu = self.gpu_id(dp, pp, tp)
+                    self._trace_gpu_iteration(
+                        tracer, comms, gpu, dp, pp, tp, layers, act_bytes, fwd_ns
+                    )
+
+    def _trace_gpu_iteration(
+        self,
+        tracer: NcclTracer,
+        comms,
+        gpu: int,
+        dp: int,
+        pp: int,
+        tp: int,
+        layers: List[int],
+        act_bytes: int,
+        fwd_ns: float,
+    ) -> None:
+        par, model = self.par, self.model
+        s0 = self.COMPUTE_STREAM
+        ep_groups = par.dp // par.ep if par.ep else par.dp
+
+        # ---- forward passes for all microbatches (GPipe-style schedule) ----
+        for mb in range(par.microbatches):
+            if pp > 0:
+                peer = self.gpu_id(dp, pp - 1, tp)
+                tracer.nccl(gpu, s0, "Recv", act_bytes, peer=peer)
+            for layer in layers:
+                tracer.compute(gpu, s0, int(fwd_ns * self._jitter()), name=f"fwd_layer{layer}")
+                if par.tp > 1:
+                    comm = comms["tp"][(dp, pp)]
+                    tracer.nccl(gpu, s0, "AllReduce", act_bytes, comm=comm)
+                if model.is_moe_layer(layer) and par.ep > 1:
+                    comm = comms["ep"][(dp // par.ep, pp, tp)]
+                    per_pair = max(1, act_bytes // par.ep)
+                    tracer.nccl(gpu, s0, "AllToAll", per_pair, comm=comm)
+                    tracer.compute(gpu, s0, int(fwd_ns * 0.5 * self._jitter()), name=f"expert_fwd{layer}")
+                    tracer.nccl(gpu, s0, "AllToAll", per_pair, comm=comm)
+            if pp < par.pp - 1:
+                peer = self.gpu_id(dp, pp + 1, tp)
+                tracer.nccl(gpu, s0, "Send", act_bytes, peer=peer)
+
+        # ---- backward passes ----
+        for mb in range(par.microbatches):
+            if pp < par.pp - 1:
+                peer = self.gpu_id(dp, pp + 1, tp)
+                tracer.nccl(gpu, s0, "Recv", act_bytes, peer=peer)
+            for layer in reversed(layers):
+                tracer.compute(gpu, s0, int(2.0 * fwd_ns * self._jitter()), name=f"bwd_layer{layer}")
+                if par.tp > 1:
+                    comm = comms["tp"][(dp, pp)]
+                    tracer.nccl(gpu, s0, "AllReduce", act_bytes, comm=comm)
+                if model.is_moe_layer(layer) and par.ep > 1:
+                    comm = comms["ep"][(dp // par.ep, pp, tp)]
+                    per_pair = max(1, act_bytes // par.ep)
+                    tracer.nccl(gpu, s0, "AllToAll", per_pair, comm=comm)
+                    tracer.compute(gpu, s0, int(fwd_ns * self._jitter()), name=f"expert_bwd{layer}")
+                    tracer.nccl(gpu, s0, "AllToAll", per_pair, comm=comm)
+            if pp > 0:
+                peer = self.gpu_id(dp, pp - 1, tp)
+                tracer.nccl(gpu, s0, "Send", act_bytes, peer=peer)
+
+        # ---- data-parallel gradient synchronisation (overlapping stream) ----
+        if par.dp > 1:
+            comm = comms["dp"][(pp, tp)]
+            bucket_bytes = self._grad_bucket_bytes(pp)
+            # gradients become available towards the end of the backward pass
+            tracer.advance_to(gpu, self.DP_STREAM, tracer.now(gpu, self.COMPUTE_STREAM))
+            for _ in range(self.gradient_buckets):
+                tracer.nccl(gpu, self.DP_STREAM, "AllReduce", bucket_bytes, comm=comm)
+
+        # ---- optimizer step ----
+        tracer.compute(
+            gpu,
+            s0,
+            int(0.2 * fwd_ns * len(layers) * self._jitter()),
+            name="optimizer_step",
+        )
+
+
+class DlrmTrainer:
+    """DLRM-style recommendation-model training (Table 1's DLRM entry).
+
+    Per iteration every GPU performs an embedding-exchange all-to-all, dense
+    MLP compute, a second all-to-all for the backward pass, and a dense-layer
+    gradient allreduce across all GPUs.
+    """
+
+    def __init__(
+        self,
+        num_gpus: int,
+        gpus_per_node: int = 4,
+        iterations: int = 2,
+        embedding_bytes_per_gpu: int = 1 << 20,
+        mlp_compute_ns: int = 400_000,
+        dense_grad_bytes: int = 4 << 20,
+        seed: int = 0,
+    ) -> None:
+        if num_gpus <= 1:
+            raise ValueError("DLRM model parallelism needs at least 2 GPUs")
+        self.num_gpus = num_gpus
+        self.gpus_per_node = gpus_per_node
+        self.iterations = iterations
+        self.embedding_bytes_per_gpu = embedding_bytes_per_gpu
+        self.mlp_compute_ns = mlp_compute_ns
+        self.dense_grad_bytes = dense_grad_bytes
+        self.rng = np.random.default_rng(seed)
+
+    def trace(self) -> NsysReport:
+        tracer = NcclTracer(self.num_gpus, gpus_per_node=self.gpus_per_node, name="dlrm")
+        per_pair = max(1, self.embedding_bytes_per_gpu // self.num_gpus)
+        for _ in range(self.iterations):
+            for gpu in range(self.num_gpus):
+                jitter = float(self.rng.lognormal(0.0, 0.02))
+                tracer.compute(gpu, 0, int(0.3 * self.mlp_compute_ns * jitter), name="embedding_lookup")
+                tracer.nccl(gpu, 0, "AllToAll", per_pair, comm=0)
+                tracer.compute(gpu, 0, int(self.mlp_compute_ns * jitter), name="mlp_fwd_bwd")
+                tracer.nccl(gpu, 0, "AllToAll", per_pair, comm=0)
+                tracer.compute(gpu, 0, int(0.4 * self.mlp_compute_ns * jitter), name="embedding_grad")
+                tracer.nccl(gpu, 0, "AllReduce", self.dense_grad_bytes, comm=0)
+        return tracer.finish()

@@ -1,0 +1,353 @@
+"""Communication skeletons of the HPC proxy applications used in the paper.
+
+Each model reproduces the *communication structure* of the real application —
+which collectives and halo exchanges it performs per time step, how message
+sizes scale with the per-rank problem size, and roughly how much computation
+separates communication phases — and emits a liballprof-style
+:class:`~repro.tracers.mpi.MpiTrace` via :class:`~repro.tracers.mpi.MpiTracer`.
+
+The applications (paper §5.3 / Fig. 10) and their skeletons:
+
+* **CloverLeaf** — 2-D structured hydrodynamics: 4-neighbour halo exchanges
+  of several fields per step plus one 8-byte ``MPI_Allreduce`` for the time
+  step; strongly compute-dominated.
+* **HPCG** — conjugate gradient with a 27-point stencil: 6-neighbour halo
+  exchange per SpMV, two scalar allreduces (dot products) per iteration and
+  a multigrid preconditioner with shrinking halos; communication share grows
+  quickly under strong scaling.
+* **LULESH** — 3-D Lagrangian shock hydrodynamics on a cubic decomposition:
+  face halo exchanges plus three 8-byte allreduces per step (dt reduction).
+* **LAMMPS** — molecular dynamics with spatial decomposition: 6-neighbour
+  atom exchanges every step, thermodynamic allreduce every ``thermo_every``
+  steps.
+* **ICON** — climate model: 2-D halo exchanges, frequent small allreduces
+  (global diagnostics) and a periodic gather to rank 0 (output).
+* **OpenMX** — DFT: dominated by collectives (alltoall of wavefunction
+  coefficients and large allreduces of density matrices).
+
+Weak vs strong scaling is selected per run: weak scaling keeps the per-rank
+problem size constant, strong scaling divides a fixed global problem among
+the ranks — reproducing the compute-fraction trends of Fig. 10.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tracers.mpi import MpiTrace, MpiTracer
+
+#: Nominal cost of processing one grid cell / atom, in nanoseconds.  Chosen so
+#: that the scaled-down problem sizes used in the benchmarks produce step
+#: times in the hundreds of microseconds to milliseconds range.
+_DEFAULT_NS_PER_CELL = 6.0
+
+
+def factor_2d(n: int) -> Tuple[int, int]:
+    """Factor ``n`` ranks into the most square ``(px, py)`` grid."""
+    best = (1, n)
+    for px in range(1, int(math.isqrt(n)) + 1):
+        if n % px == 0:
+            best = (px, n // px)
+    return best
+
+
+def factor_3d(n: int) -> Tuple[int, int, int]:
+    """Factor ``n`` ranks into the most cubic ``(px, py, pz)`` grid."""
+    best = (1, 1, n)
+    best_score = float("inf")
+    for px in range(1, n + 1):
+        if n % px:
+            continue
+        rem = n // px
+        for py in range(1, rem + 1):
+            if rem % py:
+                continue
+            pz = rem // py
+            score = max(px, py, pz) / min(px, py, pz)
+            if score < best_score:
+                best_score = score
+                best = (px, py, pz)
+    return best
+
+
+@dataclass
+class HpcRunConfig:
+    """Parameters of one traced run of an HPC application model.
+
+    Attributes
+    ----------
+    num_ranks:
+        MPI ranks (one per node in the paper's hybrid MPI+OpenMP setup).
+    iterations:
+        Number of time steps / solver iterations to trace.
+    cells_per_rank:
+        Per-rank problem size under weak scaling; under strong scaling the
+        *global* problem is ``cells_per_rank * strong_scaling_base_ranks``
+        cells and is divided by ``num_ranks``.
+    scaling:
+        ``"weak"`` or ``"strong"``.
+    strong_scaling_base_ranks:
+        Rank count at which the strong-scaling problem fits ``cells_per_rank``
+        per rank.
+    ns_per_cell:
+        Computation cost per cell per step.
+    seed:
+        Seed for the small log-normal computation jitter.
+    """
+
+    num_ranks: int
+    iterations: int = 10
+    cells_per_rank: int = 64_000
+    scaling: str = "weak"
+    strong_scaling_base_ranks: int = 8
+    ns_per_cell: float = _DEFAULT_NS_PER_CELL
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_ranks <= 0 or self.iterations <= 0 or self.cells_per_rank <= 0:
+            raise ValueError("num_ranks, iterations and cells_per_rank must be positive")
+        if self.scaling not in ("weak", "strong"):
+            raise ValueError("scaling must be 'weak' or 'strong'")
+        if self.strong_scaling_base_ranks <= 0:
+            raise ValueError("strong_scaling_base_ranks must be positive")
+
+    def effective_cells_per_rank(self) -> int:
+        """Cells per rank after applying the scaling mode."""
+        if self.scaling == "weak":
+            return self.cells_per_rank
+        total = self.cells_per_rank * self.strong_scaling_base_ranks
+        return max(1, total // self.num_ranks)
+
+
+class HpcApplicationModel:
+    """Base class of all HPC application skeletons."""
+
+    name = "hpc-app"
+    #: multiplier on the per-cell compute cost (distinguishes compute-heavy
+    #: apps like CloverLeaf from communication-heavy ones like OpenMX)
+    compute_factor = 1.0
+
+    def trace(self, config: HpcRunConfig) -> MpiTrace:
+        """Run the skeleton and return its liballprof-style trace."""
+        tracer = MpiTracer(config.num_ranks, name=f"{self.name}-{config.num_ranks}")
+        rng = np.random.default_rng(config.seed)
+        self._run(tracer, config, rng)
+        return tracer.finish()
+
+    # -- helpers shared by the skeletons ---------------------------------------
+    def _compute_all(self, tracer: MpiTracer, config: HpcRunConfig, rng: np.random.Generator, base_ns: float) -> None:
+        """Charge ``base_ns`` (with ~2% log-normal jitter) of compute on every rank."""
+        jitter = rng.lognormal(mean=0.0, sigma=0.02, size=tracer.num_ranks)
+        for rank in range(tracer.num_ranks):
+            tracer.compute(rank, int(base_ns * self.compute_factor * jitter[rank]))
+
+    def _halo_exchange_2d(self, tracer: MpiTracer, grid: Tuple[int, int], halo_bytes: int, tag: int) -> None:
+        """Sendrecv with the 4 neighbours of a periodic 2-D grid."""
+        px, py = grid
+        for rank in range(px * py):
+            x, y = rank % px, rank // px
+            # deadlock-free shift pattern: each call sends towards +d while
+            # receiving from -d (and vice versa), as real halo codes do
+            shifts = [
+                (((x + 1) % px) + y * px, ((x - 1) % px) + y * px),
+                (((x - 1) % px) + y * px, ((x + 1) % px) + y * px),
+                (x + ((y + 1) % py) * px, x + ((y - 1) % py) * px),
+                (x + ((y - 1) % py) * px, x + ((y + 1) % py) * px),
+            ]
+            for send_peer, recv_peer in shifts:
+                if send_peer == rank:
+                    continue
+                tracer.record(
+                    rank,
+                    "MPI_Sendrecv",
+                    size=halo_bytes,
+                    peer=send_peer,
+                    recv_peer=recv_peer,
+                    recv_size=halo_bytes,
+                    tag=tag,
+                )
+
+    def _halo_exchange_3d(self, tracer: MpiTracer, grid: Tuple[int, int, int], halo_bytes: int, tag: int) -> None:
+        """Sendrecv with the 6 face neighbours of a periodic 3-D grid."""
+        px, py, pz = grid
+        for rank in range(px * py * pz):
+            x = rank % px
+            y = (rank // px) % py
+            z = rank // (px * py)
+            plus = [
+                ((x + 1) % px) + y * px + z * px * py,
+                x + ((y + 1) % py) * px + z * px * py,
+                x + y * px + ((z + 1) % pz) * px * py,
+            ]
+            minus = [
+                ((x - 1) % px) + y * px + z * px * py,
+                x + ((y - 1) % py) * px + z * px * py,
+                x + y * px + ((z - 1) % pz) * px * py,
+            ]
+            # deadlock-free shift pattern per dimension: send +d / recv -d,
+            # then send -d / recv +d
+            shifts = []
+            for p_, m_ in zip(plus, minus):
+                shifts.append((p_, m_))
+                shifts.append((m_, p_))
+            for send_peer, recv_peer in shifts:
+                if send_peer == rank:
+                    continue
+                tracer.record(
+                    rank,
+                    "MPI_Sendrecv",
+                    size=halo_bytes,
+                    peer=send_peer,
+                    recv_peer=recv_peer,
+                    recv_size=halo_bytes,
+                    tag=tag,
+                )
+
+    def _allreduce_all(self, tracer: MpiTracer, size: int) -> None:
+        for rank in range(tracer.num_ranks):
+            tracer.record(rank, "MPI_Allreduce", size=size)
+
+    def _run(self, tracer: MpiTracer, config: HpcRunConfig, rng: np.random.Generator) -> None:
+        raise NotImplementedError
+
+
+class CloverLeaf(HpcApplicationModel):
+    """2-D hydrodynamics: large compute, light 4-neighbour halos, one dt allreduce."""
+
+    name = "cloverleaf"
+    compute_factor = 2.0
+    fields_per_exchange = 3
+
+    def _run(self, tracer: MpiTracer, config: HpcRunConfig, rng: np.random.Generator) -> None:
+        grid = factor_2d(config.num_ranks)
+        cells = config.effective_cells_per_rank()
+        side = max(1, int(math.sqrt(cells)))
+        halo_bytes = side * 8  # one row of doubles
+        for _ in range(config.iterations):
+            self._compute_all(tracer, config, rng, cells * config.ns_per_cell)
+            for f in range(self.fields_per_exchange):
+                self._halo_exchange_2d(tracer, grid, halo_bytes, tag=10 + 10 * f)
+            self._allreduce_all(tracer, 8)  # dt reduction
+
+
+class HPCG(HpcApplicationModel):
+    """Conjugate gradient: halo exchange per SpMV, two dot-product allreduces."""
+
+    name = "hpcg"
+    compute_factor = 1.0
+    mg_levels = 3
+
+    def _run(self, tracer: MpiTracer, config: HpcRunConfig, rng: np.random.Generator) -> None:
+        grid = factor_3d(config.num_ranks)
+        cells = config.effective_cells_per_rank()
+        face = max(1, int(round(cells ** (2.0 / 3.0))))
+        halo_bytes = face * 8
+        for _ in range(config.iterations):
+            # SpMV + halo exchange
+            self._compute_all(tracer, config, rng, cells * config.ns_per_cell)
+            self._halo_exchange_3d(tracer, grid, halo_bytes, tag=100)
+            # two dot products
+            self._compute_all(tracer, config, rng, cells * config.ns_per_cell * 0.1)
+            self._allreduce_all(tracer, 8)
+            self._compute_all(tracer, config, rng, cells * config.ns_per_cell * 0.1)
+            self._allreduce_all(tracer, 8)
+            # multigrid preconditioner: shrinking grids, shrinking halos
+            for level in range(1, self.mg_levels + 1):
+                level_cells = max(1, cells >> (3 * level))
+                level_halo = max(64, halo_bytes >> (2 * level))
+                self._compute_all(tracer, config, rng, level_cells * config.ns_per_cell)
+                self._halo_exchange_3d(tracer, grid, level_halo, tag=100 + 10 * level)
+
+
+class LULESH(HpcApplicationModel):
+    """3-D shock hydrodynamics: face halos plus three scalar allreduces per step."""
+
+    name = "lulesh"
+    compute_factor = 1.8
+    fields_per_exchange = 2
+
+    def _run(self, tracer: MpiTracer, config: HpcRunConfig, rng: np.random.Generator) -> None:
+        grid = factor_3d(config.num_ranks)
+        cells = config.effective_cells_per_rank()
+        face = max(1, int(round(cells ** (2.0 / 3.0))))
+        halo_bytes = face * 8
+        for _ in range(config.iterations):
+            self._compute_all(tracer, config, rng, cells * config.ns_per_cell)
+            for f in range(self.fields_per_exchange):
+                self._halo_exchange_3d(tracer, grid, halo_bytes, tag=200 + 10 * f)
+            self._compute_all(tracer, config, rng, cells * config.ns_per_cell * 0.4)
+            for _ in range(3):
+                self._allreduce_all(tracer, 8)
+
+
+class LAMMPS(HpcApplicationModel):
+    """Molecular dynamics: neighbour exchange per step, thermo allreduce periodically."""
+
+    name = "lammps"
+    compute_factor = 1.2
+    thermo_every = 5
+
+    def _run(self, tracer: MpiTracer, config: HpcRunConfig, rng: np.random.Generator) -> None:
+        grid = factor_3d(config.num_ranks)
+        atoms = config.effective_cells_per_rank()
+        # boundary atoms ~ surface of the per-rank domain, 48 bytes per atom
+        halo_bytes = max(64, int(round(atoms ** (2.0 / 3.0))) * 48)
+        for step in range(config.iterations):
+            self._compute_all(tracer, config, rng, atoms * config.ns_per_cell)
+            self._halo_exchange_3d(tracer, grid, halo_bytes, tag=300)
+            self._compute_all(tracer, config, rng, atoms * config.ns_per_cell * 0.3)
+            if step % self.thermo_every == 0:
+                self._allreduce_all(tracer, 48)
+
+
+class ICON(HpcApplicationModel):
+    """Climate model: 2-D halos, frequent small allreduces, periodic gather (output)."""
+
+    name = "icon"
+    compute_factor = 0.9
+    output_every = 4
+
+    def _run(self, tracer: MpiTracer, config: HpcRunConfig, rng: np.random.Generator) -> None:
+        grid = factor_2d(config.num_ranks)
+        cells = config.effective_cells_per_rank()
+        side = max(1, int(math.sqrt(cells)))
+        halo_bytes = side * 8 * 4  # several prognostic fields
+        for step in range(config.iterations):
+            self._compute_all(tracer, config, rng, cells * config.ns_per_cell)
+            self._halo_exchange_2d(tracer, grid, halo_bytes, tag=400)
+            self._compute_all(tracer, config, rng, cells * config.ns_per_cell * 0.2)
+            for _ in range(2):
+                self._allreduce_all(tracer, 8)
+            if step % self.output_every == 0:
+                gather_bytes = max(64, cells // 16)
+                for rank in range(tracer.num_ranks):
+                    tracer.record(rank, "MPI_Gather", size=gather_bytes, root=0)
+
+
+class OpenMX(HpcApplicationModel):
+    """DFT: collective-dominated (alltoall + large allreduces per SCF iteration)."""
+
+    name = "openmx"
+    compute_factor = 1.5
+
+    def _run(self, tracer: MpiTracer, config: HpcRunConfig, rng: np.random.Generator) -> None:
+        cells = config.effective_cells_per_rank()
+        alltoall_per_pair = max(256, (cells * 8) // max(1, config.num_ranks))
+        allreduce_bytes = max(1024, cells // 4)
+        for _ in range(config.iterations):
+            self._compute_all(tracer, config, rng, cells * config.ns_per_cell)
+            for rank in range(tracer.num_ranks):
+                tracer.record(rank, "MPI_Alltoall", size=alltoall_per_pair)
+            self._compute_all(tracer, config, rng, cells * config.ns_per_cell * 0.5)
+            self._allreduce_all(tracer, allreduce_bytes)
+            self._allreduce_all(tracer, 8)
+
+
+#: Registry used by benchmarks and the CLI.
+HPC_APPLICATIONS: Dict[str, HpcApplicationModel] = {
+    app.name: app
+    for app in (CloverLeaf(), HPCG(), LULESH(), LAMMPS(), ICON(), OpenMX())
+}

@@ -1,0 +1,1 @@
+"""Comparison baselines used in the paper's evaluation."""

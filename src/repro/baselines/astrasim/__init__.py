@@ -1,0 +1,25 @@
+"""AstraSim-like baseline: Chakra-style traces + a congestion-unaware simulator.
+
+The paper compares ATLAHS against AstraSim 2.0 (its accuracy, its simulation
+runtime, and the size of its Chakra execution traces).  This package provides
+a faithful-in-spirit stand-in built from scratch:
+
+* :mod:`repro.baselines.astrasim.chakra` — a Chakra-ET-like node-based trace
+  format (verbose JSON, per-GPU node graphs with explicit dependencies and
+  per-node metadata), plus a converter from the nsys-like NCCL traces,
+* :mod:`repro.baselines.astrasim.simulator` — a congestion-unaware analytical
+  backend replaying Chakra traces, including the baseline's documented
+  limitation of only supporting data-parallel-style traces (it rejects traces
+  containing point-to-point pipeline traffic with the same "src and dest have
+  the same address" failure reported in the paper's Fig. 8).
+"""
+from repro.baselines.astrasim.chakra import ChakraNode, ChakraTrace, nsys_to_chakra
+from repro.baselines.astrasim.simulator import AstraSimBaseline, AstraSimUnsupportedError
+
+__all__ = [
+    "ChakraNode",
+    "ChakraTrace",
+    "nsys_to_chakra",
+    "AstraSimBaseline",
+    "AstraSimUnsupportedError",
+]

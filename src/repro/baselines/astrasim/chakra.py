@@ -1,0 +1,225 @@
+"""Chakra-ET-like execution trace format.
+
+Chakra execution traces (used by AstraSim) describe each GPU's work as a
+graph of typed nodes — compute nodes, collective-communication nodes and
+point-to-point send/recv nodes — each carrying explicit data dependencies
+and a bag of per-node attributes (tensor shapes, kernel metadata, framework
+annotations).  That per-node metadata is the reason Chakra traces are
+consistently larger than GOAL binaries in the paper's Fig. 9; the stand-in
+format below reproduces the structure (and, deliberately, the verbosity) of
+the JSON flavour of Chakra.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.tracers.nccl import NsysReport
+
+COMP_NODE = "COMP_NODE"
+COMM_COLL_NODE = "COMM_COLL_NODE"
+COMM_SEND_NODE = "COMM_SEND_NODE"
+COMM_RECV_NODE = "COMM_RECV_NODE"
+
+#: Chakra names of the collective communication types.
+COLL_TYPES = {
+    "AllReduce": "ALL_REDUCE",
+    "AllGather": "ALL_GATHER",
+    "ReduceScatter": "REDUCE_SCATTER",
+    "Broadcast": "BROADCAST",
+    "AllToAll": "ALL_TO_ALL",
+}
+
+
+@dataclass
+class ChakraNode:
+    """One node of a per-GPU Chakra graph."""
+
+    node_id: int
+    name: str
+    node_type: str
+    duration_us: float = 0.0
+    comm_size: int = 0
+    comm_type: Optional[str] = None
+    comm_group: Optional[int] = None
+    comm_peer: Optional[int] = None
+    data_deps: List[int] = field(default_factory=list)
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.node_id,
+            "name": self.name,
+            "type": self.node_type,
+            "duration_micros": self.duration_us,
+            "comm_size": self.comm_size,
+            "comm_type": self.comm_type,
+            "comm_group": self.comm_group,
+            "comm_peer": self.comm_peer,
+            "data_deps": list(self.data_deps),
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "ChakraNode":
+        return cls(
+            node_id=int(d["id"]),
+            name=str(d["name"]),
+            node_type=str(d["type"]),
+            duration_us=float(d.get("duration_micros", 0.0)),
+            comm_size=int(d.get("comm_size", 0)),
+            comm_type=d.get("comm_type"),
+            comm_group=d.get("comm_group"),
+            comm_peer=d.get("comm_peer"),
+            data_deps=list(d.get("data_deps", [])),
+            attrs=dict(d.get("attrs", {})),
+        )
+
+
+@dataclass
+class ChakraTrace:
+    """A Chakra-like execution trace: one node graph per GPU."""
+
+    num_gpus: int
+    name: str = "chakra"
+    graphs: List[List[ChakraNode]] = field(default_factory=list)
+    comm_groups: Dict[int, List[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        if not self.graphs:
+            self.graphs = [[] for _ in range(self.num_gpus)]
+        if len(self.graphs) != self.num_gpus:
+            raise ValueError("need one node graph per GPU")
+        self.comm_groups.setdefault(0, list(range(self.num_gpus)))
+
+    def num_nodes(self) -> int:
+        return sum(len(g) for g in self.graphs)
+
+    def has_p2p(self) -> bool:
+        """True when any GPU graph contains point-to-point nodes (pipeline traffic)."""
+        return any(
+            node.node_type in (COMM_SEND_NODE, COMM_RECV_NODE)
+            for graph in self.graphs
+            for node in graph
+        )
+
+    # ------------------------------------------------------------- serialisation
+    def to_json(self) -> str:
+        payload = {
+            "schema": "chakra-like-et",
+            "name": self.name,
+            "num_gpus": self.num_gpus,
+            "comm_groups": {str(k): v for k, v in self.comm_groups.items()},
+            "graphs": [[node.to_dict() for node in graph] for graph in self.graphs],
+        }
+        return json.dumps(payload, indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChakraTrace":
+        payload = json.loads(text)
+        trace = cls(num_gpus=int(payload["num_gpus"]), name=payload.get("name", "chakra"))
+        trace.comm_groups = {int(k): v for k, v in payload.get("comm_groups", {}).items()}
+        trace.comm_groups.setdefault(0, list(range(trace.num_gpus)))
+        trace.graphs = [
+            [ChakraNode.from_dict(d) for d in graph] for graph in payload["graphs"]
+        ]
+        return trace
+
+    def to_file(self, path: str) -> int:
+        data = self.to_json().encode("utf-8")
+        with open(path, "wb") as fh:
+            fh.write(data)
+        return len(data)
+
+    @classmethod
+    def from_file(cls, path: str) -> "ChakraTrace":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def size_bytes(self) -> int:
+        """Size of the serialisation (the Fig. 9 comparison quantity)."""
+        return len(self.to_json().encode("utf-8"))
+
+
+def nsys_to_chakra(report: NsysReport, name: Optional[str] = None) -> ChakraTrace:
+    """Convert an nsys-like NCCL trace into the Chakra-like format.
+
+    This plays the role of the PyTorch/Kineto → Chakra ET conversion used to
+    feed AstraSim in the paper's evaluation, so both simulators consume the
+    same underlying execution.
+    """
+    trace = ChakraTrace(num_gpus=report.num_gpus, name=name or report.name)
+    trace.comm_groups = {k: list(v) for k, v in report.communicators.items()}
+
+    for gpu in range(report.num_gpus):
+        nodes: List[ChakraNode] = []
+        next_id = 0
+        last_per_stream: Dict[int, int] = {}
+        # walk kernels of all streams in global time order, keeping per-stream chains
+        all_kernels = []
+        for stream_id, stream in report.streams[gpu].items():
+            prev_end = 0
+            for k in stream.kernels:
+                all_kernels.append((k.start_ns, stream_id, k, prev_end))
+                prev_end = k.end_ns
+        all_kernels.sort(key=lambda item: (item[0], item[1]))
+
+        for start_ns, stream_id, kernel, prev_end in all_kernels:
+            deps = [last_per_stream[stream_id]] if stream_id in last_per_stream else []
+            gap_us = max(0.0, (kernel.start_ns - prev_end) / 1000.0)
+            if gap_us > 0:
+                gap_node = ChakraNode(
+                    node_id=next_id,
+                    name="inferred_host_compute",
+                    node_type=COMP_NODE,
+                    duration_us=gap_us,
+                    data_deps=deps,
+                    attrs={"stream": stream_id, "inferred": True},
+                )
+                nodes.append(gap_node)
+                deps = [next_id]
+                next_id += 1
+            if kernel.kind == "compute":
+                node = ChakraNode(
+                    node_id=next_id,
+                    name=kernel.name,
+                    node_type=COMP_NODE,
+                    duration_us=(kernel.end_ns - kernel.start_ns) / 1000.0,
+                    data_deps=deps,
+                    attrs={
+                        "stream": stream_id,
+                        "kernel": kernel.name,
+                        "grid": [128, 1, 1],
+                        "block": [256, 1, 1],
+                        "framework": "pytorch",
+                    },
+                )
+            elif kernel.op in ("Send", "Recv"):
+                node = ChakraNode(
+                    node_id=next_id,
+                    name=f"nccl{kernel.op}",
+                    node_type=COMM_SEND_NODE if kernel.op == "Send" else COMM_RECV_NODE,
+                    comm_size=kernel.size,
+                    comm_peer=kernel.peer,
+                    data_deps=deps,
+                    attrs={"stream": stream_id, "protocol": "Simple"},
+                )
+            else:
+                node = ChakraNode(
+                    node_id=next_id,
+                    name=f"nccl{kernel.op}",
+                    node_type=COMM_COLL_NODE,
+                    comm_size=kernel.size,
+                    comm_type=COLL_TYPES.get(kernel.op, kernel.op),
+                    comm_group=kernel.comm,
+                    data_deps=deps,
+                    attrs={"stream": stream_id, "seq": kernel.seq, "algorithm": "auto"},
+                )
+            nodes.append(node)
+            last_per_stream[stream_id] = next_id
+            next_id += 1
+        trace.graphs[gpu] = nodes
+    return trace

@@ -1,0 +1,197 @@
+"""Command-line interface of the toolchain (``atlahs`` entry point).
+
+Subcommands mirror the main pipelines:
+
+* ``atlahs simulate FILE`` — replay a GOAL file (textual or binary) on a backend,
+* ``atlahs hpc APP`` — trace + simulate one of the HPC application models,
+* ``atlahs ai MODEL`` — trace + simulate an LLM-training workload,
+* ``atlahs storage`` — generate a Financial-like workload and replay it
+  against Direct Drive,
+* ``atlahs synthetic PATTERN`` — run one of the synthetic microbenchmarks.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.apps.ai import MODEL_PRESETS, ParallelismConfig
+from repro.apps.hpc import HPC_APPLICATIONS, HpcRunConfig
+from repro.core import Atlahs
+from repro.goal.binary import read_goal_binary
+from repro.goal.parser import parse_goal_file
+from repro.network.config import SimulationConfig
+from repro.schedgen import all_to_all, incast, permutation, ring_allreduce_microbenchmark
+from repro.schedgen.storage import DirectDriveConfig
+from repro.tracers.storage import FinancialWorkloadGenerator
+
+
+def _add_network_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", choices=["lgs", "htsim"], default="lgs", help="network backend")
+    parser.add_argument("--topology", choices=["single_switch", "fat_tree", "dragonfly"], default="fat_tree")
+    parser.add_argument("--nodes-per-tor", type=int, default=16)
+    parser.add_argument("--oversubscription", type=float, default=1.0)
+    parser.add_argument("--cc", choices=["mprdma", "swift", "dctcp", "ndp", "fixed"], default="mprdma")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    return SimulationConfig(
+        topology=args.topology,
+        nodes_per_tor=args.nodes_per_tor,
+        oversubscription=args.oversubscription,
+        cc_algorithm=args.cc,
+        seed=args.seed,
+    )
+
+
+def _print_result(name: str, result, extra: Optional[dict] = None) -> None:
+    payload = {
+        "workload": name,
+        "backend": result.backend,
+        "simulated_time_s": result.finish_time_s,
+        "ops_completed": result.ops_completed,
+        "messages": result.stats.messages_delivered,
+        "bytes": result.stats.bytes_delivered,
+        "packet_drops": result.stats.packets_dropped,
+        "wall_clock_s": round(result.wall_clock_s, 3),
+    }
+    if extra:
+        payload.update(extra)
+    print(json.dumps(payload, indent=2))
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    path = args.goal_file
+    if path.endswith(".bin") or path.endswith(".goalbin"):
+        schedule = read_goal_binary(path)
+    else:
+        schedule = parse_goal_file(path)
+    atlahs = Atlahs(_config_from_args(args))
+    result = atlahs.simulate_goal(schedule, backend=args.backend)
+    _print_result(schedule.name, result)
+    return 0
+
+
+def _cmd_hpc(args: argparse.Namespace) -> int:
+    atlahs = Atlahs(_config_from_args(args))
+    run = HpcRunConfig(
+        num_ranks=args.ranks,
+        iterations=args.iterations,
+        cells_per_rank=args.cells_per_rank,
+        scaling=args.scaling,
+    )
+    out = atlahs.run_hpc(args.app, run, backend=args.backend)
+    _print_result(
+        f"{args.app}-{args.ranks}",
+        out.result,
+        {"trace_bytes": out.trace_bytes, "goal_bytes": out.goal_bytes},
+    )
+    return 0
+
+
+def _cmd_ai(args: argparse.Namespace) -> int:
+    atlahs = Atlahs(_config_from_args(args))
+    model = MODEL_PRESETS[args.model]().scaled(args.scale)
+    par = ParallelismConfig(
+        tp=args.tp, pp=args.pp, dp=args.dp, ep=args.ep,
+        microbatches=args.microbatches, global_batch=args.batch,
+    )
+    out = atlahs.run_ai_training(model, par, iterations=args.iterations, gpus_per_node=args.gpus_per_node, backend=args.backend)
+    _print_result(
+        f"{args.model} ({par.describe()})",
+        out.result,
+        {"trace_bytes": out.trace_bytes, "goal_bytes": out.goal_bytes, "gpus": par.num_gpus},
+    )
+    return 0
+
+
+def _cmd_storage(args: argparse.Namespace) -> int:
+    atlahs = Atlahs(_config_from_args(args))
+    gen = FinancialWorkloadGenerator(seed=args.seed)
+    trace = gen.generate(args.operations)
+    out = atlahs.run_storage(trace, DirectDriveConfig(), backend=args.backend)
+    mct = out.result.mct_statistics()
+    _print_result(
+        f"direct-drive-{args.operations}ops",
+        out.result,
+        {"mct_mean_us": mct["mean"] / 1e3, "mct_p99_us": mct["p99"] / 1e3, "mct_max_us": mct["max"] / 1e3},
+    )
+    return 0
+
+
+def _cmd_synthetic(args: argparse.Namespace) -> int:
+    atlahs = Atlahs(_config_from_args(args))
+    size = args.message_size
+    if args.pattern == "incast":
+        schedule = incast(args.ranks, size)
+    elif args.pattern == "permutation":
+        schedule = permutation(args.ranks, size, seed=args.seed)
+    elif args.pattern == "alltoall":
+        schedule = all_to_all(args.ranks, size)
+    else:
+        schedule = ring_allreduce_microbenchmark(args.ranks, size)
+    result = atlahs.simulate_goal(schedule, backend=args.backend)
+    _print_result(f"{args.pattern}-{args.ranks}", result)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="atlahs",
+        description="ATLAHS reproduction: application-centric network simulation toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="replay a GOAL file")
+    p.add_argument("goal_file")
+    _add_network_args(p)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("hpc", help="trace and simulate an HPC application model")
+    p.add_argument("app", choices=sorted(HPC_APPLICATIONS))
+    p.add_argument("--ranks", type=int, default=16)
+    p.add_argument("--iterations", type=int, default=5)
+    p.add_argument("--cells-per-rank", type=int, default=32_000)
+    p.add_argument("--scaling", choices=["weak", "strong"], default="weak")
+    _add_network_args(p)
+    p.set_defaults(func=_cmd_hpc)
+
+    p = sub.add_parser("ai", help="trace and simulate an LLM training workload")
+    p.add_argument("model", choices=sorted(MODEL_PRESETS))
+    p.add_argument("--scale", type=float, default=0.05, help="model scale factor (1.0 = full size)")
+    p.add_argument("--tp", type=int, default=1)
+    p.add_argument("--pp", type=int, default=1)
+    p.add_argument("--dp", type=int, default=8)
+    p.add_argument("--ep", type=int, default=1)
+    p.add_argument("--microbatches", type=int, default=2)
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--iterations", type=int, default=1)
+    p.add_argument("--gpus-per-node", type=int, default=4)
+    _add_network_args(p)
+    p.set_defaults(func=_cmd_ai)
+
+    p = sub.add_parser("storage", help="replay a Financial-like workload against Direct Drive")
+    p.add_argument("--operations", type=int, default=1000)
+    _add_network_args(p)
+    p.set_defaults(func=_cmd_storage)
+
+    p = sub.add_parser("synthetic", help="run a synthetic microbenchmark")
+    p.add_argument("pattern", choices=["incast", "permutation", "alltoall", "allreduce"])
+    p.add_argument("--ranks", type=int, default=16)
+    p.add_argument("--message-size", type=int, default=1 << 20)
+    _add_network_args(p)
+    p.set_defaults(func=_cmd_synthetic)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Point-to-point decompositions of collective operations.
+
+The paper's schedule generators never emit "collective" vertices: every MPI
+or NCCL collective is substituted by its point-to-point algorithm (sends,
+receives and reduction computation) during GOAL generation (§3.1.1 stage
+"Schedgen" and §3.1.2 Stage 3).  This package implements those algorithms
+once so that both the MPI and the NCCL generators share them.
+
+Two families are provided:
+
+* :mod:`repro.collectives.mpi` — classic MPI algorithms operating on whole
+  buffers (ring, recursive doubling, binomial trees, dissemination barrier,
+  pairwise all-to-all),
+* :mod:`repro.collectives.nccl` — NCCL-style chunked ring/tree algorithms
+  whose schedules depend on the protocol (Simple / LL / LL128), the number
+  of channels and the chunk size, mirroring the behaviour described in the
+  paper's Fig. 4.
+
+All algorithms operate on a :class:`~repro.collectives.context.CollectiveContext`
+and return, per participating rank, the vertex handle that later operations
+of that rank must depend on.
+"""
+from repro.collectives.context import CollectiveContext, TagAllocator
+from repro.collectives import mpi, nccl
+
+__all__ = ["CollectiveContext", "TagAllocator", "mpi", "nccl"]

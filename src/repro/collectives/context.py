@@ -1,0 +1,132 @@
+"""Shared context for collective decomposition.
+
+A :class:`CollectiveContext` bundles everything a collective algorithm needs
+to emit its point-to-point schedule:
+
+* the :class:`~repro.goal.builder.GoalBuilder` being populated,
+* the ordered list of *global* rank ids forming the communicator (index in
+  the list = rank within the communicator),
+* a :class:`TagAllocator` producing collision-free message tags,
+* cost parameters (reduction cost per byte, copy cost per byte) used to
+  insert ``calc`` vertices where the algorithm performs local work.
+
+Dependencies flow through ``DepMap`` dictionaries: ``{global_rank: vertex
+handle}``.  Each algorithm takes the handles its first operations must wait
+on and returns the handles subsequent operations should wait on.
+"""
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.goal.builder import GoalBuilder, RankBuilder
+
+DepMap = Dict[int, int]
+
+
+class TagAllocator:
+    """Hands out unique message-tag ranges.
+
+    Every collective instance draws a fresh base tag; algorithms add small
+    offsets (round numbers, chunk ids) below ``stride``.  This guarantees
+    that two collectives — even identical ones executing concurrently on the
+    same communicator — can never cross-match their messages under FIFO
+    matching.
+    """
+
+    def __init__(self, start: int = 1, stride: int = 4096) -> None:
+        if start < 0 or stride <= 0:
+            raise ValueError("start must be >= 0 and stride positive")
+        self._next = start
+        self.stride = stride
+
+    def next_base(self) -> int:
+        """Return a fresh base tag and advance the allocator."""
+        base = self._next
+        self._next += self.stride
+        return base
+
+
+class CollectiveContext:
+    """Execution context shared by all collective algorithms.
+
+    Parameters
+    ----------
+    builder:
+        The GOAL builder to emit operations into.
+    ranks:
+        Global rank ids of the communicator, in communicator order.
+    tags:
+        Tag allocator (a fresh one is created when omitted).
+    reduce_ns_per_byte:
+        Cost of combining one byte of data in a reduction (inserted as a
+        ``calc`` after each received chunk that must be reduced).
+    copy_ns_per_byte:
+        Cost of a local copy (used by algorithms that stage data).
+    cpu:
+        Compute stream on which the collective's ops are placed.
+    """
+
+    def __init__(
+        self,
+        builder: GoalBuilder,
+        ranks: Sequence[int],
+        tags: Optional[TagAllocator] = None,
+        reduce_ns_per_byte: float = 0.0,
+        copy_ns_per_byte: float = 0.0,
+        cpu: int = 0,
+    ) -> None:
+        if not ranks:
+            raise ValueError("communicator must contain at least one rank")
+        if len(set(ranks)) != len(ranks):
+            raise ValueError("communicator contains duplicate ranks")
+        self.builder = builder
+        self.ranks = list(ranks)
+        self.tags = tags if tags is not None else TagAllocator()
+        self.reduce_ns_per_byte = reduce_ns_per_byte
+        self.copy_ns_per_byte = copy_ns_per_byte
+        self.cpu = cpu
+
+    # -- helpers ---------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self.ranks)
+
+    def rank_builder(self, comm_rank: int) -> RankBuilder:
+        """Builder of the ``comm_rank``-th rank of the communicator."""
+        return self.builder.rank(self.ranks[comm_rank])
+
+    def global_rank(self, comm_rank: int) -> int:
+        return self.ranks[comm_rank]
+
+    def deps_of(self, deps: Optional[DepMap], comm_rank: int) -> List[int]:
+        """Dependency handles (possibly empty) for a communicator rank."""
+        if not deps:
+            return []
+        handle = deps.get(self.ranks[comm_rank])
+        return [] if handle is None else [handle]
+
+    def reduce_cost(self, nbytes: int) -> int:
+        """Reduction ``calc`` cost for ``nbytes`` (0 when not configured)."""
+        return int(round(self.reduce_ns_per_byte * nbytes))
+
+    def copy_cost(self, nbytes: int) -> int:
+        """Copy ``calc`` cost for ``nbytes`` (0 when not configured)."""
+        return int(round(self.copy_ns_per_byte * nbytes))
+
+    def join(self, handles_per_rank: Dict[int, List[int]]) -> DepMap:
+        """Collapse several handles per global rank into one via dummy vertices.
+
+        Ranks with a single handle keep it; ranks with several get a dummy
+        join vertex.  Ranks with no handles are omitted from the result.
+        """
+        result: DepMap = {}
+        for global_rank, handles in handles_per_rank.items():
+            if not handles:
+                continue
+            if len(handles) == 1:
+                result[global_rank] = handles[0]
+            else:
+                rb = self.builder.rank(global_rank)
+                result[global_rank] = rb.join(handles, cpu=self.cpu)
+        return result

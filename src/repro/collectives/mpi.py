@@ -1,0 +1,422 @@
+"""MPI-style collective algorithms decomposed into point-to-point GOAL ops.
+
+These are the algorithms Schedgen substitutes for MPI collectives during
+GOAL generation (paper §3.1.1).  Each function emits sends/receives (and
+reduction ``calc`` vertices when the context defines a per-byte reduction
+cost) into the context's builder and returns a ``DepMap`` with one handle
+per participating global rank: the vertex all later operations of that rank
+must depend on.
+
+All byte counts refer to the full buffer size of the collective (``count *
+datatype_size`` in MPI terms), except where a parameter name says
+``per_rank`` / ``per_pair``.
+
+Control messages (barriers, zero-byte collectives) are emitted as 1-byte
+messages because the network backends model only positive-size messages.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.collectives.context import CollectiveContext, DepMap
+
+_MIN_MSG = 1
+
+
+def _chunk_sizes(total: int, parts: int) -> List[int]:
+    """Split ``total`` bytes into ``parts`` near-equal chunks (first chunks larger)."""
+    base, rem = divmod(total, parts)
+    return [base + (1 if i < rem else 0) for i in range(parts)]
+
+
+def _msg(size: int) -> int:
+    """Clamp message sizes to at least one byte."""
+    return max(_MIN_MSG, size)
+
+
+# ---------------------------------------------------------------------------
+# point-to-point building blocks
+# ---------------------------------------------------------------------------
+def send_recv(
+    ctx: CollectiveContext,
+    src_comm_rank: int,
+    dst_comm_rank: int,
+    size: int,
+    deps: Optional[DepMap] = None,
+    tag: Optional[int] = None,
+) -> DepMap:
+    """A single matched send/recv pair between two communicator ranks."""
+    if src_comm_rank == dst_comm_rank:
+        raise ValueError("send_recv requires distinct ranks")
+    tag = ctx.tags.next_base() if tag is None else tag
+    src_global = ctx.global_rank(src_comm_rank)
+    dst_global = ctx.global_rank(dst_comm_rank)
+    sb = ctx.rank_builder(src_comm_rank)
+    rb = ctx.rank_builder(dst_comm_rank)
+    s = sb.send(_msg(size), dst=dst_global, tag=tag, cpu=ctx.cpu, requires=ctx.deps_of(deps, src_comm_rank))
+    r = rb.recv(_msg(size), src=src_global, tag=tag, cpu=ctx.cpu, requires=ctx.deps_of(deps, dst_comm_rank))
+    return {src_global: s, dst_global: r}
+
+
+# ---------------------------------------------------------------------------
+# reduce-scatter / allgather rings (building blocks of the ring allreduce)
+# ---------------------------------------------------------------------------
+def ring_reduce_scatter(ctx: CollectiveContext, size: int, deps: Optional[DepMap] = None) -> DepMap:
+    """Ring reduce-scatter: after N-1 steps every rank owns one reduced chunk."""
+    return _ring_passes(ctx, size, deps, passes=1, reduce_first_pass=True)
+
+
+def ring_allgather(ctx: CollectiveContext, size: int, deps: Optional[DepMap] = None) -> DepMap:
+    """Ring allgather of a buffer of ``size`` total bytes (chunks circulate)."""
+    return _ring_passes(ctx, size, deps, passes=1, reduce_first_pass=False)
+
+
+def ring_allreduce(ctx: CollectiveContext, size: int, deps: Optional[DepMap] = None) -> DepMap:
+    """Ring allreduce: reduce-scatter pass followed by an allgather pass.
+
+    This is the bandwidth-optimal algorithm used by both MPI libraries (for
+    large messages) and NCCL's ring algorithm; every rank sends and receives
+    ``2 * size * (N-1) / N`` bytes over ``2 * (N-1)`` steps.
+    """
+    return _ring_passes(ctx, size, deps, passes=2, reduce_first_pass=True)
+
+
+def _ring_passes(
+    ctx: CollectiveContext,
+    size: int,
+    deps: Optional[DepMap],
+    passes: int,
+    reduce_first_pass: bool,
+) -> DepMap:
+    n = ctx.size
+    if n == 1:
+        return dict(deps) if deps else {}
+    chunks = _chunk_sizes(size, n)
+    base_tag = ctx.tags.next_base()
+    # last completed vertex per communicator rank
+    last: List[Optional[int]] = [None for _ in range(n)]
+    for r in range(n):
+        handles = ctx.deps_of(deps, r)
+        last[r] = handles[0] if handles else None
+
+    total_steps = passes * (n - 1)
+    for step in range(total_steps):
+        in_reduce_pass = reduce_first_pass and step < (n - 1)
+        new_last: List[Optional[int]] = [None] * n
+        for r in range(n):
+            dst = (r + 1) % n
+            src = (r - 1) % n
+            # chunk indices follow the standard ring schedule
+            send_chunk = (r - step) % n
+            recv_chunk = (r - step - 1) % n
+            tag = base_tag + step
+            rb = ctx.rank_builder(r)
+            reqs = [last[r]] if last[r] is not None else []
+            s = rb.send(
+                _msg(chunks[send_chunk]), dst=ctx.global_rank(dst), tag=tag, cpu=ctx.cpu, requires=reqs
+            )
+            rcv = rb.recv(
+                _msg(chunks[recv_chunk]), src=ctx.global_rank(src), tag=tag, cpu=ctx.cpu, requires=reqs
+            )
+            tail = rb.join([s, rcv], cpu=ctx.cpu)
+            if in_reduce_pass and ctx.reduce_ns_per_byte:
+                tail = rb.calc(ctx.reduce_cost(chunks[recv_chunk]), cpu=ctx.cpu, requires=[tail])
+            new_last[r] = tail
+        last = new_last
+    return {ctx.global_rank(r): last[r] for r in range(n) if last[r] is not None}
+
+
+# ---------------------------------------------------------------------------
+# recursive doubling allreduce
+# ---------------------------------------------------------------------------
+def recursive_doubling_allreduce(ctx: CollectiveContext, size: int, deps: Optional[DepMap] = None) -> DepMap:
+    """Recursive-doubling allreduce (latency-optimal for small messages).
+
+    Non-power-of-two communicator sizes use the standard fold: the first
+    ``2 * r`` ranks pair up so that ``r`` extra ranks fold their data into a
+    partner before the power-of-two exchange and receive the result after it.
+    """
+    n = ctx.size
+    if n == 1:
+        return dict(deps) if deps else {}
+    pow2 = 1
+    while pow2 * 2 <= n:
+        pow2 *= 2
+    rem = n - pow2
+    base_tag = ctx.tags.next_base()
+
+    last: List[Optional[int]] = [None] * n
+    for r in range(n):
+        handles = ctx.deps_of(deps, r)
+        last[r] = handles[0] if handles else None
+
+    def reqs(r: int) -> List[int]:
+        return [last[r]] if last[r] is not None else []
+
+    # fold-in phase: extra ranks send their contribution to their partner
+    for extra in range(rem):
+        a = pow2 + extra  # extra rank
+        b = extra  # partner inside the power-of-two group
+        tag = base_tag + extra
+        s = ctx.rank_builder(a).send(_msg(size), dst=ctx.global_rank(b), tag=tag, cpu=ctx.cpu, requires=reqs(a))
+        rcv = ctx.rank_builder(b).recv(_msg(size), src=ctx.global_rank(a), tag=tag, cpu=ctx.cpu, requires=reqs(b))
+        last[a] = s
+        tail = rcv
+        if ctx.reduce_ns_per_byte:
+            tail = ctx.rank_builder(b).calc(ctx.reduce_cost(size), cpu=ctx.cpu, requires=[rcv])
+        last[b] = tail
+
+    # power-of-two exchange phase: in every round each rank both sends to and
+    # receives from its partner; both ops depend only on the previous round.
+    distance = 1
+    round_idx = 0
+    while distance < pow2:
+        tag = base_tag + rem + round_idx
+        new_last = list(last)
+        for r in range(pow2):
+            partner = r ^ distance
+            if partner >= pow2:
+                continue
+            rb = ctx.rank_builder(r)
+            s = rb.send(_msg(size), dst=ctx.global_rank(partner), tag=tag, cpu=ctx.cpu, requires=reqs(r))
+            rcv = rb.recv(_msg(size), src=ctx.global_rank(partner), tag=tag, cpu=ctx.cpu, requires=reqs(r))
+            tail = rb.join([s, rcv], cpu=ctx.cpu)
+            if ctx.reduce_ns_per_byte:
+                tail = rb.calc(ctx.reduce_cost(size), cpu=ctx.cpu, requires=[tail])
+            new_last[r] = tail
+        last = new_last
+        distance *= 2
+        round_idx += 1
+
+    # fold-out phase: partners send the final result back to the extra ranks
+    for extra in range(rem):
+        a = extra
+        b = pow2 + extra
+        tag = base_tag + rem + round_idx + extra
+        s = ctx.rank_builder(a).send(_msg(size), dst=ctx.global_rank(b), tag=tag, cpu=ctx.cpu, requires=reqs(a))
+        rcv = ctx.rank_builder(b).recv(_msg(size), src=ctx.global_rank(a), tag=tag, cpu=ctx.cpu, requires=reqs(b))
+        last[a] = s
+        last[b] = rcv
+
+    return {ctx.global_rank(r): last[r] for r in range(n) if last[r] is not None}
+
+
+# ---------------------------------------------------------------------------
+# binomial trees: bcast / reduce, and the composed allreduce
+# ---------------------------------------------------------------------------
+def binomial_bcast(ctx: CollectiveContext, size: int, root: int = 0, deps: Optional[DepMap] = None) -> DepMap:
+    """Binomial-tree broadcast from communicator rank ``root``."""
+    n = ctx.size
+    if n == 1:
+        return dict(deps) if deps else {}
+    base_tag = ctx.tags.next_base()
+    last: List[Optional[int]] = [None] * n
+    for r in range(n):
+        handles = ctx.deps_of(deps, r)
+        last[r] = handles[0] if handles else None
+
+    # operate in a rotated space where root becomes virtual rank 0
+    def unrot(r: int) -> int:
+        return (r + root) % n
+
+    # round with offset ``mask``: virtual ranks < mask already hold the data
+    # and each forwards it to virtual rank ``vr + mask``.
+    mask = 1
+    round_idx = 0
+    while mask < n:
+        tag = base_tag + round_idx
+        for vr in range(mask):
+            peer = vr + mask
+            if peer >= n:
+                continue
+            src, dst = unrot(vr), unrot(peer)
+            sb = ctx.rank_builder(src)
+            db = ctx.rank_builder(dst)
+            s = sb.send(
+                _msg(size), dst=ctx.global_rank(dst), tag=tag, cpu=ctx.cpu,
+                requires=[last[src]] if last[src] is not None else [],
+            )
+            rcv = db.recv(
+                _msg(size), src=ctx.global_rank(src), tag=tag, cpu=ctx.cpu,
+                requires=[last[dst]] if last[dst] is not None else [],
+            )
+            last[src] = s
+            last[dst] = rcv
+        mask <<= 1
+        round_idx += 1
+    return {ctx.global_rank(r): last[r] for r in range(n) if last[r] is not None}
+
+
+def binomial_reduce(ctx: CollectiveContext, size: int, root: int = 0, deps: Optional[DepMap] = None) -> DepMap:
+    """Binomial-tree reduction to communicator rank ``root``."""
+    n = ctx.size
+    if n == 1:
+        return dict(deps) if deps else {}
+    base_tag = ctx.tags.next_base()
+    last: List[Optional[int]] = [None] * n
+    for r in range(n):
+        handles = ctx.deps_of(deps, r)
+        last[r] = handles[0] if handles else None
+
+    def unrot(r: int) -> int:
+        return (r + root) % n
+
+    # reverse of the broadcast tree: children send towards the root
+    mask = 1
+    rounds: List[int] = []
+    while mask < n:
+        rounds.append(mask)
+        mask <<= 1
+    round_idx = 0
+    for mask in reversed(rounds):
+        tag = base_tag + round_idx
+        for vr in range(mask):
+            peer = vr + mask
+            if peer >= n:
+                continue
+            # peer (child) sends to vr (parent)
+            src, dst = unrot(peer), unrot(vr)
+            sb = ctx.rank_builder(src)
+            db = ctx.rank_builder(dst)
+            s = sb.send(
+                _msg(size), dst=ctx.global_rank(dst), tag=tag, cpu=ctx.cpu,
+                requires=[last[src]] if last[src] is not None else [],
+            )
+            rcv = db.recv(
+                _msg(size), src=ctx.global_rank(src), tag=tag, cpu=ctx.cpu,
+                requires=[last[dst]] if last[dst] is not None else [],
+            )
+            last[src] = s
+            tail = rcv
+            if ctx.reduce_ns_per_byte:
+                tail = db.calc(ctx.reduce_cost(size), cpu=ctx.cpu, requires=[rcv])
+            last[dst] = tail
+        round_idx += 1
+    return {ctx.global_rank(r): last[r] for r in range(n) if last[r] is not None}
+
+
+def reduce_bcast_allreduce(ctx: CollectiveContext, size: int, deps: Optional[DepMap] = None) -> DepMap:
+    """Allreduce composed of a binomial reduce to rank 0 followed by a broadcast."""
+    mid = binomial_reduce(ctx, size, root=0, deps=deps)
+    return binomial_bcast(ctx, size, root=0, deps=mid)
+
+
+# ---------------------------------------------------------------------------
+# allgather / gather / scatter / alltoall / barrier
+# ---------------------------------------------------------------------------
+def linear_gather(ctx: CollectiveContext, size_per_rank: int, root: int = 0, deps: Optional[DepMap] = None) -> DepMap:
+    """Every non-root rank sends its contribution directly to the root."""
+    n = ctx.size
+    base_tag = ctx.tags.next_base()
+    result: Dict[int, List[int]] = {ctx.global_rank(r): list(ctx.deps_of(deps, r)) for r in range(n)}
+    root_global = ctx.global_rank(root)
+    rb_root = ctx.rank_builder(root)
+    for r in range(n):
+        if r == root:
+            continue
+        tag = base_tag + r
+        sb = ctx.rank_builder(r)
+        s = sb.send(_msg(size_per_rank), dst=root_global, tag=tag, cpu=ctx.cpu, requires=ctx.deps_of(deps, r))
+        rcv = rb_root.recv(
+            _msg(size_per_rank), src=ctx.global_rank(r), tag=tag, cpu=ctx.cpu, requires=ctx.deps_of(deps, root)
+        )
+        result[ctx.global_rank(r)].append(s)
+        result[root_global].append(rcv)
+    return ctx.join(result)
+
+
+def linear_scatter(ctx: CollectiveContext, size_per_rank: int, root: int = 0, deps: Optional[DepMap] = None) -> DepMap:
+    """The root sends each rank its slice directly."""
+    n = ctx.size
+    base_tag = ctx.tags.next_base()
+    result: Dict[int, List[int]] = {ctx.global_rank(r): list(ctx.deps_of(deps, r)) for r in range(n)}
+    root_global = ctx.global_rank(root)
+    rb_root = ctx.rank_builder(root)
+    for r in range(n):
+        if r == root:
+            continue
+        tag = base_tag + r
+        s = rb_root.send(
+            _msg(size_per_rank), dst=ctx.global_rank(r), tag=tag, cpu=ctx.cpu, requires=ctx.deps_of(deps, root)
+        )
+        rcv = ctx.rank_builder(r).recv(
+            _msg(size_per_rank), src=root_global, tag=tag, cpu=ctx.cpu, requires=ctx.deps_of(deps, r)
+        )
+        result[root_global].append(s)
+        result[ctx.global_rank(r)].append(rcv)
+    return ctx.join(result)
+
+
+def pairwise_alltoall(ctx: CollectiveContext, size_per_pair: int, deps: Optional[DepMap] = None) -> DepMap:
+    """Pairwise-exchange all-to-all: N-1 rounds, rank ``r`` exchanges with ``r xor/offset``.
+
+    Uses the linear-shift schedule (round ``k``: send to ``(r+k) % N``,
+    receive from ``(r-k) % N``), the common choice for large messages.
+    """
+    n = ctx.size
+    if n == 1:
+        return dict(deps) if deps else {}
+    base_tag = ctx.tags.next_base()
+    last: List[Optional[int]] = [None] * n
+    for r in range(n):
+        handles = ctx.deps_of(deps, r)
+        last[r] = handles[0] if handles else None
+    for k in range(1, n):
+        tag = base_tag + k
+        new_last: List[Optional[int]] = [None] * n
+        for r in range(n):
+            dst = (r + k) % n
+            src = (r - k) % n
+            rb = ctx.rank_builder(r)
+            reqs = [last[r]] if last[r] is not None else []
+            s = rb.send(_msg(size_per_pair), dst=ctx.global_rank(dst), tag=tag, cpu=ctx.cpu, requires=reqs)
+            rcv = rb.recv(_msg(size_per_pair), src=ctx.global_rank(src), tag=tag, cpu=ctx.cpu, requires=reqs)
+            new_last[r] = rb.join([s, rcv], cpu=ctx.cpu)
+        last = new_last
+    return {ctx.global_rank(r): last[r] for r in range(n) if last[r] is not None}
+
+
+def dissemination_barrier(ctx: CollectiveContext, deps: Optional[DepMap] = None) -> DepMap:
+    """Dissemination barrier: ceil(log2 N) rounds of 1-byte messages."""
+    n = ctx.size
+    if n == 1:
+        return dict(deps) if deps else {}
+    base_tag = ctx.tags.next_base()
+    last: List[Optional[int]] = [None] * n
+    for r in range(n):
+        handles = ctx.deps_of(deps, r)
+        last[r] = handles[0] if handles else None
+    k = 0
+    dist = 1
+    while dist < n:
+        tag = base_tag + k
+        new_last: List[Optional[int]] = [None] * n
+        for r in range(n):
+            dst = (r + dist) % n
+            src = (r - dist) % n
+            rb = ctx.rank_builder(r)
+            reqs = [last[r]] if last[r] is not None else []
+            s = rb.send(_MIN_MSG, dst=ctx.global_rank(dst), tag=tag, cpu=ctx.cpu, requires=reqs)
+            rcv = rb.recv(_MIN_MSG, src=ctx.global_rank(src), tag=tag, cpu=ctx.cpu, requires=reqs)
+            new_last[r] = rb.join([s, rcv], cpu=ctx.cpu)
+        last = new_last
+        dist *= 2
+        k += 1
+    return {ctx.global_rank(r): last[r] for r in range(n) if last[r] is not None}
+
+
+def allgather(ctx: CollectiveContext, size_per_rank: int, deps: Optional[DepMap] = None) -> DepMap:
+    """Allgather via the ring algorithm (each rank contributes ``size_per_rank``)."""
+    return ring_allgather(ctx, size_per_rank * ctx.size, deps)
+
+
+# registry used by the MPI schedule generator ---------------------------------
+ALLREDUCE_ALGORITHMS = {
+    "ring": ring_allreduce,
+    "recursive_doubling": recursive_doubling_allreduce,
+    "reduce_bcast": reduce_bcast_allreduce,
+}
+
+BCAST_ALGORITHMS = {
+    "binomial": binomial_bcast,
+}

@@ -1,0 +1,346 @@
+"""NCCL-style collective decomposition (Stage 3 of the paper's AI pipeline).
+
+Unlike MPI collectives, NCCL schedules depend on the library's configuration
+parameters (paper §3.1.2 Stage 3): the algorithm (``NCCL_ALGO`` — ring or
+tree), the protocol (``NCCL_PROTO`` — Simple, LL or LL128) and the number of
+channels (``NCCL_MAX_NCHANNELS``).  The data is striped across channels, each
+channel is driven by one SM (modelled as one GOAL compute stream) and every
+per-step transfer is further pipelined into protocol-sized chunks — the
+behaviour illustrated by the paper's Fig. 4 where a 2 MB broadcast becomes
+four sequential 0.5 MB sends.
+
+Every function emits point-to-point GOAL ops into the context's builder and
+returns a ``DepMap`` of exit handles per global rank, exactly like the MPI
+algorithms in :mod:`repro.collectives.mpi`.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.collectives.context import CollectiveContext, DepMap
+
+_MIN_MSG = 1
+
+#: Default chunk size per protocol (bytes).  The Simple protocol moves large
+#: chunks through FIFO buffers; LL/LL128 use small flagged lines, which we
+#: model as smaller chunks plus a per-chunk latency overhead.
+PROTOCOL_CHUNK_BYTES = {
+    "Simple": 1 << 19,  # 512 KiB
+    "LL": 1 << 15,      # 32 KiB
+    "LL128": 1 << 17,   # 128 KiB
+}
+
+#: Effective bandwidth efficiency of each protocol (LL sends 50% flags).
+PROTOCOL_EFFICIENCY = {
+    "Simple": 1.0,
+    "LL": 0.5,
+    "LL128": 0.95,
+}
+
+
+@dataclass(frozen=True)
+class NcclConfig:
+    """NCCL tuning parameters that shape the decomposed schedule.
+
+    Attributes
+    ----------
+    algorithm:
+        ``"ring"`` or ``"tree"`` (``NCCL_ALGO``).
+    protocol:
+        ``"Simple"``, ``"LL"`` or ``"LL128"`` (``NCCL_PROTO``).
+    nchannels:
+        Number of channels (``NCCL_MAX_NCHANNELS``); the buffer is striped
+        across channels and each channel occupies its own compute stream.
+    chunk_bytes:
+        Chunk granularity of the pipeline; defaults to the protocol's value.
+    max_chunks_per_step:
+        Safety cap on pipeline depth per ring step, to bound the number of
+        GOAL vertices generated for very large buffers.
+    """
+
+    algorithm: str = "ring"
+    protocol: str = "Simple"
+    nchannels: int = 2
+    chunk_bytes: Optional[int] = None
+    max_chunks_per_step: int = 8
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("ring", "tree"):
+            raise ValueError(f"unknown NCCL algorithm {self.algorithm!r}")
+        if self.protocol not in PROTOCOL_CHUNK_BYTES:
+            raise ValueError(f"unknown NCCL protocol {self.protocol!r}")
+        if self.nchannels <= 0:
+            raise ValueError("nchannels must be positive")
+        if self.max_chunks_per_step <= 0:
+            raise ValueError("max_chunks_per_step must be positive")
+
+    def effective_chunk_bytes(self) -> int:
+        return self.chunk_bytes if self.chunk_bytes else PROTOCOL_CHUNK_BYTES[self.protocol]
+
+    def wire_size(self, payload: int) -> int:
+        """Bytes on the wire for ``payload`` bytes of user data."""
+        return max(_MIN_MSG, int(round(payload / PROTOCOL_EFFICIENCY[self.protocol])))
+
+
+def _split(total: int, parts: int) -> List[int]:
+    base, rem = divmod(total, parts)
+    return [base + (1 if i < rem else 0) for i in range(parts)]
+
+
+def _pieces(step_bytes: int, cfg: NcclConfig) -> List[int]:
+    """Split one ring-step transfer into pipelined chunks."""
+    if step_bytes <= 0:
+        return [_MIN_MSG]
+    chunk = cfg.effective_chunk_bytes()
+    n = min(cfg.max_chunks_per_step, max(1, (step_bytes + chunk - 1) // chunk))
+    return _split(step_bytes, n)
+
+
+# ---------------------------------------------------------------------------
+# ring algorithms
+# ---------------------------------------------------------------------------
+def allreduce(ctx: CollectiveContext, size: int, cfg: NcclConfig, deps: Optional[DepMap] = None) -> DepMap:
+    """NCCL allreduce.
+
+    ``ring``: per channel, a chunked ring reduce-scatter followed by a ring
+    allgather.  ``tree``: per channel, a chunked reduce up a binomial tree and
+    broadcast back down (NCCL's tree algorithm for latency-bound sizes).
+    """
+    if ctx.size == 1:
+        return dict(deps) if deps else {}
+    if cfg.algorithm == "tree":
+        return _tree_allreduce(ctx, size, cfg, deps)
+    return _ring_collective(ctx, size, cfg, deps, reduce_pass=True, gather_pass=True)
+
+
+def reduce_scatter(ctx: CollectiveContext, size: int, cfg: NcclConfig, deps: Optional[DepMap] = None) -> DepMap:
+    """NCCL reduce-scatter (the reduce pass of the ring)."""
+    if ctx.size == 1:
+        return dict(deps) if deps else {}
+    return _ring_collective(ctx, size, cfg, deps, reduce_pass=True, gather_pass=False)
+
+
+def allgather(ctx: CollectiveContext, size: int, cfg: NcclConfig, deps: Optional[DepMap] = None) -> DepMap:
+    """NCCL allgather of ``size`` total bytes (the gather pass of the ring)."""
+    if ctx.size == 1:
+        return dict(deps) if deps else {}
+    return _ring_collective(ctx, size, cfg, deps, reduce_pass=False, gather_pass=True)
+
+
+def _ring_collective(
+    ctx: CollectiveContext,
+    size: int,
+    cfg: NcclConfig,
+    deps: Optional[DepMap],
+    reduce_pass: bool,
+    gather_pass: bool,
+) -> DepMap:
+    n = ctx.size
+    per_channel = _split(size, cfg.nchannels)
+    exits: Dict[int, List[int]] = {ctx.global_rank(r): [] for r in range(n)}
+
+    for channel, channel_bytes in enumerate(per_channel):
+        stream = ctx.cpu + channel
+        base_tag = ctx.tags.next_base()
+        step_bytes = _split(channel_bytes, n)  # one slice per ring position
+        # per-rank serialisation point on this channel (one SM executes in order)
+        last: List[Optional[int]] = [None] * n
+        for r in range(n):
+            handles = ctx.deps_of(deps, r)
+            last[r] = handles[0] if handles else None
+
+        passes = (1 if reduce_pass else 0) + (1 if gather_pass else 0)
+        total_steps = passes * (n - 1)
+        for step in range(total_steps):
+            in_reduce = reduce_pass and step < (n - 1)
+            tag_step = base_tag + step * (cfg.max_chunks_per_step + 1)
+            new_last: List[Optional[int]] = [None] * n
+            for r in range(n):
+                dst = (r + 1) % n
+                src = (r - 1) % n
+                send_slice = (r - step) % n
+                recv_slice = (r - step - 1) % n
+                rb = ctx.rank_builder(r)
+                prev = [last[r]] if last[r] is not None else []
+                send_pieces = _pieces(step_bytes[send_slice], cfg)
+                recv_pieces = _pieces(step_bytes[recv_slice], cfg)
+                tail = None
+                prev_piece: Optional[int] = None
+                for p in range(max(len(send_pieces), len(recv_pieces))):
+                    tag = tag_step + p
+                    piece_reqs = list(prev)
+                    if prev_piece is not None:
+                        piece_reqs = [prev_piece]
+                    ops = []
+                    if p < len(send_pieces):
+                        ops.append(
+                            rb.send(
+                                cfg.wire_size(send_pieces[p]),
+                                dst=ctx.global_rank(dst),
+                                tag=tag,
+                                cpu=stream,
+                                requires=piece_reqs,
+                            )
+                        )
+                    if p < len(recv_pieces):
+                        ops.append(
+                            rb.recv(
+                                cfg.wire_size(recv_pieces[p]),
+                                src=ctx.global_rank(src),
+                                tag=tag,
+                                cpu=stream,
+                                requires=piece_reqs,
+                            )
+                        )
+                    tail = ops[0] if len(ops) == 1 else rb.join(ops, cpu=stream)
+                    if in_reduce and ctx.reduce_ns_per_byte and p < len(recv_pieces):
+                        tail = rb.calc(ctx.reduce_cost(recv_pieces[p]), cpu=stream, requires=[tail])
+                    prev_piece = tail
+                new_last[r] = tail
+            last = new_last
+
+        for r in range(n):
+            if last[r] is not None:
+                exits[ctx.global_rank(r)].append(last[r])
+
+    return ctx.join(exits)
+
+
+def broadcast(ctx: CollectiveContext, size: int, cfg: NcclConfig, root: int = 0, deps: Optional[DepMap] = None) -> DepMap:
+    """NCCL ring broadcast: the root pushes chunks around the ring (Fig. 4).
+
+    The buffer is striped over channels; within each channel it is cut into
+    protocol-sized chunks that travel the ring back to back, each intermediate
+    rank forwarding a chunk as soon as it has received it.
+    """
+    n = ctx.size
+    if n == 1:
+        return dict(deps) if deps else {}
+    per_channel = _split(size, cfg.nchannels)
+    exits: Dict[int, List[int]] = {ctx.global_rank(r): [] for r in range(n)}
+
+    for channel, channel_bytes in enumerate(per_channel):
+        stream = ctx.cpu + channel
+        base_tag = ctx.tags.next_base()
+        chunk = cfg.effective_chunk_bytes()
+        nchunks = min(
+            max(1, (channel_bytes + chunk - 1) // chunk),
+            cfg.max_chunks_per_step * n,
+        )
+        chunks = _split(channel_bytes, nchunks)
+        last: List[Optional[int]] = [None] * n
+        for r in range(n):
+            handles = ctx.deps_of(deps, r)
+            last[r] = handles[0] if handles else None
+
+        # ring order starting from the root
+        order = [(root + i) % n for i in range(n)]
+        for c, chunk_bytes in enumerate(chunks):
+            tag = base_tag + c
+            recv_handle: Dict[int, int] = {}
+            for pos in range(n - 1):
+                src = order[pos]
+                dst = order[pos + 1]
+                sb = ctx.rank_builder(src)
+                db = ctx.rank_builder(dst)
+                send_reqs: List[int] = []
+                if last[src] is not None:
+                    send_reqs.append(last[src])
+                if pos > 0 and src in recv_handle:
+                    send_reqs.append(recv_handle[src])
+                s = sb.send(cfg.wire_size(chunk_bytes), dst=ctx.global_rank(dst), tag=tag, cpu=stream, requires=send_reqs)
+                r_reqs = [last[dst]] if last[dst] is not None else []
+                rcv = db.recv(cfg.wire_size(chunk_bytes), src=ctx.global_rank(src), tag=tag, cpu=stream, requires=r_reqs)
+                last[src] = s
+                last[dst] = rcv
+                recv_handle[dst] = rcv
+        for r in range(n):
+            if last[r] is not None:
+                exits[ctx.global_rank(r)].append(last[r])
+    return ctx.join(exits)
+
+
+def _tree_allreduce(ctx: CollectiveContext, size: int, cfg: NcclConfig, deps: Optional[DepMap]) -> DepMap:
+    """Tree algorithm: chunked binomial reduce to rank 0, then broadcast down."""
+    from repro.collectives import mpi as _mpi
+
+    n = ctx.size
+    per_channel = _split(size, cfg.nchannels)
+    exits: Dict[int, List[int]] = {ctx.global_rank(r): [] for r in range(n)}
+    for channel, channel_bytes in enumerate(per_channel):
+        sub_ctx = CollectiveContext(
+            ctx.builder,
+            ctx.ranks,
+            tags=ctx.tags,
+            reduce_ns_per_byte=ctx.reduce_ns_per_byte,
+            copy_ns_per_byte=ctx.copy_ns_per_byte,
+            cpu=ctx.cpu + channel,
+        )
+        wire = cfg.wire_size(channel_bytes)
+        mid = _mpi.binomial_reduce(sub_ctx, wire, root=0, deps=deps)
+        out = _mpi.binomial_bcast(sub_ctx, wire, root=0, deps=mid)
+        for global_rank, handle in out.items():
+            exits.setdefault(global_rank, []).append(handle)
+    return ctx.join(exits)
+
+
+# ---------------------------------------------------------------------------
+# point-to-point and alltoall (pipeline / expert parallelism)
+# ---------------------------------------------------------------------------
+def send_recv_pair(
+    ctx: CollectiveContext,
+    src_comm_rank: int,
+    dst_comm_rank: int,
+    size: int,
+    cfg: NcclConfig,
+    deps: Optional[DepMap] = None,
+) -> DepMap:
+    """A chunked NCCL point-to-point transfer (ncclSend / ncclRecv pair)."""
+    if src_comm_rank == dst_comm_rank:
+        raise ValueError("send_recv_pair requires distinct ranks")
+    base_tag = ctx.tags.next_base()
+    src_global = ctx.global_rank(src_comm_rank)
+    dst_global = ctx.global_rank(dst_comm_rank)
+    sb = ctx.rank_builder(src_comm_rank)
+    db = ctx.rank_builder(dst_comm_rank)
+    pieces = _pieces(size, cfg)
+    prev_s = ctx.deps_of(deps, src_comm_rank)
+    prev_r = ctx.deps_of(deps, dst_comm_rank)
+    s = r = None
+    for p, piece in enumerate(pieces):
+        tag = base_tag + p
+        s = sb.send(cfg.wire_size(piece), dst=dst_global, tag=tag, cpu=ctx.cpu, requires=prev_s)
+        r = db.recv(cfg.wire_size(piece), src=src_global, tag=tag, cpu=ctx.cpu, requires=prev_r)
+        prev_s = [s]
+        prev_r = [r]
+    return {src_global: s, dst_global: r}
+
+
+def alltoall(ctx: CollectiveContext, size_per_pair: int, cfg: NcclConfig, deps: Optional[DepMap] = None) -> DepMap:
+    """All-to-all implemented as pairwise ncclSend/ncclRecv (expert parallelism)."""
+    n = ctx.size
+    if n == 1:
+        return dict(deps) if deps else {}
+    base_tag = ctx.tags.next_base()
+    exits: Dict[int, List[int]] = {ctx.global_rank(r): [] for r in range(n)}
+    last: List[Optional[int]] = [None] * n
+    for r in range(n):
+        handles = ctx.deps_of(deps, r)
+        last[r] = handles[0] if handles else None
+    for k in range(1, n):
+        tag = base_tag + k
+        new_last: List[Optional[int]] = [None] * n
+        for r in range(n):
+            dst = (r + k) % n
+            src = (r - k) % n
+            rb = ctx.rank_builder(r)
+            reqs = [last[r]] if last[r] is not None else []
+            s = rb.send(cfg.wire_size(size_per_pair), dst=ctx.global_rank(dst), tag=tag, cpu=ctx.cpu, requires=reqs)
+            rcv = rb.recv(cfg.wire_size(size_per_pair), src=ctx.global_rank(src), tag=tag, cpu=ctx.cpu, requires=reqs)
+            new_last[r] = rb.join([s, rcv], cpu=ctx.cpu)
+        last = new_last
+    for r in range(n):
+        if last[r] is not None:
+            exits[ctx.global_rank(r)].append(last[r])
+    return ctx.join(exits)

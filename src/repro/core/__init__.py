@@ -1,0 +1,4 @@
+"""High-level toolchain facade."""
+from repro.core.atlahs import Atlahs, PipelineResult
+
+__all__ = ["Atlahs", "PipelineResult"]

@@ -1,0 +1,247 @@
+"""The :class:`Atlahs` facade: trace → GOAL → simulate pipelines in one call.
+
+The individual packages (:mod:`repro.apps`, :mod:`repro.tracers`,
+:mod:`repro.schedgen`, :mod:`repro.scheduler`, :mod:`repro.network`) can be
+used directly; this facade wires the common end-to-end pipelines the paper's
+evaluation exercises, and is what the examples and benchmarks use.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.ai import DlrmTrainer, LlmTrainer, ModelConfig, ParallelismConfig
+from repro.apps.hpc import HPC_APPLICATIONS, HpcRunConfig
+from repro.baselines.astrasim import AstraSimBaseline, nsys_to_chakra
+from repro.collectives.nccl import NcclConfig
+from repro.goal.binary import encode_goal
+from repro.goal.schedule import GoalSchedule
+from repro.goal.validate import validate_schedule
+from repro.network.backend import SimulationResult
+from repro.network.config import LogGOPSParams, SimulationConfig
+from repro.placement import JobRequest, place_jobs
+from repro.schedgen import (
+    mpi_trace_to_goal,
+    nccl_trace_to_goal,
+    storage_trace_to_goal,
+)
+from repro.schedgen.storage import DirectDriveConfig
+from repro.scheduler import simulate
+from repro.tracers.storage import SpcTrace
+
+
+@dataclass
+class PipelineResult:
+    """Everything one end-to-end pipeline run produced.
+
+    Attributes
+    ----------
+    schedule:
+        The generated GOAL schedule.
+    result:
+        The simulation result (``None`` when only trace/GOAL generation was
+        requested).
+    trace_bytes:
+        Size of the raw application trace serialisation (Table 1's "Trace"
+        column), when a raw trace exists for the pipeline.
+    goal_bytes:
+        Size of the compact binary GOAL encoding (Table 1's "GOAL" column).
+    extras:
+        Pipeline-specific artefacts (e.g. the raw trace object, Chakra sizes).
+    """
+
+    schedule: GoalSchedule
+    result: Optional[SimulationResult] = None
+    trace_bytes: int = 0
+    goal_bytes: int = 0
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+class Atlahs:
+    """End-to-end pipelines of the toolchain.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`SimulationConfig` used when a pipeline call does not
+        supply its own.
+    """
+
+    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+        self.config = config or SimulationConfig()
+
+    # ----------------------------------------------------------------- generic
+    def simulate_goal(
+        self,
+        schedule: GoalSchedule,
+        backend: str = "lgs",
+        config: Optional[SimulationConfig] = None,
+        validate: bool = True,
+    ) -> SimulationResult:
+        """Replay an existing GOAL schedule on the chosen backend."""
+        return simulate(schedule, backend=backend, config=config or self.config, validate=validate)
+
+    # --------------------------------------------------------------------- HPC
+    def run_hpc(
+        self,
+        app_name: str,
+        run_config: HpcRunConfig,
+        backend: str = "lgs",
+        config: Optional[SimulationConfig] = None,
+        compute_scale: float = 1.0,
+        simulate_schedule: bool = True,
+    ) -> PipelineResult:
+        """Trace an HPC application model, convert to GOAL, and simulate it."""
+        try:
+            app = HPC_APPLICATIONS[app_name]
+        except KeyError:
+            raise ValueError(
+                f"unknown HPC application {app_name!r}; available: {sorted(HPC_APPLICATIONS)}"
+            ) from None
+        trace = app.trace(run_config)
+        schedule = mpi_trace_to_goal(trace, compute_scale=compute_scale)
+        validate_schedule(schedule)
+        sim_config = config or self.config.replace(loggops=LogGOPSParams.hpc_cluster())
+        result = (
+            simulate(schedule, backend=backend, config=sim_config, validate=False)
+            if simulate_schedule
+            else None
+        )
+        return PipelineResult(
+            schedule=schedule,
+            result=result,
+            trace_bytes=trace.size_bytes(),
+            goal_bytes=len(encode_goal(schedule)),
+            extras={"trace": trace},
+        )
+
+    # ---------------------------------------------------------------------- AI
+    def run_ai_training(
+        self,
+        model: ModelConfig,
+        parallelism: ParallelismConfig,
+        iterations: int = 2,
+        gpus_per_node: int = 4,
+        nccl_config: Optional[NcclConfig] = None,
+        backend: str = "lgs",
+        config: Optional[SimulationConfig] = None,
+        compute_scale: float = 1.0,
+        simulate_schedule: bool = True,
+        seed: int = 0,
+    ) -> PipelineResult:
+        """Trace an LLM-training model, run the 4-stage pipeline, and simulate it."""
+        trainer = LlmTrainer(
+            model, parallelism, gpus_per_node=gpus_per_node, iterations=iterations, seed=seed
+        )
+        report = trainer.trace()
+        schedule = nccl_trace_to_goal(
+            report, nccl_config=nccl_config, compute_scale=compute_scale, gpus_per_node=gpus_per_node
+        )
+        validate_schedule(schedule)
+        sim_config = config or self.config.replace(loggops=LogGOPSParams.ai_cluster())
+        result = (
+            simulate(schedule, backend=backend, config=sim_config, validate=False)
+            if simulate_schedule
+            else None
+        )
+        return PipelineResult(
+            schedule=schedule,
+            result=result,
+            trace_bytes=report.size_bytes(),
+            goal_bytes=len(encode_goal(schedule)),
+            extras={"report": report, "iterations": iterations},
+        )
+
+    def run_dlrm(
+        self,
+        num_gpus: int,
+        gpus_per_node: int = 4,
+        iterations: int = 2,
+        backend: str = "lgs",
+        config: Optional[SimulationConfig] = None,
+        simulate_schedule: bool = True,
+    ) -> PipelineResult:
+        """Trace the DLRM model and simulate it."""
+        trainer = DlrmTrainer(num_gpus=num_gpus, gpus_per_node=gpus_per_node, iterations=iterations)
+        report = trainer.trace()
+        schedule = nccl_trace_to_goal(report, gpus_per_node=gpus_per_node)
+        validate_schedule(schedule)
+        result = (
+            simulate(schedule, backend=backend, config=config or self.config, validate=False)
+            if simulate_schedule
+            else None
+        )
+        return PipelineResult(
+            schedule=schedule,
+            result=result,
+            trace_bytes=report.size_bytes(),
+            goal_bytes=len(encode_goal(schedule)),
+            extras={"report": report},
+        )
+
+    def compare_with_astrasim(self, report, chakra_name: Optional[str] = None) -> Dict[str, object]:
+        """Convert an NCCL trace to Chakra and run the AstraSim-like baseline.
+
+        Returns the Chakra trace size and — when the baseline supports the
+        workload — its predicted runtime and wall-clock simulation time.
+        """
+        chakra = nsys_to_chakra(report, name=chakra_name)
+        out: Dict[str, object] = {"chakra_bytes": chakra.size_bytes(), "chakra": chakra}
+        baseline = AstraSimBaseline()
+        try:
+            result = baseline.simulate(chakra)
+        except Exception as exc:  # noqa: BLE001 - the failure reason is the result
+            out["error"] = str(exc)
+            return out
+        out["finish_time_ns"] = result.finish_time_ns
+        out["wall_clock_s"] = result.wall_clock_s
+        return out
+
+    # ----------------------------------------------------------------- storage
+    def run_storage(
+        self,
+        trace: SpcTrace,
+        direct_drive: Optional[DirectDriveConfig] = None,
+        backend: str = "htsim",
+        config: Optional[SimulationConfig] = None,
+        simulate_schedule: bool = True,
+    ) -> PipelineResult:
+        """Replay an SPC block-I/O trace against the Direct Drive model."""
+        dd = direct_drive or DirectDriveConfig()
+        schedule = storage_trace_to_goal(trace, dd)
+        validate_schedule(schedule)
+        result = (
+            simulate(schedule, backend=backend, config=config or self.config, validate=False)
+            if simulate_schedule
+            else None
+        )
+        return PipelineResult(
+            schedule=schedule,
+            result=result,
+            trace_bytes=trace.size_bytes(),
+            goal_bytes=len(encode_goal(schedule)),
+            extras={"direct_drive": dd},
+        )
+
+    # --------------------------------------------------------------- multi-job
+    def run_multi_job(
+        self,
+        schedules: Sequence[GoalSchedule],
+        cluster_nodes: int,
+        strategy: str = "packed",
+        backend: str = "htsim",
+        config: Optional[SimulationConfig] = None,
+        **strategy_kwargs,
+    ) -> PipelineResult:
+        """Place several jobs on one cluster and simulate them together."""
+        jobs = [JobRequest(schedule=s) for s in schedules]
+        placement = place_jobs(jobs, cluster_nodes, strategy=strategy, **strategy_kwargs)
+        merged = placement.merged_schedule(jobs)
+        validate_schedule(merged)
+        result = simulate(merged, backend=backend, config=config or self.config, validate=False)
+        return PipelineResult(
+            schedule=merged,
+            result=result,
+            goal_bytes=len(encode_goal(merged)),
+            extras={"placement": placement},
+        )

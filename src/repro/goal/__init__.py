@@ -1,0 +1,63 @@
+"""GOAL (Group Operation Assembly Language) intermediate representation.
+
+GOAL is the unified trace format at the heart of the ATLAHS toolchain.  Every
+application trace — MPI, NCCL, or block-I/O — is converted into a GOAL
+schedule: one dependency DAG per rank whose vertices are ``send``, ``recv``
+and ``calc`` tasks and whose edges are ``requires`` relations.  The GOAL
+scheduler (:mod:`repro.scheduler`) then replays these DAGs on any network
+backend.
+
+Public surface
+--------------
+:class:`~repro.goal.ops.Op`, :class:`~repro.goal.ops.OpType`
+    Single task (vertex) and its kind.
+:class:`~repro.goal.schedule.RankSchedule`, :class:`~repro.goal.schedule.GoalSchedule`
+    Per-rank DAG and the whole-program collection of rank DAGs.
+:class:`~repro.goal.builder.GoalBuilder`, :class:`~repro.goal.builder.RankBuilder`
+    Programmatic construction API used by all schedule generators.
+:func:`~repro.goal.parser.parse_goal` / :func:`~repro.goal.writer.write_goal`
+    Textual GOAL format (the human-readable format shown in the paper's Fig. 3).
+:func:`~repro.goal.binary.encode_goal` / :func:`~repro.goal.binary.decode_goal`
+    Compact binary format used for storage/execution efficiency.
+:func:`~repro.goal.validate.validate_schedule`
+    Structural validation (acyclicity, matching sends/recvs, bounds).
+:mod:`~repro.goal.merge`
+    Rank remapping and DAG fusion for multi-job / multi-tenant scenarios.
+"""
+from repro.goal.ops import Op, OpType
+from repro.goal.schedule import GoalSchedule, RankSchedule
+from repro.goal.builder import GoalBuilder, RankBuilder
+from repro.goal.parser import parse_goal, parse_goal_file, GoalParseError
+from repro.goal.writer import write_goal, write_goal_file
+from repro.goal.binary import encode_goal, decode_goal, write_goal_binary, read_goal_binary
+from repro.goal.validate import validate_schedule, GoalValidationError
+from repro.goal.merge import (
+    remap_ranks,
+    concatenate_schedules,
+    merge_onto_shared_nodes,
+    relabel_tags,
+)
+
+__all__ = [
+    "Op",
+    "OpType",
+    "GoalSchedule",
+    "RankSchedule",
+    "GoalBuilder",
+    "RankBuilder",
+    "parse_goal",
+    "parse_goal_file",
+    "GoalParseError",
+    "write_goal",
+    "write_goal_file",
+    "encode_goal",
+    "decode_goal",
+    "write_goal_binary",
+    "read_goal_binary",
+    "validate_schedule",
+    "GoalValidationError",
+    "remap_ranks",
+    "concatenate_schedules",
+    "merge_onto_shared_nodes",
+    "relabel_tags",
+]

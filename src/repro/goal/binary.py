@@ -1,0 +1,210 @@
+"""Compact binary GOAL codec.
+
+The paper stores and executes GOAL schedules in "a compact binary format" for
+storage and execution efficiency (§2.1), and Table 1 / Fig. 9 compare trace
+sizes in this format against Chakra.  This module implements that format.
+
+Layout
+------
+::
+
+    magic   : 4 bytes  b"GOAL"
+    version : 1 byte   (currently 2)
+    name    : varint length + UTF-8 bytes
+    ranks   : varint num_ranks
+    per rank:
+        varint num_ops
+        per op:
+            1 byte  header:  bits 0-1 kind, bit 2 has-tag, bit 3 has-cpu,
+                             bit 4 has-deps
+            varint  size
+            varint  peer          (send/recv only)
+            varint  tag           (only if has-tag)
+            varint  cpu           (only if has-cpu)
+            varint  dep count + varint backward deltas (only if has-deps)
+
+All integers use unsigned LEB128 varints; dependency targets are encoded as
+``vertex_index - dep_index`` (always >= 1), which keeps most deltas in a
+single byte because dependencies are overwhelmingly local.
+
+Labels are intentionally *not* stored — they are a debugging aid of the
+textual format only — which is one reason GOAL binaries stay much smaller
+than Chakra traces.
+"""
+from __future__ import annotations
+
+import io
+from typing import BinaryIO, List
+
+from repro.goal.ops import Op, OpType
+from repro.goal.schedule import GoalSchedule, RankSchedule
+
+MAGIC = b"GOAL"
+VERSION = 2
+
+_KIND_MASK = 0x03
+_FLAG_TAG = 0x04
+_FLAG_CPU = 0x08
+_FLAG_DEPS = 0x10
+
+
+class GoalBinaryError(ValueError):
+    """Raised when a binary GOAL blob is malformed or truncated."""
+
+
+# ---------------------------------------------------------------------------
+# varint primitives
+# ---------------------------------------------------------------------------
+def _write_varint(buf: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint to ``buf``."""
+    if value < 0:
+        raise ValueError("varints must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buf.append(byte | 0x80)
+        else:
+            buf.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple:
+    """Read an unsigned LEB128 varint from ``data`` at ``pos``.
+
+    Returns ``(value, new_pos)``.
+    """
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise GoalBinaryError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise GoalBinaryError("varint too long")
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+def encode_goal(schedule: GoalSchedule) -> bytes:
+    """Encode ``schedule`` into the compact binary format and return the bytes."""
+    buf = bytearray()
+    buf += MAGIC
+    buf.append(VERSION)
+    name_bytes = schedule.name.encode("utf-8")
+    _write_varint(buf, len(name_bytes))
+    buf += name_bytes
+    _write_varint(buf, schedule.num_ranks)
+    for rank in schedule.ranks:
+        _encode_rank(buf, rank)
+    return bytes(buf)
+
+
+def _encode_rank(buf: bytearray, rank: RankSchedule) -> None:
+    _write_varint(buf, len(rank.ops))
+    for idx, op in enumerate(rank.ops):
+        header = int(op.kind) & _KIND_MASK
+        deps = rank.preds[idx]
+        if op.tag:
+            header |= _FLAG_TAG
+        if op.cpu:
+            header |= _FLAG_CPU
+        if deps:
+            header |= _FLAG_DEPS
+        buf.append(header)
+        _write_varint(buf, op.size)
+        if op.kind != OpType.CALC:
+            _write_varint(buf, op.peer)
+        if op.tag:
+            _write_varint(buf, op.tag)
+        if op.cpu:
+            _write_varint(buf, op.cpu)
+        if deps:
+            _write_varint(buf, len(deps))
+            for dep in deps:
+                _write_varint(buf, idx - dep)
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+def decode_goal(data: bytes) -> GoalSchedule:
+    """Decode a binary GOAL blob produced by :func:`encode_goal`."""
+    if len(data) < 5 or data[:4] != MAGIC:
+        raise GoalBinaryError("not a GOAL binary (bad magic)")
+    version = data[4]
+    if version != VERSION:
+        raise GoalBinaryError(f"unsupported GOAL binary version {version}")
+    pos = 5
+    name_len, pos = _read_varint(data, pos)
+    if pos + name_len > len(data):
+        raise GoalBinaryError("truncated schedule name")
+    name = data[pos : pos + name_len].decode("utf-8")
+    pos += name_len
+    num_ranks, pos = _read_varint(data, pos)
+    if num_ranks <= 0:
+        raise GoalBinaryError("num_ranks must be positive")
+    schedule = GoalSchedule(num_ranks, name=name)
+    for r in range(num_ranks):
+        pos = _decode_rank(data, pos, schedule.ranks[r])
+    if pos != len(data):
+        raise GoalBinaryError(f"{len(data) - pos} trailing bytes after last rank")
+    return schedule
+
+
+def _decode_rank(data: bytes, pos: int, rank: RankSchedule) -> int:
+    num_ops, pos = _read_varint(data, pos)
+    for idx in range(num_ops):
+        if pos >= len(data):
+            raise GoalBinaryError("truncated op header")
+        header = data[pos]
+        pos += 1
+        try:
+            kind = OpType(header & _KIND_MASK)
+        except ValueError as exc:
+            raise GoalBinaryError(f"invalid op kind {header & _KIND_MASK}") from exc
+        size, pos = _read_varint(data, pos)
+        peer = None
+        if kind != OpType.CALC:
+            peer, pos = _read_varint(data, pos)
+        tag = 0
+        if header & _FLAG_TAG:
+            tag, pos = _read_varint(data, pos)
+        cpu = 0
+        if header & _FLAG_CPU:
+            cpu, pos = _read_varint(data, pos)
+        deps: List[int] = []
+        if header & _FLAG_DEPS:
+            ndeps, pos = _read_varint(data, pos)
+            for _ in range(ndeps):
+                delta, pos = _read_varint(data, pos)
+                if delta <= 0 or delta > idx:
+                    raise GoalBinaryError(
+                        f"invalid dependency delta {delta} for vertex {idx}"
+                    )
+                deps.append(idx - delta)
+        rank.add_op(Op(kind, size, peer=peer, tag=tag, cpu=cpu), deps)
+    return pos
+
+
+# ---------------------------------------------------------------------------
+# file helpers
+# ---------------------------------------------------------------------------
+def write_goal_binary(schedule: GoalSchedule, path: str) -> int:
+    """Write ``schedule`` in binary form to ``path``; return the byte count."""
+    blob = encode_goal(schedule)
+    with open(path, "wb") as fh:
+        fh.write(blob)
+    return len(blob)
+
+
+def read_goal_binary(path: str) -> GoalSchedule:
+    """Read a binary GOAL file from ``path``."""
+    with open(path, "rb") as fh:
+        return decode_goal(fh.read())

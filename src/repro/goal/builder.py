@@ -1,0 +1,163 @@
+"""Fluent construction API for GOAL schedules.
+
+All schedule generators in the toolchain (:mod:`repro.schedgen`) build their
+output through :class:`GoalBuilder` rather than poking at
+:class:`~repro.goal.schedule.RankSchedule` internals.  The builder returns
+opaque vertex handles from every ``send`` / ``recv`` / ``calc`` call which are
+then wired together with :meth:`RankBuilder.requires`.
+
+Example
+-------
+>>> from repro.goal import GoalBuilder
+>>> b = GoalBuilder(num_ranks=2, name="pingpong")
+>>> r0, r1 = b.rank(0), b.rank(1)
+>>> c = r0.calc(100)
+>>> s = r0.send(8, dst=1, tag=7); r0.requires(s, c)
+>>> r1.recv(8, src=0, tag=7)
+2
+>>> sched = b.build()
+>>> sched.num_ops()
+4
+"""
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.goal.ops import Op, OpType
+from repro.goal.schedule import GoalSchedule, RankSchedule
+
+VertexHandle = int
+
+
+class RankBuilder:
+    """Builder for a single rank's DAG.  Obtained from :meth:`GoalBuilder.rank`."""
+
+    def __init__(self, schedule: RankSchedule) -> None:
+        self._sched = schedule
+
+    @property
+    def rank(self) -> int:
+        return self._sched.rank
+
+    def __len__(self) -> int:
+        return len(self._sched)
+
+    # -- op insertion --------------------------------------------------------
+    def send(
+        self,
+        size: int,
+        dst: int,
+        tag: int = 0,
+        cpu: int = 0,
+        requires: Iterable[VertexHandle] = (),
+        label: Optional[str] = None,
+    ) -> VertexHandle:
+        """Add a ``send`` of ``size`` bytes to rank ``dst``; return its handle."""
+        return self._sched.add_op(Op.send(size, dst, tag=tag, cpu=cpu, label=label), requires)
+
+    def recv(
+        self,
+        size: int,
+        src: int,
+        tag: int = 0,
+        cpu: int = 0,
+        requires: Iterable[VertexHandle] = (),
+        label: Optional[str] = None,
+    ) -> VertexHandle:
+        """Add a ``recv`` of ``size`` bytes from rank ``src``; return its handle."""
+        return self._sched.add_op(Op.recv(size, src, tag=tag, cpu=cpu, label=label), requires)
+
+    def calc(
+        self,
+        duration_ns: int,
+        cpu: int = 0,
+        requires: Iterable[VertexHandle] = (),
+        label: Optional[str] = None,
+    ) -> VertexHandle:
+        """Add a ``calc`` of ``duration_ns`` nanoseconds; return its handle."""
+        return self._sched.add_op(Op.calc(duration_ns, cpu=cpu, label=label), requires)
+
+    def dummy(
+        self,
+        cpu: int = 0,
+        requires: Iterable[VertexHandle] = (),
+        label: Optional[str] = None,
+    ) -> VertexHandle:
+        """Add a zero-cost synchronisation vertex; return its handle."""
+        return self._sched.add_op(Op.dummy(cpu=cpu, label=label), requires)
+
+    def add(self, op: Op, requires: Iterable[VertexHandle] = ()) -> VertexHandle:
+        """Add an arbitrary pre-constructed :class:`Op`."""
+        return self._sched.add_op(op, requires)
+
+    # -- dependency wiring -----------------------------------------------------
+    def requires(self, vertex: VertexHandle, *deps: Union[VertexHandle, Iterable[VertexHandle]]) -> None:
+        """Declare that ``vertex`` requires every vertex in ``deps``.
+
+        Each element of ``deps`` may be a single handle or an iterable of
+        handles, so call sites can pass collected lists directly.
+        """
+        for dep in deps:
+            if isinstance(dep, (list, tuple, set, frozenset)):
+                for d in dep:
+                    self._sched.add_dependency(vertex, d)
+            else:
+                self._sched.add_dependency(vertex, dep)
+
+    def chain(self, vertices: Sequence[VertexHandle]) -> None:
+        """Serialise ``vertices``: each one requires its predecessor in the list."""
+        for prev, nxt in zip(vertices, vertices[1:]):
+            self._sched.add_dependency(nxt, prev)
+
+    def join(self, deps: Iterable[VertexHandle], cpu: int = 0, label: Optional[str] = None) -> VertexHandle:
+        """Insert a dummy vertex depending on all of ``deps`` and return it.
+
+        This is the "dummy node" construction used in Stages 2 and 4 of the
+        NCCL pipeline and in multi-tenant merging to synchronise streams.
+        """
+        return self._sched.add_op(Op.dummy(cpu=cpu, label=label), deps)
+
+    def fork(self, dep: VertexHandle, count: int, cpu: int = 0) -> List[VertexHandle]:
+        """Insert ``count`` dummy vertices all depending on ``dep``."""
+        return [self._sched.add_op(Op.dummy(cpu=cpu), (dep,)) for _ in range(count)]
+
+    def last(self) -> Optional[VertexHandle]:
+        """Handle of the most recently added vertex, or ``None`` if empty."""
+        n = len(self._sched)
+        return n - 1 if n else None
+
+
+class GoalBuilder:
+    """Builder for a whole GOAL program.
+
+    Parameters
+    ----------
+    num_ranks:
+        Number of ranks in the program.
+    name:
+        Schedule name propagated into the resulting :class:`GoalSchedule`.
+    """
+
+    def __init__(self, num_ranks: int, name: str = "goal") -> None:
+        self._schedule = GoalSchedule(num_ranks, name=name)
+        self._rank_builders = [RankBuilder(r) for r in self._schedule.ranks]
+
+    @property
+    def num_ranks(self) -> int:
+        return self._schedule.num_ranks
+
+    def rank(self, rank: int) -> RankBuilder:
+        """Return the :class:`RankBuilder` for ``rank``."""
+        return self._rank_builders[rank]
+
+    def ranks(self) -> List[RankBuilder]:
+        """Return builders for all ranks, in rank order."""
+        return list(self._rank_builders)
+
+    def build(self) -> GoalSchedule:
+        """Return the constructed :class:`GoalSchedule`.
+
+        The builder may continue to be used afterwards; the same underlying
+        schedule object is returned each time.
+        """
+        return self._schedule

@@ -1,0 +1,212 @@
+"""Rank remapping and schedule fusion for multi-job / multi-tenant scenarios.
+
+The paper (§3.2) models two scenarios on top of GOAL:
+
+* **Multi-job**: distinct applications occupy *disjoint* sets of nodes and run
+  concurrently.  This only requires remapping each application's ranks onto
+  its allocated nodes and emitting one combined schedule
+  (:func:`concatenate_schedules` with a placement).
+* **Multi-tenancy**: several applications *share* nodes.  Their per-rank DAGs
+  are fused into a single DAG per shared node, with each tenant's ops placed
+  on distinct compute streams separated by dummy vertices so they can overlap
+  (:func:`merge_onto_shared_nodes`).
+"""
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.goal.ops import Op, OpType
+from repro.goal.schedule import GoalSchedule, RankSchedule
+
+
+def remap_ranks(
+    schedule: GoalSchedule,
+    mapping: Mapping[int, int],
+    num_ranks: Optional[int] = None,
+    name: Optional[str] = None,
+) -> GoalSchedule:
+    """Return a copy of ``schedule`` with every rank id translated via ``mapping``.
+
+    Parameters
+    ----------
+    schedule:
+        The source schedule (ranks ``0 .. schedule.num_ranks - 1``).
+    mapping:
+        Old rank -> new rank.  Must cover every source rank and be injective.
+    num_ranks:
+        Number of ranks in the output schedule; defaults to
+        ``max(mapping.values()) + 1``.  Ranks not targeted by the mapping are
+        left empty (no ops), which models idle nodes.
+    name:
+        Name of the resulting schedule.
+    """
+    src_ranks = range(schedule.num_ranks)
+    missing = [r for r in src_ranks if r not in mapping]
+    if missing:
+        raise ValueError(f"mapping does not cover ranks {missing}")
+    targets = [mapping[r] for r in src_ranks]
+    if len(set(targets)) != len(targets):
+        raise ValueError("mapping is not injective (two ranks map to the same node)")
+    inferred = max(targets) + 1
+    out_ranks = num_ranks if num_ranks is not None else inferred
+    if inferred > out_ranks:
+        raise ValueError(
+            f"mapping targets rank {inferred - 1} but output num_ranks is {out_ranks}"
+        )
+
+    merged = GoalSchedule(out_ranks, name=name or schedule.name)
+    for rank in schedule.ranks:
+        new_rank = merged.ranks[mapping[rank.rank]]
+        for idx, op in enumerate(rank.ops):
+            new_op = op.copy()
+            new_op.label = None
+            if new_op.is_comm:
+                new_op.peer = mapping[op.peer]
+            new_rank.add_op(new_op, rank.preds[idx])
+    return merged
+
+
+def relabel_tags(schedule: GoalSchedule, tag_offset: int) -> GoalSchedule:
+    """Return a copy of ``schedule`` with ``tag_offset`` added to every message tag.
+
+    Used before fusing multiple applications so their messages cannot be
+    cross-matched even when they share (src, dst) pairs.
+    """
+    if tag_offset < 0:
+        raise ValueError("tag_offset must be non-negative")
+    out = schedule.copy()
+    for rank in out.ranks:
+        for op in rank.ops:
+            if op.is_comm:
+                op.tag += tag_offset
+    return out
+
+
+def concatenate_schedules(
+    schedules: Sequence[GoalSchedule],
+    placements: Optional[Sequence[Mapping[int, int]]] = None,
+    num_ranks: Optional[int] = None,
+    name: str = "multi-job",
+    tag_stride: int = 1 << 20,
+) -> GoalSchedule:
+    """Combine several applications into one multi-job schedule.
+
+    Each application keeps its own (disjoint) set of nodes.
+
+    Parameters
+    ----------
+    schedules:
+        The applications to combine.
+    placements:
+        One mapping per application assigning its ranks to global node ids.
+        When omitted, applications are packed back-to-back: application ``i``
+        occupies the node range directly after application ``i - 1``.
+    num_ranks:
+        Total nodes in the combined schedule (inferred if omitted).
+    name:
+        Name of the combined schedule.
+    tag_stride:
+        Tag offset applied per application to keep their message spaces
+        disjoint.  Must exceed the largest tag used by any application.
+    """
+    if not schedules:
+        raise ValueError("need at least one schedule")
+    if placements is None:
+        placements = []
+        base = 0
+        for sched in schedules:
+            placements.append({r: base + r for r in range(sched.num_ranks)})
+            base += sched.num_ranks
+    if len(placements) != len(schedules):
+        raise ValueError("need exactly one placement per schedule")
+
+    all_targets: List[int] = []
+    for sched, placement in zip(schedules, placements):
+        for r in range(sched.num_ranks):
+            if r not in placement:
+                raise ValueError(f"placement missing rank {r} of schedule {sched.name!r}")
+            all_targets.append(placement[r])
+    if len(set(all_targets)) != len(all_targets):
+        raise ValueError("placements overlap: multi-job placement requires disjoint node sets")
+    total = num_ranks if num_ranks is not None else max(all_targets) + 1
+
+    merged = GoalSchedule(total, name=name)
+    for job_idx, (sched, placement) in enumerate(zip(schedules, placements)):
+        offset = job_idx * tag_stride
+        for rank in sched.ranks:
+            dst_rank = merged.ranks[placement[rank.rank]]
+            if len(dst_rank.ops):
+                raise ValueError(
+                    f"node {placement[rank.rank]} already hosts another job; "
+                    "use merge_onto_shared_nodes for multi-tenancy"
+                )
+            for idx, op in enumerate(rank.ops):
+                new_op = op.copy()
+                new_op.label = None
+                if new_op.is_comm:
+                    new_op.peer = placement[op.peer]
+                    new_op.tag += offset
+                dst_rank.add_op(new_op, rank.preds[idx])
+    return merged
+
+
+def merge_onto_shared_nodes(
+    schedules: Sequence[GoalSchedule],
+    placements: Sequence[Mapping[int, int]],
+    num_ranks: Optional[int] = None,
+    name: str = "multi-tenant",
+    tag_stride: int = 1 << 20,
+    stream_stride: int = 64,
+) -> GoalSchedule:
+    """Fuse several applications that may *share* nodes (multi-tenancy).
+
+    Every tenant's DAG fragment placed on a node is appended to that node's
+    combined DAG.  To let tenants overlap (they are independent programs), the
+    fragments are kept independent — no artificial cross-tenant edges — and
+    each tenant's ops are shifted onto a disjoint range of compute streams
+    (``tenant_index * stream_stride``).  Message tags are offset per tenant so
+    that matching stays within a tenant.
+
+    Parameters
+    ----------
+    schedules, placements, num_ranks, name, tag_stride:
+        As for :func:`concatenate_schedules`, except placements may overlap.
+    stream_stride:
+        Compute-stream offset between tenants on a shared node; must exceed
+        the number of streams any single tenant uses on one rank.
+    """
+    if not schedules:
+        raise ValueError("need at least one schedule")
+    if len(placements) != len(schedules):
+        raise ValueError("need exactly one placement per schedule")
+
+    max_target = -1
+    for sched, placement in zip(schedules, placements):
+        for r in range(sched.num_ranks):
+            if r not in placement:
+                raise ValueError(f"placement missing rank {r} of schedule {sched.name!r}")
+            max_target = max(max_target, placement[r])
+    total = num_ranks if num_ranks is not None else max_target + 1
+
+    merged = GoalSchedule(total, name=name)
+    for tenant_idx, (sched, placement) in enumerate(zip(schedules, placements)):
+        tag_offset = tenant_idx * tag_stride
+        cpu_offset = tenant_idx * stream_stride
+        for rank in sched.ranks:
+            for op in rank.ops:
+                if op.cpu >= stream_stride:
+                    raise ValueError(
+                        f"schedule {sched.name!r} uses compute stream {op.cpu} >= "
+                        f"stream_stride {stream_stride}; increase stream_stride"
+                    )
+            dst_rank = merged.ranks[placement[rank.rank]]
+            base = len(dst_rank.ops)
+            for idx, op in enumerate(rank.ops):
+                new_op = op.copy()
+                new_op.label = None
+                new_op.cpu = op.cpu + cpu_offset
+                if new_op.is_comm:
+                    new_op.peer = placement[op.peer]
+                    new_op.tag += tag_offset
+                dst_rank.add_op(new_op, [base + d for d in rank.preds[idx]])
+    return merged

@@ -1,0 +1,177 @@
+"""GOAL task (vertex) definitions.
+
+A GOAL schedule is a DAG per rank.  Each vertex is an :class:`Op` of one of
+three kinds (paper §2.1):
+
+``send``
+    Transmit ``size`` bytes to rank ``peer`` with message ``tag``.
+``recv``
+    Receive ``size`` bytes from rank ``peer`` with message ``tag``.
+``calc``
+    Local computation costing ``size`` nanoseconds (the unit follows
+    LogGOPSim: calc arguments are time, not bytes).
+
+Each op may be pinned to a *compute stream* (``cpu``); ops on distinct
+streams may overlap in time even within one rank, which is how GOAL models
+concurrent CUDA streams or OpenMP sections.  Ops default to stream 0.
+"""
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class OpType(enum.IntEnum):
+    """Kind of a GOAL task."""
+
+    SEND = 0
+    RECV = 1
+    CALC = 2
+
+    def short(self) -> str:
+        """Return the lowercase keyword used in the textual GOAL format."""
+        return _SHORT_NAMES[self]
+
+
+_SHORT_NAMES = {OpType.SEND: "send", OpType.RECV: "recv", OpType.CALC: "calc"}
+
+
+class Op:
+    """A single GOAL task (a vertex of a rank's dependency DAG).
+
+    Parameters
+    ----------
+    kind:
+        One of :class:`OpType`.
+    size:
+        Bytes for ``send``/``recv``; nanoseconds of computation for ``calc``.
+        Must be a non-negative integer.  A ``calc 0`` is a *dummy* vertex used
+        purely to express synchronisation (e.g. joining CUDA streams).
+    peer:
+        Destination rank (for ``send``) or source rank (for ``recv``).
+        ``None`` for ``calc``.
+    tag:
+        Message tag used to match sends with receives.  Defaults to 0.
+    cpu:
+        Compute-stream index this op executes on.  Defaults to 0.
+    label:
+        Optional human-readable label (the ``lN`` names in textual GOAL).
+
+    Notes
+    -----
+    ``Op`` is deliberately a ``__slots__`` class: large AI traces contain
+    millions of vertices, and per-instance ``__dict__``s would roughly triple
+    memory usage.
+    """
+
+    __slots__ = ("kind", "size", "peer", "tag", "cpu", "label")
+
+    def __init__(
+        self,
+        kind: OpType,
+        size: int,
+        peer: Optional[int] = None,
+        tag: int = 0,
+        cpu: int = 0,
+        label: Optional[str] = None,
+    ) -> None:
+        if size < 0:
+            raise ValueError(f"op size must be non-negative, got {size}")
+        if kind in (OpType.SEND, OpType.RECV):
+            if peer is None:
+                raise ValueError(f"{kind.short()} requires a peer rank")
+            if peer < 0:
+                raise ValueError(f"peer rank must be non-negative, got {peer}")
+        elif peer is not None:
+            raise ValueError("calc ops must not specify a peer")
+        if tag < 0:
+            raise ValueError(f"tag must be non-negative, got {tag}")
+        if cpu < 0:
+            raise ValueError(f"cpu (compute stream) must be non-negative, got {cpu}")
+        self.kind = kind
+        self.size = int(size)
+        self.peer = None if peer is None else int(peer)
+        self.tag = int(tag)
+        self.cpu = int(cpu)
+        self.label = label
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def send(cls, size: int, dst: int, tag: int = 0, cpu: int = 0, label: Optional[str] = None) -> "Op":
+        """Create a ``send`` op of ``size`` bytes to rank ``dst``."""
+        return cls(OpType.SEND, size, peer=dst, tag=tag, cpu=cpu, label=label)
+
+    @classmethod
+    def recv(cls, size: int, src: int, tag: int = 0, cpu: int = 0, label: Optional[str] = None) -> "Op":
+        """Create a ``recv`` op of ``size`` bytes from rank ``src``."""
+        return cls(OpType.RECV, size, peer=src, tag=tag, cpu=cpu, label=label)
+
+    @classmethod
+    def calc(cls, duration_ns: int, cpu: int = 0, label: Optional[str] = None) -> "Op":
+        """Create a ``calc`` op costing ``duration_ns`` nanoseconds."""
+        return cls(OpType.CALC, duration_ns, peer=None, cpu=cpu, label=label)
+
+    @classmethod
+    def dummy(cls, cpu: int = 0, label: Optional[str] = None) -> "Op":
+        """Create a zero-cost synchronisation vertex (``calc 0``)."""
+        return cls(OpType.CALC, 0, peer=None, cpu=cpu, label=label)
+
+    # -- predicates --------------------------------------------------------
+    @property
+    def is_send(self) -> bool:
+        return self.kind == OpType.SEND
+
+    @property
+    def is_recv(self) -> bool:
+        return self.kind == OpType.RECV
+
+    @property
+    def is_calc(self) -> bool:
+        return self.kind == OpType.CALC
+
+    @property
+    def is_comm(self) -> bool:
+        """True for sends and receives (network-visible ops)."""
+        return self.kind != OpType.CALC
+
+    @property
+    def is_dummy(self) -> bool:
+        """True for zero-cost calcs used only for synchronisation."""
+        return self.kind == OpType.CALC and self.size == 0
+
+    # -- dunder ------------------------------------------------------------
+    def __repr__(self) -> str:
+        if self.kind == OpType.CALC:
+            core = f"calc {self.size}"
+        elif self.kind == OpType.SEND:
+            core = f"send {self.size}b to {self.peer} tag {self.tag}"
+        else:
+            core = f"recv {self.size}b from {self.peer} tag {self.tag}"
+        extra = f" cpu {self.cpu}" if self.cpu else ""
+        lbl = f"{self.label}: " if self.label else ""
+        return f"Op({lbl}{core}{extra})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Op):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.size == other.size
+            and self.peer == other.peer
+            and self.tag == other.tag
+            and self.cpu == other.cpu
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.size, self.peer, self.tag, self.cpu))
+
+    def copy(self) -> "Op":
+        """Return a shallow copy of this op."""
+        op = Op.__new__(Op)
+        op.kind = self.kind
+        op.size = self.size
+        op.peer = self.peer
+        op.tag = self.tag
+        op.cpu = self.cpu
+        op.label = self.label
+        return op

@@ -1,0 +1,218 @@
+"""Parser for the textual GOAL format.
+
+The textual format follows the paper's Fig. 3 and the LogGOPSim GOAL
+language.  A file consists of an optional header followed by one block per
+rank::
+
+    num_ranks 2
+
+    rank 0 {
+        l1: calc 100
+        l2: calc 200 cpu 0
+        l3: calc 200 cpu 1
+        l2 requires l1
+        l3 requires l1
+        l4: send 10b to 1 tag 42
+        l4 requires l2
+        l4 requires l3
+    }
+
+    rank 1 {
+        l1: recv 10b from 0 tag 42
+    }
+
+Rules
+-----
+* ``num_ranks N`` may appear once before the first rank block; if absent the
+  number of ranks is inferred as ``max(rank id) + 1``.
+* Sizes may carry a ``b`` suffix (bytes) for sends/receives; calc takes a bare
+  integer (nanoseconds).
+* ``cpu K`` optionally pins an op to compute stream ``K`` (``cpuK`` is also
+  accepted, matching LogGOPSim's historical syntax).
+* ``X requires Y`` adds a dependency edge Y -> X.  Both labels must already be
+  defined in the current rank block.
+* ``#`` and ``//`` start comments; blank lines are ignored.
+"""
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.goal.ops import Op
+from repro.goal.schedule import GoalSchedule, RankSchedule
+
+
+class GoalParseError(ValueError):
+    """Raised when textual GOAL input is malformed.
+
+    Attributes
+    ----------
+    line_no:
+        1-based line number at which the error occurred (``None`` when the
+        error is not attributable to a single line).
+    """
+
+    def __init__(self, message: str, line_no: Optional[int] = None) -> None:
+        self.line_no = line_no
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(prefix + message)
+
+
+_COMMENT_RE = re.compile(r"(#|//).*$")
+_NUM_RANKS_RE = re.compile(r"^num_ranks\s+(\d+)$")
+_RANK_OPEN_RE = re.compile(r"^rank\s+(\d+)\s*\{$")
+_LABELLED_OP_RE = re.compile(r"^(?P<label>[A-Za-z_][\w.-]*)\s*:\s*(?P<body>.+)$")
+_REQUIRES_RE = re.compile(r"^(?P<succ>[A-Za-z_][\w.-]*)\s+(requires|irequires)\s+(?P<pred>[A-Za-z_][\w.-]*)$")
+_SEND_RE = re.compile(
+    r"^send\s+(?P<size>\d+)\s*b?\s+to\s+(?P<peer>\d+)"
+    r"(?:\s+tag\s+(?P<tag>\d+))?(?:\s+cpu\s*(?P<cpu>\d+))?$"
+)
+_RECV_RE = re.compile(
+    r"^recv\s+(?P<size>\d+)\s*b?\s+from\s+(?P<peer>\d+)"
+    r"(?:\s+tag\s+(?P<tag>\d+))?(?:\s+cpu\s*(?P<cpu>\d+))?$"
+)
+_CALC_RE = re.compile(r"^calc\s+(?P<size>\d+)(?:\s+cpu\s*(?P<cpu>\d+))?$")
+
+
+def _parse_op_body(body: str, label: Optional[str], line_no: int) -> Op:
+    """Parse the part of an op line after the ``label:`` prefix."""
+    body = body.strip()
+    m = _SEND_RE.match(body)
+    if m:
+        return Op.send(
+            int(m.group("size")),
+            dst=int(m.group("peer")),
+            tag=int(m.group("tag") or 0),
+            cpu=int(m.group("cpu") or 0),
+            label=label,
+        )
+    m = _RECV_RE.match(body)
+    if m:
+        return Op.recv(
+            int(m.group("size")),
+            src=int(m.group("peer")),
+            tag=int(m.group("tag") or 0),
+            cpu=int(m.group("cpu") or 0),
+            label=label,
+        )
+    m = _CALC_RE.match(body)
+    if m:
+        return Op.calc(int(m.group("size")), cpu=int(m.group("cpu") or 0), label=label)
+    raise GoalParseError(f"unrecognised op syntax: {body!r}", line_no)
+
+
+def parse_goal(text: str, name: str = "goal") -> GoalSchedule:
+    """Parse textual GOAL ``text`` into a :class:`GoalSchedule`.
+
+    Raises
+    ------
+    GoalParseError
+        On any syntax or structural error (unknown labels, duplicate rank
+        blocks, dependencies on not-yet-defined labels, ...).
+    """
+    declared_ranks: Optional[int] = None
+    # rank id -> (list of (op, deps-as-labels), label->index map)
+    blocks: Dict[int, RankSchedule] = {}
+    pending_deps: List[Tuple[int, str, str, int]] = []  # (rank, succ_label, pred_label, line)
+
+    current_rank: Optional[int] = None
+    current_sched: Optional[RankSchedule] = None
+
+    # Pre-split lines so that single-line rank blocks ("rank 0 { a: calc 1 }")
+    # parse the same way as the multi-line form: braces end logical lines.
+    logical_lines: List[Tuple[int, str]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        stripped = _COMMENT_RE.sub("", raw)
+        for part in stripped.replace("{", "{\n").replace("}", "\n}\n").split("\n"):
+            part = part.strip()
+            if part:
+                logical_lines.append((line_no, part))
+
+    for line_no, line in logical_lines:
+        if current_rank is None:
+            m = _NUM_RANKS_RE.match(line)
+            if m:
+                if declared_ranks is not None:
+                    raise GoalParseError("num_ranks declared more than once", line_no)
+                declared_ranks = int(m.group(1))
+                if declared_ranks <= 0:
+                    raise GoalParseError("num_ranks must be positive", line_no)
+                continue
+            m = _RANK_OPEN_RE.match(line)
+            if m:
+                rank = int(m.group(1))
+                if rank in blocks:
+                    raise GoalParseError(f"duplicate block for rank {rank}", line_no)
+                current_rank = rank
+                current_sched = RankSchedule(rank)
+                blocks[rank] = current_sched
+                continue
+            raise GoalParseError(f"expected 'num_ranks' or 'rank N {{', got {line!r}", line_no)
+
+        # inside a rank block
+        if line == "}":
+            current_rank = None
+            current_sched = None
+            continue
+
+        m = _REQUIRES_RE.match(line)
+        if m:
+            pending_deps.append((current_rank, m.group("succ"), m.group("pred"), line_no))
+            continue
+
+        m = _LABELLED_OP_RE.match(line)
+        if m:
+            op = _parse_op_body(m.group("body"), m.group("label"), line_no)
+            try:
+                current_sched.add_op(op)
+            except ValueError as exc:
+                raise GoalParseError(str(exc), line_no) from exc
+            continue
+
+        # unlabelled op (allowed; cannot be referenced by requires)
+        op = _parse_op_body(line, None, line_no)
+        current_sched.add_op(op)
+
+    if current_rank is not None:
+        raise GoalParseError(f"rank {current_rank} block not closed (missing '}}')")
+
+    if not blocks:
+        raise GoalParseError("no rank blocks found")
+
+    max_rank = max(blocks)
+    num_ranks = declared_ranks if declared_ranks is not None else max_rank + 1
+    if max_rank >= num_ranks:
+        raise GoalParseError(
+            f"rank {max_rank} defined but num_ranks is {num_ranks}"
+        )
+
+    # resolve label-based dependencies
+    for rank, succ_label, pred_label, line_no in pending_deps:
+        sched = blocks[rank]
+        try:
+            succ = sched.vertex_by_label(succ_label)
+        except KeyError:
+            raise GoalParseError(f"unknown label {succ_label!r} in rank {rank}", line_no)
+        try:
+            pred = sched.vertex_by_label(pred_label)
+        except KeyError:
+            raise GoalParseError(f"unknown label {pred_label!r} in rank {rank}", line_no)
+        if pred >= succ:
+            raise GoalParseError(
+                f"dependency {succ_label} requires {pred_label} points forward "
+                f"(vertex {pred} >= {succ}); GOAL requires definition before use",
+                line_no,
+            )
+        sched.add_dependency(succ, pred)
+
+    schedule = GoalSchedule(num_ranks, name=name)
+    for rank, sched in blocks.items():
+        schedule.ranks[rank] = sched
+    return schedule
+
+
+def parse_goal_file(path: str, name: Optional[str] = None) -> GoalSchedule:
+    """Parse a textual GOAL file from ``path``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    return parse_goal(text, name=name or path)

@@ -1,0 +1,135 @@
+"""Structural validation of GOAL schedules.
+
+The scheduler assumes several invariants of its input; this module checks
+them explicitly so that hand-written or externally parsed schedules fail
+early with actionable errors instead of deadlocking a simulation:
+
+* every dependency references an in-range, *earlier* vertex (acyclicity),
+* every send/recv peer is a valid rank and not the sending rank itself,
+* message matching is consistent: for every ``(src, dst, tag)`` triple the
+  total number of sends equals the total number of receives and the byte
+  multiset matches (otherwise the simulation would deadlock waiting for a
+  message that never arrives),
+* op sizes and stream ids are non-negative.
+"""
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Tuple
+
+from repro.goal.ops import OpType
+from repro.goal.schedule import GoalSchedule
+
+
+class GoalValidationError(ValueError):
+    """Raised by :func:`validate_schedule` when an invariant is violated.
+
+    The exception message lists every problem found (up to ``max_errors``),
+    one per line, so users can fix a broken generator in one pass.
+    """
+
+    def __init__(self, errors: List[str]) -> None:
+        self.errors = list(errors)
+        super().__init__("\n".join(self.errors))
+
+
+def validate_schedule(
+    schedule: GoalSchedule,
+    check_matching: bool = True,
+    max_errors: int = 50,
+) -> None:
+    """Validate ``schedule``; raise :class:`GoalValidationError` on problems.
+
+    Parameters
+    ----------
+    schedule:
+        The GOAL program to check.
+    check_matching:
+        Also verify send/recv matching across ranks.  This is O(total ops)
+        but can be skipped for partially constructed schedules.
+    max_errors:
+        Stop collecting after this many problems.
+    """
+    errors: List[str] = []
+
+    def report(msg: str) -> bool:
+        errors.append(msg)
+        return len(errors) >= max_errors
+
+    num_ranks = schedule.num_ranks
+    for rank in schedule.ranks:
+        n = len(rank.ops)
+        for vertex, deps in enumerate(rank.preds):
+            for dep in deps:
+                if dep < 0 or dep >= n:
+                    if report(f"rank {rank.rank}: vertex {vertex} depends on out-of-range vertex {dep}"):
+                        raise GoalValidationError(errors)
+                elif dep >= vertex:
+                    if report(
+                        f"rank {rank.rank}: vertex {vertex} depends on later/equal vertex {dep} "
+                        "(forward edge; schedule is not in definition order)"
+                    ):
+                        raise GoalValidationError(errors)
+        for vertex, op in enumerate(rank.ops):
+            if op.size < 0:
+                if report(f"rank {rank.rank}: vertex {vertex} has negative size {op.size}"):
+                    raise GoalValidationError(errors)
+            if op.cpu < 0:
+                if report(f"rank {rank.rank}: vertex {vertex} has negative cpu {op.cpu}"):
+                    raise GoalValidationError(errors)
+            if op.is_comm:
+                if op.peer is None or not (0 <= op.peer < num_ranks):
+                    if report(
+                        f"rank {rank.rank}: vertex {vertex} ({op.kind.short()}) has invalid peer "
+                        f"{op.peer} (num_ranks={num_ranks})"
+                    ):
+                        raise GoalValidationError(errors)
+                elif op.peer == rank.rank:
+                    if report(
+                        f"rank {rank.rank}: vertex {vertex} ({op.kind.short()}) targets its own rank; "
+                        "self-messages must be modelled as calc ops"
+                    ):
+                        raise GoalValidationError(errors)
+
+    if check_matching and not errors:
+        _check_message_matching(schedule, errors, max_errors)
+
+    if errors:
+        raise GoalValidationError(errors)
+
+
+def _check_message_matching(schedule: GoalSchedule, errors: List[str], max_errors: int) -> None:
+    """Verify that sends and receives pair up per (src, dst, tag) channel."""
+    # channel -> Counter of message sizes (sends positive, recvs negative)
+    send_sizes: Dict[Tuple[int, int, int], Counter] = defaultdict(Counter)
+    recv_sizes: Dict[Tuple[int, int, int], Counter] = defaultdict(Counter)
+
+    for rank in schedule.ranks:
+        for op in rank.ops:
+            if op.kind == OpType.SEND:
+                send_sizes[(rank.rank, op.peer, op.tag)][op.size] += 1
+            elif op.kind == OpType.RECV:
+                recv_sizes[(op.peer, rank.rank, op.tag)][op.size] += 1
+
+    channels = set(send_sizes) | set(recv_sizes)
+    for channel in sorted(channels):
+        src, dst, tag = channel
+        sends = send_sizes.get(channel, Counter())
+        recvs = recv_sizes.get(channel, Counter())
+        if sends == recvs:
+            continue
+        n_send = sum(sends.values())
+        n_recv = sum(recvs.values())
+        if n_send != n_recv:
+            errors.append(
+                f"channel src={src} dst={dst} tag={tag}: {n_send} sends but {n_recv} recvs"
+            )
+        else:
+            missing = sends - recvs
+            extra = recvs - sends
+            errors.append(
+                f"channel src={src} dst={dst} tag={tag}: message sizes mismatch "
+                f"(unmatched send sizes {dict(missing)}, unmatched recv sizes {dict(extra)})"
+            )
+        if len(errors) >= max_errors:
+            return

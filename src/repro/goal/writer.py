@@ -1,0 +1,71 @@
+"""Serialiser for the textual GOAL format.
+
+Produces output that :func:`repro.goal.parser.parse_goal` round-trips exactly
+(modulo label renaming: vertices without labels are assigned ``opN`` labels so
+dependencies can be expressed).
+"""
+from __future__ import annotations
+
+from typing import List
+
+from repro.goal.ops import Op, OpType
+from repro.goal.schedule import GoalSchedule, RankSchedule
+
+
+def _op_line(op: Op, label: str) -> str:
+    """Render one op as a textual GOAL line (without indentation)."""
+    if op.kind == OpType.CALC:
+        body = f"calc {op.size}"
+    elif op.kind == OpType.SEND:
+        body = f"send {op.size}b to {op.peer}"
+        if op.tag:
+            body += f" tag {op.tag}"
+    else:
+        body = f"recv {op.size}b from {op.peer}"
+        if op.tag:
+            body += f" tag {op.tag}"
+    if op.cpu:
+        body += f" cpu {op.cpu}"
+    return f"{label}: {body}"
+
+
+def _rank_labels(rank: RankSchedule) -> List[str]:
+    """Assign a unique textual label to every vertex of ``rank``.
+
+    Existing labels are kept when they do not collide with the generated
+    ``opN`` namespace; otherwise vertices fall back to ``opN``.
+    """
+    used = set()
+    labels: List[str] = []
+    for idx, op in enumerate(rank.ops):
+        label = op.label
+        if not label or label in used:
+            label = f"op{idx}"
+        # guard against user labels that collide with generated ones
+        while label in used:
+            label = f"{label}_"
+        used.add(label)
+        labels.append(label)
+    return labels
+
+
+def write_goal(schedule: GoalSchedule) -> str:
+    """Serialise ``schedule`` to the textual GOAL format and return the string."""
+    lines: List[str] = [f"num_ranks {schedule.num_ranks}", ""]
+    for rank in schedule.ranks:
+        lines.append(f"rank {rank.rank} {{")
+        labels = _rank_labels(rank)
+        for idx, op in enumerate(rank.ops):
+            lines.append("    " + _op_line(op, labels[idx]))
+        for vertex, deps in enumerate(rank.preds):
+            for dep in deps:
+                lines.append(f"    {labels[vertex]} requires {labels[dep]}")
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_goal_file(schedule: GoalSchedule, path: str) -> None:
+    """Serialise ``schedule`` to a textual GOAL file at ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(write_goal(schedule))

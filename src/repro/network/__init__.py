@@ -1,0 +1,36 @@
+"""Network simulation backends and substrates.
+
+This package contains everything below the GOAL scheduler:
+
+* :mod:`repro.network.backend` — the unified backend API (the paper's
+  ``ATLAHS_API``: ``simulationSetup`` / ``send`` / ``recv`` / ``calc`` /
+  ``eventOver``) plus result/statistics containers,
+* :mod:`repro.network.loggops` — the message-level LogGOPS backend
+  (the LogGOPSim substrate),
+* :mod:`repro.network.packet` — the packet-level backend (the htsim
+  substrate) with queues, ECN, drops and congestion control,
+* :mod:`repro.network.congestion` — congestion-control algorithms
+  (MPRDMA, Swift, DCTCP, NDP, fixed window),
+* :mod:`repro.network.topology` — network topologies (fat trees with
+  configurable oversubscription, dragonfly, single switch) and routing.
+"""
+from repro.network.config import LogGOPSParams, SimulationConfig
+from repro.network.backend import (
+    NetworkBackend,
+    OpCompletion,
+    SimulationResult,
+    MessageRecord,
+    NetworkStats,
+    create_backend,
+)
+
+__all__ = [
+    "LogGOPSParams",
+    "SimulationConfig",
+    "NetworkBackend",
+    "OpCompletion",
+    "SimulationResult",
+    "MessageRecord",
+    "NetworkStats",
+    "create_backend",
+]

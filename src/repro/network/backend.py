@@ -1,0 +1,213 @@
+"""The unified network-backend API (the paper's ``ATLAHS_API``).
+
+The GOAL scheduler drives any network simulator through five operations
+(paper Fig. 7): ``simulationSetup``, ``send``, ``recv``, ``calc`` and the
+completion callback ``eventOver``.  In this reproduction:
+
+* :meth:`NetworkBackend.setup` is ``simulationSetup``,
+* :meth:`NetworkBackend.issue_send` / :meth:`issue_recv` /
+  :meth:`issue_calc` post work for a rank once its dependencies are met,
+* the ``on_complete`` callback passed to :meth:`NetworkBackend.run` is
+  ``eventOver``: the backend reports each finished operation together with
+  the simulation time at which it finished, and the scheduler may issue new
+  operations from inside the callback (at the current time or later).
+
+Two backends implement this API: the message-level LogGOPS backend
+(:class:`repro.network.loggops.LogGOPSBackend`) and the packet-level backend
+(:class:`repro.network.packet.PacketBackend`).
+"""
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from repro.network.config import SimulationConfig
+
+
+class OpCompletion(NamedTuple):
+    """A finished GOAL operation reported back to the scheduler (``eventOver``)."""
+
+    time: int
+    rank: int
+    op_id: int
+
+
+class MessageRecord(NamedTuple):
+    """Per-message timing record used for MCT (message completion time) studies."""
+
+    src: int
+    dst: int
+    size: int
+    tag: int
+    post_time: int
+    completion_time: int
+
+    @property
+    def completion_latency(self) -> int:
+        """Message completion time: delivery time minus the time the send was posted."""
+        return self.completion_time - self.post_time
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate statistics collected during a simulation run.
+
+    Message-level backends fill only the message counters; the packet-level
+    backend additionally reports packet, drop, trim, ECN and retransmission
+    counters — the "fine-grained details only packet-level simulators can
+    provide" highlighted in the paper's §6.2.
+    """
+
+    messages_delivered: int = 0
+    bytes_delivered: int = 0
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    packets_dropped: int = 0
+    packets_trimmed: int = 0
+    packets_ecn_marked: int = 0
+    retransmissions: int = 0
+    acks_sent: int = 0
+    max_queue_bytes: int = 0
+    queue_drop_events: Dict[str, int] = field(default_factory=dict)
+
+    def merge(self, other: "NetworkStats") -> "NetworkStats":
+        """Return element-wise sum of two stats objects (max for max fields)."""
+        merged = NetworkStats(
+            messages_delivered=self.messages_delivered + other.messages_delivered,
+            bytes_delivered=self.bytes_delivered + other.bytes_delivered,
+            packets_sent=self.packets_sent + other.packets_sent,
+            packets_delivered=self.packets_delivered + other.packets_delivered,
+            packets_dropped=self.packets_dropped + other.packets_dropped,
+            packets_trimmed=self.packets_trimmed + other.packets_trimmed,
+            packets_ecn_marked=self.packets_ecn_marked + other.packets_ecn_marked,
+            retransmissions=self.retransmissions + other.retransmissions,
+            acks_sent=self.acks_sent + other.acks_sent,
+            max_queue_bytes=max(self.max_queue_bytes, other.max_queue_bytes),
+        )
+        merged.queue_drop_events = dict(self.queue_drop_events)
+        for k, v in other.queue_drop_events.items():
+            merged.queue_drop_events[k] = merged.queue_drop_events.get(k, 0) + v
+        return merged
+
+
+@dataclass
+class SimulationResult:
+    """Result of replaying a GOAL schedule on a backend.
+
+    Attributes
+    ----------
+    finish_time_ns:
+        Simulated makespan — the time at which the last operation of the last
+        rank completed.
+    rank_finish_times_ns:
+        Per-rank completion time.
+    stats:
+        Aggregate :class:`NetworkStats`.
+    message_records:
+        Per-message records (only when
+        :attr:`SimulationConfig.collect_message_records` is enabled).
+    ops_completed:
+        Total GOAL operations executed.
+    backend:
+        Name of the backend that produced the result.
+    wall_clock_s:
+        Host wall-clock seconds spent simulating (for the simulator
+        runtime-comparison experiments).
+    """
+
+    finish_time_ns: int
+    rank_finish_times_ns: List[int]
+    stats: NetworkStats
+    message_records: List[MessageRecord] = field(default_factory=list)
+    ops_completed: int = 0
+    backend: str = ""
+    wall_clock_s: float = 0.0
+
+    @property
+    def finish_time_s(self) -> float:
+        """Simulated makespan in seconds."""
+        return self.finish_time_ns / 1e9
+
+    def mct_statistics(self) -> Dict[str, float]:
+        """Return mean / p99 / max message completion times in ns.
+
+        Raises ``ValueError`` when message records were not collected.
+        """
+        if not self.message_records:
+            raise ValueError("no message records were collected")
+        latencies = sorted(m.completion_latency for m in self.message_records)
+        n = len(latencies)
+        p99_index = min(n - 1, int(round(0.99 * (n - 1))))
+        return {
+            "mean": sum(latencies) / n,
+            "p99": float(latencies[p99_index]),
+            "max": float(latencies[-1]),
+            "count": float(n),
+        }
+
+
+CompletionCallback = Callable[[OpCompletion], None]
+
+
+class NetworkBackend(abc.ABC):
+    """Abstract base class of all network simulation backends."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def setup(self, num_ranks: int, config: SimulationConfig) -> None:
+        """Configure the backend (``simulationSetup``): topology, parameters, state."""
+
+    @abc.abstractmethod
+    def issue_calc(self, rank: int, stream: int, duration_ns: int, op_id: int, ready_time: int) -> None:
+        """Post a computation of ``duration_ns`` on ``(rank, stream)``, ready at ``ready_time``."""
+
+    @abc.abstractmethod
+    def issue_send(
+        self, rank: int, dst: int, size: int, tag: int, stream: int, op_id: int, ready_time: int
+    ) -> None:
+        """Post a send of ``size`` bytes from ``rank`` to ``dst`` with ``tag``."""
+
+    @abc.abstractmethod
+    def issue_recv(
+        self, rank: int, src: int, size: int, tag: int, stream: int, op_id: int, ready_time: int
+    ) -> None:
+        """Post a receive of ``size`` bytes at ``rank`` from ``src`` with ``tag``."""
+
+    @abc.abstractmethod
+    def run(self, on_complete: CompletionCallback) -> int:
+        """Run the event loop to completion; call ``on_complete`` for every op.
+
+        Returns the final simulation time in nanoseconds.
+        """
+
+    @abc.abstractmethod
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+
+    @abc.abstractmethod
+    def collect_stats(self) -> NetworkStats:
+        """Return aggregate statistics for the run so far."""
+
+    def collect_message_records(self) -> List[MessageRecord]:
+        """Return per-message records (backends may return an empty list)."""
+        return []
+
+
+def create_backend(name: str) -> NetworkBackend:
+    """Instantiate a backend by name (``"lgs"`` / ``"loggops"`` or ``"htsim"`` / ``"packet"``).
+
+    The import is local so that importing :mod:`repro.network` does not pull
+    in both backends eagerly.
+    """
+    key = name.lower()
+    if key in ("lgs", "loggops", "loggopsim", "message"):
+        from repro.network.loggops import LogGOPSBackend
+
+        return LogGOPSBackend()
+    if key in ("htsim", "packet", "ns3"):
+        from repro.network.packet import PacketBackend
+
+        return PacketBackend()
+    raise ValueError(f"unknown backend {name!r}; expected 'lgs' or 'htsim'")

@@ -1,0 +1,176 @@
+"""Simulation configuration objects.
+
+A single :class:`SimulationConfig` carries every knob both backends
+understand: LogGOPS parameters for the message-level backend, and link/queue/
+congestion-control parameters for the packet-level backend, plus the topology
+description shared by both.
+
+Times are integer nanoseconds, sizes are bytes and bandwidths are expressed
+in bytes per nanosecond (1 B/ns = 1 GB/s); ``G`` and ``O`` are ns per byte.
+"""
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class LogGOPSParams:
+    """Parameters of the LogGOPS network model (all times in ns).
+
+    Attributes
+    ----------
+    L:
+        End-to-end wire latency.
+    o:
+        CPU overhead charged per message at the sender and at the receiver.
+    g:
+        Inter-message gap enforced at the NIC (minimum spacing between
+        message injections).
+    G:
+        Gap per byte (inverse bandwidth) in ns/byte; 0.04 ns/B = 25 GB/s.
+    O:
+        CPU overhead per byte in ns/byte.
+    S:
+        Eager/rendezvous threshold in bytes: messages strictly larger than
+        ``S`` use the rendezvous protocol (transfer cannot begin before the
+        matching receive is posted).
+
+    The default values are the AI-cluster parameters used in the paper's §5.2
+    (Alps / GH200 with Slingshot); :meth:`hpc_cluster` returns the §5.3
+    values measured with Netgauge on the CSCS test-bed.
+    """
+
+    L: int = 3700
+    o: int = 200
+    g: int = 5
+    G: float = 0.04
+    O: float = 0.0
+    S: int = 0
+
+    def __post_init__(self) -> None:
+        if self.L < 0 or self.o < 0 or self.g < 0:
+            raise ValueError("L, o and g must be non-negative")
+        if self.G < 0 or self.O < 0:
+            raise ValueError("G and O must be non-negative")
+        if self.S < 0:
+            raise ValueError("S must be non-negative")
+
+    @classmethod
+    def ai_cluster(cls) -> "LogGOPSParams":
+        """Parameters estimated for the Alps GH200 nodes (paper §5.2)."""
+        return cls(L=3700, o=200, g=5, G=0.04, O=0.0, S=0)
+
+    @classmethod
+    def hpc_cluster(cls) -> "LogGOPSParams":
+        """Parameters measured with Netgauge on the CSCS test-bed (paper §5.3)."""
+        return cls(L=3000, o=6000, g=0, G=0.18, O=0.0, S=256000)
+
+    def bandwidth_bytes_per_ns(self) -> float:
+        """Injection bandwidth implied by ``G`` (bytes per ns)."""
+        return float("inf") if self.G == 0 else 1.0 / self.G
+
+
+@dataclass
+class SimulationConfig:
+    """Complete configuration of a simulation run.
+
+    Topology
+    --------
+    topology:
+        One of ``"single_switch"``, ``"fat_tree"`` (two-level, with
+        ``oversubscription``) or ``"dragonfly"``.
+    nodes_per_tor / oversubscription / dragonfly_* :
+        Shape parameters of the chosen topology (ignored by the others).
+
+    Packet-level parameters
+    -----------------------
+    link_bandwidth:
+        Host and edge link bandwidth in bytes per nanosecond (default
+        25 B/ns = 25 GB/s, the paper's per-direction Slingshot bandwidth;
+        this is the reciprocal of LogGOPS ``G`` = 0.04 ns/B).
+    link_latency:
+        Per-hop propagation latency in ns.
+    mtu:
+        Packet payload size in bytes.
+    buffer_size:
+        Per-port output queue capacity in bytes (1 MiB in the paper).
+    ecn_kmin_frac / ecn_kmax_frac:
+        ECN marking thresholds as fractions of ``buffer_size`` (0.2 / 0.8 in
+        the paper).
+    cc_algorithm:
+        One of ``"mprdma"``, ``"swift"``, ``"dctcp"``, ``"ndp"``,
+        ``"fixed"``.
+    host_overhead:
+        Per-message host processing overhead (ns) charged by the packet
+        backend before injection and after delivery (plays the role of
+        LogGOPS ``o``).
+
+    Shared
+    ------
+    loggops:
+        LogGOPS parameters (used by the message-level backend).
+    seed:
+        Seed for any stochastic choice (ECMP hashing, jitter).
+    """
+
+    # topology
+    topology: str = "fat_tree"
+    nodes_per_tor: int = 16
+    oversubscription: float = 1.0
+    dragonfly_groups: int = 4
+    dragonfly_routers_per_group: int = 4
+    dragonfly_nodes_per_router: int = 4
+
+    # message-level backend
+    loggops: LogGOPSParams = field(default_factory=LogGOPSParams)
+
+    # packet-level backend
+    link_bandwidth: float = 25.0  # bytes per ns (25 GB/s)
+    link_latency: int = 500  # ns per hop
+    mtu: int = 4096
+    buffer_size: int = 1 << 20  # 1 MiB per port
+    ecn_kmin_frac: float = 0.2
+    ecn_kmax_frac: float = 0.8
+    cc_algorithm: str = "mprdma"
+    host_overhead: int = 200
+    initial_window_packets: int = 16
+    min_retransmit_timeout: int = 100_000  # ns
+    ack_size: int = 64
+
+    # misc
+    seed: int = 0
+    collect_message_records: bool = True
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("single_switch", "fat_tree", "dragonfly"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1.0")
+        if self.nodes_per_tor <= 0:
+            raise ValueError("nodes_per_tor must be positive")
+        if self.link_bandwidth <= 0:
+            raise ValueError("link_bandwidth must be positive")
+        if self.mtu <= 0:
+            raise ValueError("mtu must be positive")
+        if self.buffer_size < self.mtu:
+            raise ValueError("buffer_size must hold at least one MTU")
+        if not (0.0 <= self.ecn_kmin_frac <= self.ecn_kmax_frac <= 1.0):
+            raise ValueError("require 0 <= ecn_kmin_frac <= ecn_kmax_frac <= 1")
+        if self.cc_algorithm not in ("mprdma", "swift", "dctcp", "ndp", "fixed"):
+            raise ValueError(f"unknown cc_algorithm {self.cc_algorithm!r}")
+        if self.host_overhead < 0 or self.link_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.initial_window_packets <= 0:
+            raise ValueError("initial_window_packets must be positive")
+
+    def replace(self, **kwargs) -> "SimulationConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+    def describe(self) -> Dict[str, object]:
+        """Return a flat dictionary of the configuration (for reports)."""
+        d = dataclasses.asdict(self)
+        d["loggops"] = dataclasses.asdict(self.loggops)
+        return d

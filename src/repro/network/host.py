@@ -1,0 +1,63 @@
+"""Host compute model shared by all backends.
+
+GOAL ``calc`` vertices and the per-message CPU overheads (LogGOPS ``o`` and
+``O``) execute on *compute streams*: independent serial resources per rank
+(paper §2.1 — ops on different streams may overlap, ops on the same stream
+serialise).  Both the message-level and the packet-level backend need the
+same bookkeeping, so it lives here.
+
+The model is intentionally simple and non-preemptive: a stream executes work
+items back-to-back in the order they are reserved.  This matches LogGOPSim's
+behaviour and is sufficient for the paper's accuracy targets.
+"""
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class HostCompute:
+    """Tracks per-rank, per-stream CPU availability.
+
+    All times are integer nanoseconds.  Streams are created lazily on first
+    use; an unused stream is free at time 0.
+    """
+
+    __slots__ = ("_free_at", "busy_ns")
+
+    def __init__(self) -> None:
+        # (rank, stream) -> time at which the stream becomes free
+        self._free_at: Dict[Tuple[int, int], int] = {}
+        # (rank) -> total busy nanoseconds accumulated (for utilisation stats)
+        self.busy_ns: Dict[int, int] = {}
+
+    def free_at(self, rank: int, stream: int) -> int:
+        """Time at which ``stream`` of ``rank`` becomes free."""
+        return self._free_at.get((rank, stream), 0)
+
+    def reserve(self, rank: int, stream: int, earliest: int, duration: int) -> Tuple[int, int]:
+        """Reserve ``duration`` ns on ``(rank, stream)`` not earlier than ``earliest``.
+
+        Returns ``(start, end)`` of the reserved interval and marks the stream
+        busy until ``end``.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        key = (rank, stream)
+        start = max(earliest, self._free_at.get(key, 0))
+        end = start + duration
+        self._free_at[key] = end
+        if duration:
+            self.busy_ns[rank] = self.busy_ns.get(rank, 0) + duration
+        return start, end
+
+    def rank_finish_time(self, rank: int) -> int:
+        """Latest time any stream of ``rank`` is busy until."""
+        return max(
+            (t for (r, _), t in self._free_at.items() if r == rank),
+            default=0,
+        )
+
+    def reset(self) -> None:
+        """Forget all reservations (used when a backend is reused)."""
+        self._free_at.clear()
+        self.busy_ns.clear()

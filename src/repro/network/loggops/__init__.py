@@ -1,0 +1,4 @@
+"""Message-level LogGOPS backend (the LogGOPSim substrate)."""
+from repro.network.loggops.backend import LogGOPSBackend
+
+__all__ = ["LogGOPSBackend"]

@@ -1,0 +1,294 @@
+"""Message-level network backend based on the LogGOPS model.
+
+This backend reproduces the LogGOPSim substrate the paper builds on: every
+message is charged analytically with the LogGOPS parameters
+
+* ``o`` — CPU overhead at sender and receiver (plus ``O`` per byte),
+* ``g`` — NIC gap between consecutive messages at an endpoint,
+* ``G`` — gap per byte (inverse bandwidth),
+* ``L`` — wire latency,
+* ``S`` — eager/rendezvous threshold.
+
+Endpoint NICs are modelled as serial resources, so incast at a receiver
+serialises at rate ``1/G``; the network core itself is contention-free,
+which is exactly the approximation whose limits the paper's §6.2 explores
+(the packet backend removes it).
+
+Timing of an eager message (``size <= S``)::
+
+    cpu_start  = max(ready, cpu_free[rank, stream])
+    cpu_end    = cpu_start + o + size*O        (send op completes locally here)
+    inj_start  = max(cpu_end, send_nic_free[rank])
+    send_nic_free[rank] = inj_start + g + size*G
+    recv_start = max(inj_start + L, recv_nic_free[dst])
+    arrival    = recv_start + size*G
+    recv_nic_free[dst] = arrival + g
+
+The matching receive completes after an additional ``o`` charged on its own
+compute stream, no earlier than both its posting time and the arrival.
+
+Rendezvous messages (``size > S``) additionally wait for the matching
+receive to be posted and pay one extra ``L`` for the handshake before the
+transfer starts; the send op completes at message arrival rather than
+locally.
+"""
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.network.backend import (
+    CompletionCallback,
+    MessageRecord,
+    NetworkBackend,
+    NetworkStats,
+    OpCompletion,
+)
+from repro.network.config import SimulationConfig
+from repro.network.events import EventQueue
+from repro.network.host import HostCompute
+from repro.network.matching import MessageMatcher
+
+
+class _PendingRecv:
+    """Bookkeeping for a posted receive waiting for its message."""
+
+    __slots__ = ("op_id", "rank", "stream", "post_time", "size")
+
+    def __init__(self, op_id: int, rank: int, stream: int, post_time: int, size: int) -> None:
+        self.op_id = op_id
+        self.rank = rank
+        self.stream = stream
+        self.post_time = post_time
+        self.size = size
+
+
+class _Arrival:
+    """Bookkeeping for a message that arrived before its receive was posted."""
+
+    __slots__ = ("arrival_time", "size")
+
+    def __init__(self, arrival_time: int, size: int) -> None:
+        self.arrival_time = arrival_time
+        self.size = size
+
+
+class _PendingRendezvous:
+    """A rendezvous send waiting for its matching receive to be posted."""
+
+    __slots__ = ("op_id", "rank", "dst", "tag", "stream", "size", "sender_ready", "post_time")
+
+    def __init__(
+        self, op_id: int, rank: int, dst: int, tag: int, stream: int, size: int, sender_ready: int, post_time: int
+    ) -> None:
+        self.op_id = op_id
+        self.rank = rank
+        self.dst = dst
+        self.tag = tag
+        self.stream = stream
+        self.size = size
+        self.sender_ready = sender_ready
+        self.post_time = post_time
+
+
+class LogGOPSBackend(NetworkBackend):
+    """LogGOPS message-level simulator implementing the unified backend API."""
+
+    name = "lgs"
+
+    def __init__(self) -> None:
+        self._configured = False
+
+    # ------------------------------------------------------------------ setup
+    def setup(self, num_ranks: int, config: SimulationConfig) -> None:
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        self.num_ranks = num_ranks
+        self.config = config
+        self.params = config.loggops
+        self.events = EventQueue()
+        self.host = HostCompute()
+        self.matcher = MessageMatcher()
+        self._send_nic_free: List[int] = [0] * num_ranks
+        self._recv_nic_free: List[int] = [0] * num_ranks
+        # channel -> list of rendezvous sends awaiting a receive (FIFO)
+        self._pending_rndv: Dict[Tuple[int, int, int], List[_PendingRendezvous]] = {}
+        # channel -> list of receive post times available for rendezvous matching
+        self._rndv_recv_posts: Dict[Tuple[int, int, int], List[_PendingRecv]] = {}
+        self.stats = NetworkStats()
+        self.records: List[MessageRecord] = []
+        self.rank_finish: List[int] = [0] * num_ranks
+        self._on_complete: Optional[CompletionCallback] = None
+        self._configured = True
+
+    def _require_setup(self) -> None:
+        if not self._configured:
+            raise RuntimeError("backend used before setup() was called")
+
+    # ----------------------------------------------------------------- issuing
+    def issue_calc(self, rank: int, stream: int, duration_ns: int, op_id: int, ready_time: int) -> None:
+        self._require_setup()
+        start, end = self.host.reserve(rank, stream, ready_time, duration_ns)
+        self.events.schedule(end, self._complete_op, (rank, op_id))
+
+    def issue_send(
+        self, rank: int, dst: int, size: int, tag: int, stream: int, op_id: int, ready_time: int
+    ) -> None:
+        self._require_setup()
+        self.events.schedule(ready_time, self._start_send, (rank, dst, size, tag, stream, op_id))
+
+    def issue_recv(
+        self, rank: int, src: int, size: int, tag: int, stream: int, op_id: int, ready_time: int
+    ) -> None:
+        self._require_setup()
+        self.events.schedule(ready_time, self._post_recv, (rank, src, size, tag, stream, op_id))
+
+    # --------------------------------------------------------------- internals
+    def _cpu_cost(self, size: int) -> int:
+        p = self.params
+        return int(round(p.o + size * p.O))
+
+    def _start_send(self, time: int, payload: Any) -> None:
+        rank, dst, size, tag, stream, op_id = payload
+        p = self.params
+        cpu_start, cpu_end = self.host.reserve(rank, stream, time, self._cpu_cost(size))
+
+        if size <= p.S or p.S == 0:
+            # Eager protocol: transfer proceeds regardless of the receive.
+            arrival = self._transfer(rank, dst, size, cpu_end)
+            self.events.schedule(cpu_end, self._complete_op, (rank, op_id))
+            self._deliver(rank, dst, size, tag, post_time=cpu_start, arrival=arrival)
+        else:
+            # Rendezvous: wait for the matching receive before transferring.
+            channel = (rank, dst, tag)
+            waiting = self._rndv_recv_posts.get(channel)
+            if waiting:
+                recv = waiting.pop(0)
+                if not waiting:
+                    del self._rndv_recv_posts[channel]
+                self._start_rendezvous_transfer(
+                    op_id, rank, dst, size, tag, stream, cpu_end, cpu_start, recv
+                )
+            else:
+                self._pending_rndv.setdefault(channel, []).append(
+                    _PendingRendezvous(op_id, rank, dst, tag, stream, size, cpu_end, cpu_start)
+                )
+
+    def _transfer(self, src: int, dst: int, size: int, sender_ready: int) -> int:
+        """Charge NIC resources for one message and return its arrival time."""
+        p = self.params
+        wire_bytes_ns = int(round(size * p.G))
+        inj_start = max(sender_ready, self._send_nic_free[src])
+        self._send_nic_free[src] = inj_start + p.g + wire_bytes_ns
+        recv_start = max(inj_start + p.L, self._recv_nic_free[dst])
+        arrival = recv_start + wire_bytes_ns
+        self._recv_nic_free[dst] = arrival + p.g
+        return arrival
+
+    def _deliver(self, src: int, dst: int, size: int, tag: int, post_time: int, arrival: int) -> None:
+        """Schedule the arrival of an eager message and run matching at that time."""
+
+        def on_arrival(time: int, _payload: Any) -> None:
+            self.stats.messages_delivered += 1
+            self.stats.bytes_delivered += size
+            if self.config.collect_message_records:
+                self.records.append(MessageRecord(src, dst, size, tag, post_time, time))
+            matched = self.matcher.post_arrival(src, dst, tag, _Arrival(time, size))
+            if matched is not None:
+                self._complete_recv(matched, time)
+
+        self.events.schedule(arrival, on_arrival, None)
+
+    def _post_recv(self, time: int, payload: Any) -> None:
+        rank, src, size, tag, stream, op_id = payload
+        p = self.params
+        recv = _PendingRecv(op_id, rank, stream, time, size)
+
+        if size > p.S and p.S != 0:
+            # Rendezvous path: the receive may unblock a waiting send.
+            channel = (src, rank, tag)
+            pending = self._pending_rndv.get(channel)
+            if pending:
+                send = pending.pop(0)
+                if not pending:
+                    del self._pending_rndv[channel]
+                self._start_rendezvous_transfer(
+                    send.op_id, send.rank, send.dst, send.size, send.tag, send.stream,
+                    send.sender_ready, send.post_time, recv,
+                )
+                return
+            self._rndv_recv_posts.setdefault(channel, []).append(recv)
+            return
+
+        matched = self.matcher.post_recv(src, rank, tag, recv)
+        if matched is not None:
+            self._complete_recv(recv, matched.arrival_time)
+
+    def _start_rendezvous_transfer(
+        self,
+        send_op_id: int,
+        src: int,
+        dst: int,
+        size: int,
+        tag: int,
+        send_stream: int,
+        sender_ready: int,
+        sender_post_time: int,
+        recv: _PendingRecv,
+    ) -> None:
+        """Run the rendezvous handshake and transfer once both sides are ready."""
+        p = self.params
+        handshake_done = max(sender_ready, recv.post_time + p.L)
+        arrival = self._transfer(src, dst, size, handshake_done)
+        self.stats.messages_delivered += 1
+        self.stats.bytes_delivered += size
+        if self.config.collect_message_records:
+            self.records.append(MessageRecord(src, dst, size, tag, sender_post_time, arrival))
+        # The send op completes when the transfer completes (sender blocks).
+        self.events.schedule(arrival, self._complete_op, (src, send_op_id))
+        self._complete_recv(recv, arrival)
+
+    def _complete_recv(self, recv: _PendingRecv, arrival_time: int) -> None:
+        """Charge the receiver-side overhead and report the recv op complete."""
+        earliest = max(arrival_time, recv.post_time)
+        _, end = self.host.reserve(recv.rank, recv.stream, earliest, self._cpu_cost(recv.size))
+        self.events.schedule(end, self._complete_op, (recv.rank, recv.op_id))
+
+    def _complete_op(self, time: int, payload: Any) -> None:
+        rank, op_id = payload
+        if time > self.rank_finish[rank]:
+            self.rank_finish[rank] = time
+        if self._on_complete is not None:
+            self._on_complete(OpCompletion(time, rank, op_id))
+
+    # -------------------------------------------------------------------- run
+    def run(self, on_complete: CompletionCallback) -> int:
+        self._require_setup()
+        self._on_complete = on_complete
+        final = self.events.run()
+        return final
+
+    def now(self) -> int:
+        self._require_setup()
+        return self.events.now
+
+    def collect_stats(self) -> NetworkStats:
+        self._require_setup()
+        return self.stats
+
+    def collect_message_records(self) -> List[MessageRecord]:
+        self._require_setup()
+        return self.records
+
+    # ---------------------------------------------------------------- queries
+    def unmatched_state(self) -> Dict[str, int]:
+        """Diagnostics about unmatched communication at the end of a run.
+
+        A correct schedule drains everything; non-zero counts indicate a
+        deadlocked or mismatched GOAL program.
+        """
+        return {
+            "pending_recvs": self.matcher.pending_recv_count(),
+            "unexpected_messages": self.matcher.pending_arrival_count(),
+            "pending_rendezvous_sends": sum(len(v) for v in self._pending_rndv.values()),
+            "pending_rendezvous_recvs": sum(len(v) for v in self._rndv_recv_posts.values()),
+        }

@@ -1,0 +1,11 @@
+"""Packet-level network backend (the htsim substrate).
+
+Simulates every message as a sequence of MTU-sized packets traversing
+per-link output queues with finite buffers, ECN marking, drops (or NDP-style
+trimming), and pluggable congestion control.  Slower than the message-level
+backend but able to report the fine-grained statistics the paper's case
+studies rely on: packet drops, trims, ECN marks and queue occupancy.
+"""
+from repro.network.packet.backend import PacketBackend
+
+__all__ = ["PacketBackend"]

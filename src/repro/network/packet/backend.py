@@ -1,0 +1,424 @@
+"""Packet-level backend implementing the unified ATLAHS backend API.
+
+The backend owns
+
+* the topology and one :class:`~repro.network.packet.linkqueue.LinkQueue`
+  per directed link,
+* one :class:`~repro.network.packet.flow.Flow` per GOAL send,
+* per-flow congestion control (sender-based MPRDMA / Swift / DCTCP /
+  fixed-window, or receiver-driven NDP with trimming and pull pacing),
+* the host compute model for ``calc`` ops and per-message host overheads,
+* message matching so GOAL ``recv`` ops complete when their message has
+  fully arrived.
+
+Semantics mirror the message-level backend where they overlap: a ``send`` op
+completes *locally* once its last byte has been handed to the sender's
+uplink (so chained chunk sends pipeline rather than serialise on round
+trips), while the message itself counts as delivered when the last data
+packet reaches the destination host — that instant feeds both the matching
+``recv`` and the MCT statistics.
+"""
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.network.backend import (
+    CompletionCallback,
+    MessageRecord,
+    NetworkBackend,
+    NetworkStats,
+    OpCompletion,
+)
+from repro.network.config import SimulationConfig
+from repro.network.congestion import create_congestion_control
+from repro.network.events import EventQueue
+from repro.network.host import HostCompute
+from repro.network.matching import MessageMatcher
+from repro.network.packet.flow import Flow
+from repro.network.packet.linkqueue import LinkQueue
+from repro.network.packet.packet import ACK, DATA, NACK, PULL, Packet
+from repro.network.topology import build_topology
+
+
+class _PendingRecv:
+    """A GOAL recv waiting for its message to fully arrive."""
+
+    __slots__ = ("op_id", "rank", "stream", "post_time")
+
+    def __init__(self, op_id: int, rank: int, stream: int, post_time: int) -> None:
+        self.op_id = op_id
+        self.rank = rank
+        self.stream = stream
+        self.post_time = post_time
+
+
+class _PullPacer:
+    """Per-host pacer that emits NDP pull credits at the host's link rate."""
+
+    __slots__ = ("queue", "active")
+
+    def __init__(self) -> None:
+        self.queue: Deque[Flow] = deque()
+        self.active = False
+
+
+class PacketBackend(NetworkBackend):
+    """Packet-level simulator with queues, ECN, drops/trims and CC."""
+
+    name = "htsim"
+
+    def __init__(self) -> None:
+        self._configured = False
+
+    # ------------------------------------------------------------------ setup
+    def setup(self, num_ranks: int, config: SimulationConfig) -> None:
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        self.num_ranks = num_ranks
+        self.config = config
+        self.events = EventQueue()
+        self.host = HostCompute()
+        self.matcher = MessageMatcher()
+        self.rng = np.random.default_rng(config.seed)
+        self.topology = build_topology(config, num_ranks)
+        self.stats = NetworkStats()
+        kmin = int(config.ecn_kmin_frac * config.buffer_size)
+        kmax = int(config.ecn_kmax_frac * config.buffer_size)
+        self.queues: List[LinkQueue] = [
+            LinkQueue(
+                link,
+                self.events,
+                self.stats,
+                self._on_link_delivery,
+                capacity=config.buffer_size,
+                kmin=kmin,
+                kmax=kmax,
+                rng=self.rng,
+            )
+            for link in self.topology.links
+        ]
+        self.flows: List[Flow] = []
+        self.records: List[MessageRecord] = []
+        self.rank_finish: List[int] = [0] * num_ranks
+        self.pull_pacers: Dict[int, _PullPacer] = {}
+        self._pull_spacing = max(1, int(round(config.mtu / config.link_bandwidth)))
+        self._pull_credits: Dict[int, int] = {}
+        self._on_complete: Optional[CompletionCallback] = None
+        self._configured = True
+
+    def _require_setup(self) -> None:
+        if not self._configured:
+            raise RuntimeError("backend used before setup() was called")
+
+    # ----------------------------------------------------------------- issuing
+    def issue_calc(self, rank: int, stream: int, duration_ns: int, op_id: int, ready_time: int) -> None:
+        self._require_setup()
+        _, end = self.host.reserve(rank, stream, ready_time, duration_ns)
+        self.events.schedule(end, self._complete_op, (rank, op_id))
+
+    def issue_send(
+        self, rank: int, dst: int, size: int, tag: int, stream: int, op_id: int, ready_time: int
+    ) -> None:
+        self._require_setup()
+        self.events.schedule(ready_time, self._start_flow, (rank, dst, size, tag, stream, op_id))
+
+    def issue_recv(
+        self, rank: int, src: int, size: int, tag: int, stream: int, op_id: int, ready_time: int
+    ) -> None:
+        self._require_setup()
+        self.events.schedule(ready_time, self._post_recv, (rank, src, size, tag, stream, op_id))
+
+    # ------------------------------------------------------------------- flows
+    def _pick_route(self, src: int, dst: int) -> Tuple[int, ...]:
+        routes = self.topology.routes(src, dst)
+        if len(routes) == 1:
+            return routes[0]
+        return routes[int(self.rng.integers(len(routes)))]
+
+    def _base_rtt(self, route: Tuple[int, ...], ack_route: Tuple[int, ...]) -> int:
+        cfg = self.config
+        prop = sum(self.topology.links[l].latency for l in route)
+        prop_back = sum(self.topology.links[l].latency for l in ack_route)
+        ser = sum(
+            max(1, int(round(cfg.mtu / self.topology.links[l].bandwidth))) for l in route
+        )
+        ser_back = sum(
+            max(1, int(round(cfg.ack_size / self.topology.links[l].bandwidth))) for l in ack_route
+        )
+        return prop + prop_back + ser + ser_back
+
+    def _start_flow(self, time: int, payload: Any) -> None:
+        rank, dst, size, tag, stream, op_id = payload
+        cfg = self.config
+        _, overhead_end = self.host.reserve(rank, stream, time, cfg.host_overhead)
+        route = self._pick_route(rank, dst)
+        ack_route = self._pick_route(dst, rank)
+        cc = create_congestion_control(
+            cfg.cc_algorithm,
+            mtu=cfg.mtu,
+            initial_window_packets=cfg.initial_window_packets,
+            base_rtt_ns=self._base_rtt(route, ack_route),
+        )
+        flow = Flow(
+            flow_id=len(self.flows),
+            src=rank,
+            dst=dst,
+            size=size,
+            tag=tag,
+            op_id=op_id,
+            stream=stream,
+            post_time=time,
+            mtu=cfg.mtu,
+            cc=cc,
+            route=route,
+            ack_route=ack_route,
+        )
+        self.flows.append(flow)
+        self.events.schedule(overhead_end, self._flow_ready, flow)
+
+    def _flow_ready(self, time: int, flow: Flow) -> None:
+        if flow.cc.receiver_driven:
+            # NDP: blast the initial window at line rate, the rest is pulled.
+            burst = min(flow.cc.initial_window_packets, flow.num_packets)
+            for _ in range(burst):
+                seq = flow.next_seq_to_send()
+                if seq is None:
+                    break
+                self._send_data_packet(flow, seq, time)
+        else:
+            self._try_send(flow, time)
+
+    def _try_send(self, flow: Flow, now: int) -> None:
+        """Inject as many packets as the congestion window currently allows."""
+        if flow.cc.receiver_driven:
+            return
+        while flow.has_retransmissions() or flow.has_unsent_data():
+            if not flow.cc.can_send(flow.inflight_bytes):
+                return
+            seq = flow.next_seq_to_send()
+            if seq is None:
+                return
+            self._send_data_packet(flow, seq, now)
+
+    def _send_data_packet(self, flow: Flow, seq: int, now: int, retransmission: bool = False) -> None:
+        size = flow.packet_size(seq)
+        pkt = Packet(flow, DATA, seq, size, flow.route, sent_time=now)
+        flow.inflight_bytes += size
+        flow.sent_times[seq] = now
+        self.stats.packets_sent += 1
+        if retransmission:
+            self.stats.retransmissions += 1
+        first_link = self.queues[flow.route[0]]
+        accepted = first_link.enqueue(pkt, now)
+        if not accepted:
+            self._handle_data_drop(pkt, now)
+        if (
+            not flow.send_op_completed
+            and flow.all_injected()
+            and not flow.has_retransmissions()
+        ):
+            flow.send_op_completed = True
+            self._complete_op(now, (flow.src, flow.op_id))
+
+    # --------------------------------------------------------------- forwarding
+    def _on_link_delivery(self, packet: Packet, now: int) -> None:
+        """A packet finished traversing ``route[hop]``; forward or consume it."""
+        packet.hop += 1
+        if packet.hop < len(packet.route):
+            next_queue = self.queues[packet.route[packet.hop]]
+            accepted = next_queue.enqueue(packet, now)
+            if not accepted:
+                self._handle_data_drop(packet, now)
+            return
+        # final hop: the packet reached a host NIC
+        if packet.kind == DATA:
+            self._handle_data_arrival(packet, now)
+        elif packet.kind == ACK:
+            self._handle_ack(packet, now)
+        elif packet.kind == NACK:
+            self._handle_nack(packet, now)
+        elif packet.kind == PULL:
+            self._handle_pull(packet, now)
+
+    def _handle_data_drop(self, packet: Packet, now: int) -> None:
+        """A data packet was dropped: notify the sender after a timeout."""
+        flow = packet.flow
+        self.events.schedule(
+            now + self.config.min_retransmit_timeout, self._on_loss_timeout, (flow, packet.seq)
+        )
+
+    def _on_loss_timeout(self, now: int, payload: Tuple[Flow, int]) -> None:
+        flow, seq = payload
+        if seq in flow.acked:
+            return
+        size = flow.packet_size(seq)
+        flow.inflight_bytes = max(0, flow.inflight_bytes - size)
+        flow.cc.on_loss()
+        if flow.mark_for_retransmission(seq):
+            if flow.cc.receiver_driven:
+                self._sender_pull_kick(flow, now)
+            else:
+                seq_to_send = flow.next_seq_to_send()
+                if seq_to_send is not None:
+                    self._send_data_packet(flow, seq_to_send, now, retransmission=True)
+
+    # ------------------------------------------------------------ receiver side
+    def _handle_data_arrival(self, packet: Packet, now: int) -> None:
+        flow = packet.flow
+        cfg = self.config
+        if packet.trimmed:
+            # NDP: the payload was cut; NACK the sequence and pull a retransmit.
+            self._send_control(flow, NACK, packet.seq, flow.ack_route, now)
+            self._request_pull(flow, now)
+            return
+
+        self.stats.packets_delivered += 1
+        new = flow.on_data_received(packet.seq, packet.size)
+        # acknowledge (echo ECN mark and the original send time for RTT)
+        ack = Packet(flow, ACK, packet.seq, cfg.ack_size, flow.ack_route, sent_time=packet.sent_time)
+        ack.ecn = packet.ecn
+        self.stats.acks_sent += 1
+        self.queues[flow.ack_route[0]].enqueue(ack, now)
+
+        if flow.cc.receiver_driven and not flow.fully_received():
+            self._request_pull(flow, now)
+
+        if new and flow.fully_received() and not flow.message_delivered:
+            flow.message_delivered = True
+            self.stats.messages_delivered += 1
+            self.stats.bytes_delivered += flow.size
+            if cfg.collect_message_records:
+                self.records.append(
+                    MessageRecord(flow.src, flow.dst, flow.size, flow.tag, flow.post_time, now)
+                )
+            matched = self.matcher.post_arrival(flow.src, flow.dst, flow.tag, now)
+            if matched is not None:
+                self._complete_recv(matched, now)
+
+    def _post_recv(self, time: int, payload: Any) -> None:
+        rank, src, size, tag, stream, op_id = payload
+        recv = _PendingRecv(op_id, rank, stream, time)
+        arrival_time = self.matcher.post_recv(src, rank, tag, recv)
+        if arrival_time is not None:
+            self._complete_recv(recv, max(arrival_time, time))
+
+    def _complete_recv(self, recv: _PendingRecv, arrival_time: int) -> None:
+        earliest = max(arrival_time, recv.post_time)
+        _, end = self.host.reserve(recv.rank, recv.stream, earliest, self.config.host_overhead)
+        self.events.schedule(end, self._complete_op, (recv.rank, recv.op_id))
+
+    # -------------------------------------------------------------- sender side
+    def _handle_ack(self, packet: Packet, now: int) -> None:
+        flow = packet.flow
+        freed = flow.on_ack(packet.seq)
+        if freed:
+            rtt = max(1, now - packet.sent_time)
+            flow.cc.on_ack(freed, packet.ecn, rtt)
+            self._try_send(flow, now)
+
+    def _handle_nack(self, packet: Packet, now: int) -> None:
+        flow = packet.flow
+        size = flow.packet_size(packet.seq)
+        flow.inflight_bytes = max(0, flow.inflight_bytes - size)
+        flow.cc.on_loss()
+        flow.mark_for_retransmission(packet.seq)
+        self._sender_pull_kick(flow, now)
+
+    def _handle_pull(self, packet: Packet, now: int) -> None:
+        flow = packet.flow
+        self._pull_credits[flow.flow_id] = self._pull_credits.get(flow.flow_id, 0) + 1
+        self._sender_pull_kick(flow, now)
+
+    def _sender_pull_kick(self, flow: Flow, now: int) -> None:
+        """Spend banked pull credits on whatever the flow can currently send."""
+        credits = self._pull_credits.get(flow.flow_id, 0)
+        while credits > 0 and (flow.has_retransmissions() or flow.has_unsent_data()):
+            seq = flow.next_seq_to_send()
+            if seq is None:
+                break
+            retransmission = seq in flow.sent_times
+            self._send_data_packet(flow, seq, now, retransmission=retransmission)
+            credits -= 1
+        self._pull_credits[flow.flow_id] = credits
+
+    # --------------------------------------------------------------- NDP pulls
+    def _request_pull(self, flow: Flow, now: int) -> None:
+        """Receiver-side: ask the per-host pacer to emit one pull for ``flow``."""
+        pacer = self.pull_pacers.setdefault(flow.dst, _PullPacer())
+        pacer.queue.append(flow)
+        if not pacer.active:
+            pacer.active = True
+            self.events.schedule(now, self._emit_pull, flow.dst)
+
+    def _emit_pull(self, now: int, host: int) -> None:
+        pacer = self.pull_pacers[host]
+        if not pacer.queue:
+            pacer.active = False
+            return
+        flow = pacer.queue.popleft()
+        self._send_control(flow, PULL, 0, flow.ack_route, now)
+        if pacer.queue:
+            self.events.schedule(now + self._pull_spacing, self._emit_pull, host)
+        else:
+            pacer.active = False
+
+    def _send_control(self, flow: Flow, kind: int, seq: int, route: Tuple[int, ...], now: int) -> None:
+        pkt = Packet(flow, kind, seq, self.config.ack_size, route, sent_time=now)
+        self.queues[route[0]].enqueue(pkt, now)
+
+    # ------------------------------------------------------------- completions
+    def _complete_op(self, time: int, payload: Tuple[int, int]) -> None:
+        rank, op_id = payload
+        if time > self.rank_finish[rank]:
+            self.rank_finish[rank] = time
+        if self._on_complete is not None:
+            self._on_complete(OpCompletion(time, rank, op_id))
+
+    # -------------------------------------------------------------------- run
+    def run(self, on_complete: CompletionCallback) -> int:
+        self._require_setup()
+        self._on_complete = on_complete
+        return self.events.run()
+
+    def now(self) -> int:
+        self._require_setup()
+        return self.events.now
+
+    def collect_stats(self) -> NetworkStats:
+        self._require_setup()
+        drops = {
+            q.link.name: q.drops for q in self.queues if q.drops
+        }
+        self.stats.queue_drop_events = drops
+        return self.stats
+
+    def collect_message_records(self) -> List[MessageRecord]:
+        self._require_setup()
+        return self.records
+
+    # ---------------------------------------------------------------- queries
+    def queue_statistics(self) -> List[Dict[str, object]]:
+        """Per-link queue statistics (drops, trims, marks, peak occupancy)."""
+        elapsed = max(1, self.events.now)
+        return [
+            {
+                "link": q.link.name,
+                "drops": q.drops,
+                "trims": q.trims,
+                "ecn_marks": q.ecn_marks,
+                "max_queued_bytes": q.max_queued_bytes,
+                "utilization": q.utilization(elapsed),
+            }
+            for q in self.queues
+        ]
+
+    def unmatched_state(self) -> Dict[str, int]:
+        """Diagnostics for unmatched communication (should be all zero)."""
+        return {
+            "pending_recvs": self.matcher.pending_recv_count(),
+            "unexpected_messages": self.matcher.pending_arrival_count(),
+        }

@@ -1,0 +1,159 @@
+"""Output-queued link model for the packet backend.
+
+Each directed link owns one FIFO output queue with
+
+* a byte capacity (``buffer_size``),
+* ECN marking thresholds ``kmin`` / ``kmax`` (probabilistic RED-style ramp
+  between them, certain marking above ``kmax``),
+* drop-on-overflow for sender-based transports, or trim-to-header for
+  NDP flows,
+* store-and-forward serialisation at the link bandwidth followed by the
+  link's propagation latency.
+
+The queue schedules its own transmission-completion events on the backend's
+shared :class:`~repro.network.events.EventQueue` and hands arriving packets
+back to the backend via the ``deliver`` callback.
+"""
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+import numpy as np
+
+from repro.network.backend import NetworkStats
+from repro.network.events import EventQueue
+from repro.network.packet.packet import Packet
+from repro.network.topology.base import Link
+
+DeliverCallback = Callable[[Packet, int], None]
+
+
+class LinkQueue:
+    """FIFO output queue + transmitter of one directed link."""
+
+    __slots__ = (
+        "link",
+        "events",
+        "stats",
+        "deliver",
+        "capacity",
+        "kmin",
+        "kmax",
+        "rng",
+        "queue",
+        "queued_bytes",
+        "busy",
+        "drops",
+        "trims",
+        "ecn_marks",
+        "max_queued_bytes",
+        "busy_ns",
+    )
+
+    def __init__(
+        self,
+        link: Link,
+        events: EventQueue,
+        stats: NetworkStats,
+        deliver: DeliverCallback,
+        capacity: int,
+        kmin: int,
+        kmax: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self.link = link
+        self.events = events
+        self.stats = stats
+        self.deliver = deliver
+        self.capacity = capacity
+        self.kmin = kmin
+        self.kmax = kmax
+        self.rng = rng
+        self.queue: Deque[Packet] = deque()
+        self.queued_bytes = 0
+        self.busy = False
+        self.drops = 0
+        self.trims = 0
+        self.ecn_marks = 0
+        self.max_queued_bytes = 0
+        self.busy_ns = 0
+
+    # ------------------------------------------------------------------ enqueue
+    def enqueue(self, packet: Packet, now: int) -> bool:
+        """Offer ``packet`` to the queue at time ``now``.
+
+        Returns ``True`` when the packet was accepted (possibly trimmed) and
+        ``False`` when it was dropped.  Control packets (ACK/NACK/PULL) and
+        already-trimmed headers are never dropped — they are tiny and
+        modelling their loss only adds retransmission corner cases without
+        changing any of the studied behaviours.
+        """
+        if packet.is_data and not packet.trimmed:
+            if self.queued_bytes + packet.size > self.capacity:
+                if packet.flow.trimmable:
+                    # NDP: trim the payload, keep the header.
+                    packet.trimmed = True
+                    packet.size = packet.flow.header_size
+                    self.trims += 1
+                    self.stats.packets_trimmed += 1
+                else:
+                    self.drops += 1
+                    self.stats.packets_dropped += 1
+                    return False
+            else:
+                self._maybe_mark_ecn(packet)
+
+        self.queue.append(packet)
+        self.queued_bytes += packet.size
+        if self.queued_bytes > self.max_queued_bytes:
+            self.max_queued_bytes = self.queued_bytes
+            if self.queued_bytes > self.stats.max_queue_bytes:
+                self.stats.max_queue_bytes = self.queued_bytes
+        if not self.busy:
+            self._start_transmission(now)
+        return True
+
+    def _maybe_mark_ecn(self, packet: Packet) -> None:
+        """RED-style ECN marking based on the instantaneous queue depth."""
+        q = self.queued_bytes
+        if q <= self.kmin:
+            return
+        if q >= self.kmax:
+            mark = True
+        else:
+            prob = (q - self.kmin) / max(1, (self.kmax - self.kmin))
+            mark = self.rng.random() < prob
+        if mark and not packet.ecn:
+            packet.ecn = True
+            self.ecn_marks += 1
+            self.stats.packets_ecn_marked += 1
+
+    # ------------------------------------------------------------- transmission
+    def _start_transmission(self, now: int) -> None:
+        packet = self.queue[0]
+        self.busy = True
+        tx_ns = max(1, int(round(packet.size / self.link.bandwidth)))
+        self.busy_ns += tx_ns
+        self.events.schedule(now + tx_ns, self._finish_transmission, packet)
+
+    def _finish_transmission(self, now: int, packet: Packet) -> None:
+        popped = self.queue.popleft()
+        assert popped is packet, "link queue transmitted out of order"
+        self.queued_bytes -= packet.size
+        # propagation to the other end of the link
+        self.events.schedule(now + self.link.latency, self._arrive, packet)
+        if self.queue:
+            self._start_transmission(now)
+        else:
+            self.busy = False
+
+    def _arrive(self, now: int, packet: Packet) -> None:
+        self.deliver(packet, now)
+
+    # ---------------------------------------------------------------- queries
+    def utilization(self, elapsed_ns: int) -> float:
+        """Fraction of ``elapsed_ns`` this link spent transmitting."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / elapsed_ns)

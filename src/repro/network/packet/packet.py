@@ -1,0 +1,91 @@
+"""Packet object used by the packet-level backend.
+
+Packets are created in the innermost simulation loop, so the class is
+slotted and carries only what the forwarding and transport logic needs.
+Sizes are bytes; times are integer nanoseconds.
+"""
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+# Packet kinds
+DATA = 0
+ACK = 1
+NACK = 2
+PULL = 3
+
+KIND_NAMES = {DATA: "data", ACK: "ack", NACK: "nack", PULL: "pull"}
+
+
+class Packet:
+    """A single packet in flight.
+
+    Attributes
+    ----------
+    flow:
+        The :class:`repro.network.packet.flow.Flow` this packet belongs to.
+    kind:
+        ``DATA``, ``ACK``, ``NACK`` or ``PULL``.
+    seq:
+        Data sequence number (packet index within the flow); for control
+        packets, the sequence number being acknowledged / nacked.
+    size:
+        On-wire size in bytes (payload for data, header size for control and
+        trimmed packets).
+    route:
+        Tuple of link ids from source to destination host.
+    hop:
+        Index into ``route`` of the link the packet is currently queued on /
+        traversing.
+    ecn:
+        Set when any queue along the path marked the packet; echoed in the
+        ACK.
+    trimmed:
+        True when a congested queue trimmed this data packet to a header
+        (NDP); the payload is considered lost but the header still reaches
+        the receiver.
+    sent_time:
+        Time the data packet was injected by the sender (echoed in the ACK
+        for RTT measurement).
+    """
+
+    __slots__ = ("flow", "kind", "seq", "size", "route", "hop", "ecn", "trimmed", "sent_time")
+
+    def __init__(
+        self,
+        flow,
+        kind: int,
+        seq: int,
+        size: int,
+        route: Tuple[int, ...],
+        sent_time: int = 0,
+    ) -> None:
+        self.flow = flow
+        self.kind = kind
+        self.seq = seq
+        self.size = size
+        self.route = route
+        self.hop = 0
+        self.ecn = False
+        self.trimmed = False
+        self.sent_time = sent_time
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind == DATA
+
+    @property
+    def is_control(self) -> bool:
+        return self.kind != DATA
+
+    def current_link(self) -> Optional[int]:
+        """Link id the packet should traverse next, or ``None`` past the last hop."""
+        if self.hop < len(self.route):
+            return self.route[self.hop]
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet({KIND_NAMES[self.kind]} flow={getattr(self.flow, 'flow_id', '?')} "
+            f"seq={self.seq} size={self.size} hop={self.hop}/{len(self.route)})"
+        )

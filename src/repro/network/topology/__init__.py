@@ -1,0 +1,67 @@
+"""Network topologies for the packet-level backend.
+
+A topology is a directed multigraph of *devices* (hosts and switches) and
+*links* (each with its own bandwidth, latency and output queue).  The packet
+backend asks the topology for the candidate routes between two hosts and
+load-balances across them (ECMP).
+
+Available topologies:
+
+* :class:`~repro.network.topology.single.SingleSwitchTopology` — every host
+  attached to one non-blocking switch,
+* :class:`~repro.network.topology.fattree.FatTreeTopology` — two-level fat
+  tree with a configurable ToR→core oversubscription ratio (the topology used
+  throughout the paper's evaluation),
+* :class:`~repro.network.topology.dragonfly.DragonflyTopology` — the Alps-style
+  dragonfly used for AI trace collection.
+"""
+from repro.network.topology.base import Link, Topology
+from repro.network.topology.single import SingleSwitchTopology
+from repro.network.topology.fattree import FatTreeTopology
+from repro.network.topology.dragonfly import DragonflyTopology
+
+
+def build_topology(config, num_hosts: int) -> Topology:
+    """Construct the topology described by ``config`` for ``num_hosts`` hosts.
+
+    Parameters
+    ----------
+    config:
+        A :class:`repro.network.config.SimulationConfig`.
+    num_hosts:
+        Number of simulated endpoints (GOAL ranks).
+    """
+    if config.topology == "single_switch":
+        return SingleSwitchTopology(
+            num_hosts,
+            bandwidth=config.link_bandwidth,
+            latency=config.link_latency,
+        )
+    if config.topology == "fat_tree":
+        return FatTreeTopology(
+            num_hosts,
+            nodes_per_tor=config.nodes_per_tor,
+            oversubscription=config.oversubscription,
+            bandwidth=config.link_bandwidth,
+            latency=config.link_latency,
+        )
+    if config.topology == "dragonfly":
+        return DragonflyTopology(
+            num_hosts,
+            groups=config.dragonfly_groups,
+            routers_per_group=config.dragonfly_routers_per_group,
+            nodes_per_router=config.dragonfly_nodes_per_router,
+            bandwidth=config.link_bandwidth,
+            latency=config.link_latency,
+        )
+    raise ValueError(f"unknown topology {config.topology!r}")
+
+
+__all__ = [
+    "Link",
+    "Topology",
+    "SingleSwitchTopology",
+    "FatTreeTopology",
+    "DragonflyTopology",
+    "build_topology",
+]

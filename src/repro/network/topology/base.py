@@ -1,0 +1,126 @@
+"""Topology base classes: devices, links and route lookup.
+
+Devices are integer ids.  Hosts occupy ``0 .. num_hosts - 1``; switches use
+ids at and above ``num_hosts``.  Links are directed — a full-duplex cable is
+modelled as two links — because each direction has its own output queue.
+
+Routes are precomputed per ``(source ToR/switch layout)`` by the concrete
+topology classes and returned as tuples of link ids; the packet backend
+attaches one queue per link.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link between two devices.
+
+    Attributes
+    ----------
+    link_id:
+        Dense index of this link (also indexes the packet backend's queues).
+    src / dst:
+        Device ids of the transmitting and receiving ends.
+    bandwidth:
+        Bytes per nanosecond.
+    latency:
+        Propagation delay in nanoseconds.
+    name:
+        Human-readable name used in statistics (e.g. ``"tor0->core1"``).
+    """
+
+    link_id: int
+    src: int
+    dst: int
+    bandwidth: float
+    latency: int
+    name: str
+
+
+class Topology:
+    """Base class: a device/link graph plus host-to-host route lookup."""
+
+    def __init__(self, num_hosts: int) -> None:
+        if num_hosts <= 0:
+            raise ValueError("num_hosts must be positive")
+        self.num_hosts = num_hosts
+        self.links: List[Link] = []
+        self._out_links: Dict[int, List[int]] = {}
+        self.num_devices = num_hosts
+
+    # -- construction helpers (used by subclasses) ---------------------------
+    def _new_device(self) -> int:
+        dev = self.num_devices
+        self.num_devices += 1
+        return dev
+
+    def _add_link(self, src: int, dst: int, bandwidth: float, latency: int, name: str) -> int:
+        if bandwidth <= 0:
+            raise ValueError(f"link {name}: bandwidth must be positive")
+        if latency < 0:
+            raise ValueError(f"link {name}: latency must be non-negative")
+        link_id = len(self.links)
+        self.links.append(Link(link_id, src, dst, bandwidth, latency, name))
+        self._out_links.setdefault(src, []).append(link_id)
+        return link_id
+
+    def _add_duplex(self, a: int, b: int, bandwidth: float, latency: int, name_ab: str, name_ba: str) -> Tuple[int, int]:
+        return (
+            self._add_link(a, b, bandwidth, latency, name_ab),
+            self._add_link(b, a, bandwidth, latency, name_ba),
+        )
+
+    # -- queries -------------------------------------------------------------
+    def is_host(self, device: int) -> bool:
+        return 0 <= device < self.num_hosts
+
+    def out_links(self, device: int) -> List[int]:
+        """Link ids leaving ``device``."""
+        return self._out_links.get(device, [])
+
+    def routes(self, src_host: int, dst_host: int) -> Sequence[Tuple[int, ...]]:
+        """All candidate routes (tuples of link ids) from ``src_host`` to ``dst_host``.
+
+        Subclasses must override.  ``src_host == dst_host`` is invalid: GOAL
+        validation rejects self-messages before they reach the backend.
+        """
+        raise NotImplementedError
+
+    def min_path_latency(self, src_host: int, dst_host: int) -> int:
+        """Propagation latency along the first candidate route (ns)."""
+        routes = self.routes(src_host, dst_host)
+        first = routes[0]
+        return sum(self.links[l].latency for l in first)
+
+    def describe(self) -> Dict[str, object]:
+        """Summary of the topology (device/link counts) for reports."""
+        return {
+            "class": type(self).__name__,
+            "num_hosts": self.num_hosts,
+            "num_devices": self.num_devices,
+            "num_links": len(self.links),
+        }
+
+    # -- invariants (used by tests) --------------------------------------------
+    def check_routes(self) -> None:
+        """Verify that every route starts at the source host, ends at the
+        destination host, and chains contiguously through the link graph."""
+        for src in range(self.num_hosts):
+            for dst in range(self.num_hosts):
+                if src == dst:
+                    continue
+                for route in self.routes(src, dst):
+                    if not route:
+                        raise AssertionError(f"empty route {src}->{dst}")
+                    if self.links[route[0]].src != src:
+                        raise AssertionError(f"route {src}->{dst} does not start at source")
+                    if self.links[route[-1]].dst != dst:
+                        raise AssertionError(f"route {src}->{dst} does not end at destination")
+                    for a, b in zip(route, route[1:]):
+                        if self.links[a].dst != self.links[b].src:
+                            raise AssertionError(
+                                f"route {src}->{dst} is not contiguous at links {a},{b}"
+                            )

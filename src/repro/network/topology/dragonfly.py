@@ -1,0 +1,143 @@
+"""Dragonfly topology (groups of routers with all-to-all global links).
+
+The Alps system on which the paper's AI traces were collected uses a
+Dragonfly interconnect.  This implementation models the canonical
+three-level structure:
+
+* each *router* hosts ``nodes_per_router`` endpoints,
+* routers within a *group* are fully connected (local links),
+* every pair of groups is connected by at least one *global* link; global
+  links are distributed round-robin over the routers of each group.
+
+Routing is minimal: ``src router -> (router owning the global link) ->
+global link -> (peer router) -> dst router``, collapsing hops that coincide.
+When several global links connect two groups, each yields one ECMP candidate.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.network.topology.base import Topology
+
+
+class DragonflyTopology(Topology):
+    """Dragonfly with ``groups`` groups of ``routers_per_group`` routers."""
+
+    def __init__(
+        self,
+        num_hosts: int,
+        groups: int = 4,
+        routers_per_group: int = 4,
+        nodes_per_router: int = 4,
+        bandwidth: float = 25.0,
+        latency: int = 500,
+    ) -> None:
+        super().__init__(num_hosts)
+        if groups < 2:
+            raise ValueError("a dragonfly needs at least 2 groups")
+        if routers_per_group < 1 or nodes_per_router < 1:
+            raise ValueError("routers_per_group and nodes_per_router must be positive")
+        capacity = groups * routers_per_group * nodes_per_router
+        if num_hosts > capacity:
+            raise ValueError(
+                f"num_hosts {num_hosts} exceeds dragonfly capacity {capacity} "
+                f"({groups} groups x {routers_per_group} routers x {nodes_per_router} nodes)"
+            )
+        self.groups = groups
+        self.routers_per_group = routers_per_group
+        self.nodes_per_router = nodes_per_router
+
+        # routers[g][r] -> device id
+        self.routers: List[List[int]] = [
+            [self._new_device() for _ in range(routers_per_group)] for _ in range(groups)
+        ]
+
+        self._host_up: Dict[int, int] = {}
+        self._host_down: Dict[int, int] = {}
+        for h in range(num_hosts):
+            g, r, _ = self._locate(h)
+            router = self.routers[g][r]
+            up, down = self._add_duplex(
+                h, router, bandwidth, latency, f"host{h}->r{g}.{r}", f"r{g}.{r}->host{h}"
+            )
+            self._host_up[h] = up
+            self._host_down[h] = down
+
+        # local links: full mesh within each group
+        self._local: Dict[Tuple[int, int, int], int] = {}  # (group, src_r, dst_r) -> link
+        for g in range(groups):
+            for a in range(routers_per_group):
+                for b in range(routers_per_group):
+                    if a == b:
+                        continue
+                    link = self._add_link(
+                        self.routers[g][a],
+                        self.routers[g][b],
+                        bandwidth,
+                        latency,
+                        f"r{g}.{a}->r{g}.{b}",
+                    )
+                    self._local[(g, a, b)] = link
+
+        # global links: one per ordered group pair, attached round-robin to routers
+        self._global: Dict[Tuple[int, int], List[Tuple[int, int, int]]] = {}
+        # value: list of (src_router_idx, dst_router_idx, link_id)
+        pair_counter = 0
+        for ga in range(groups):
+            for gb in range(groups):
+                if ga == gb:
+                    continue
+                src_r = pair_counter % routers_per_group
+                dst_r = (pair_counter + 1) % routers_per_group
+                link = self._add_link(
+                    self.routers[ga][src_r],
+                    self.routers[gb][dst_r],
+                    bandwidth,
+                    latency,
+                    f"g{ga}.r{src_r}->g{gb}.r{dst_r}",
+                )
+                self._global.setdefault((ga, gb), []).append((src_r, dst_r, link))
+                pair_counter += 1
+
+    def _locate(self, host: int) -> Tuple[int, int, int]:
+        """Return (group, router-in-group, slot) of ``host``."""
+        per_group = self.routers_per_group * self.nodes_per_router
+        g = host // per_group
+        rem = host % per_group
+        return g, rem // self.nodes_per_router, rem % self.nodes_per_router
+
+    def routes(self, src_host: int, dst_host: int) -> Sequence[Tuple[int, ...]]:
+        if src_host == dst_host:
+            raise ValueError("no route from a host to itself")
+        sg, sr, _ = self._locate(src_host)
+        dg, dr, _ = self._locate(dst_host)
+        up = self._host_up[src_host]
+        down = self._host_down[dst_host]
+
+        if sg == dg:
+            if sr == dr:
+                return ((up, down),)
+            return ((up, self._local[(sg, sr, dr)], down),)
+
+        candidates: List[Tuple[int, ...]] = []
+        for gsrc_r, gdst_r, glink in self._global[(sg, dg)]:
+            hops: List[int] = [up]
+            if sr != gsrc_r:
+                hops.append(self._local[(sg, sr, gsrc_r)])
+            hops.append(glink)
+            if gdst_r != dr:
+                hops.append(self._local[(dg, gdst_r, dr)])
+            hops.append(down)
+            candidates.append(tuple(hops))
+        return tuple(candidates)
+
+    def describe(self) -> Dict[str, object]:
+        d = super().describe()
+        d.update(
+            {
+                "groups": self.groups,
+                "routers_per_group": self.routers_per_group,
+                "nodes_per_router": self.nodes_per_router,
+            }
+        )
+        return d

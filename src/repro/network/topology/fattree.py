@@ -1,0 +1,131 @@
+"""Two-level fat-tree (leaf/spine) topology with configurable oversubscription.
+
+This is the topology used throughout the paper's evaluation and case studies:
+hosts attach to ToR (leaf) switches; every ToR connects to every core (spine)
+switch.  The oversubscription ratio is the ratio between the aggregate
+downlink bandwidth of a ToR (``nodes_per_tor`` host links) and its aggregate
+uplink bandwidth (``num_cores`` core links):
+
+* ``oversubscription = 1`` — fully provisioned: as many uplinks as hosts per
+  ToR (paper's "No Oversubscription"),
+* ``oversubscription = 4`` — four hosts share one uplink (paper Fig. 12/13),
+* ``oversubscription = 8`` — eight hosts share one uplink (paper Fig. 11).
+
+Traffic between hosts under the same ToR never touches the core; inter-ToR
+traffic is ECMP-balanced over all core switches.
+"""
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.network.topology.base import Topology
+
+
+class FatTreeTopology(Topology):
+    """Two-level fat tree.
+
+    Parameters
+    ----------
+    num_hosts:
+        Number of endpoints.
+    nodes_per_tor:
+        Hosts attached to each ToR switch.
+    oversubscription:
+        Downlink:uplink bandwidth ratio per ToR (>= 1).  The number of core
+        switches (= uplinks per ToR) is
+        ``max(1, round(nodes_per_tor / oversubscription))``.
+    bandwidth / latency:
+        Applied to every link (host links and core links alike), matching the
+        uniform-speed fat trees used in the paper.
+    """
+
+    def __init__(
+        self,
+        num_hosts: int,
+        nodes_per_tor: int = 16,
+        oversubscription: float = 1.0,
+        bandwidth: float = 25.0,
+        latency: int = 500,
+    ) -> None:
+        super().__init__(num_hosts)
+        if nodes_per_tor <= 0:
+            raise ValueError("nodes_per_tor must be positive")
+        if oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1.0")
+        self.nodes_per_tor = nodes_per_tor
+        self.num_tors = math.ceil(num_hosts / nodes_per_tor)
+        self.num_cores = max(1, int(round(nodes_per_tor / oversubscription)))
+        self.oversubscription = nodes_per_tor / self.num_cores
+
+        self.tor_switches: List[int] = [self._new_device() for _ in range(self.num_tors)]
+        self.core_switches: List[int] = [self._new_device() for _ in range(self.num_cores)]
+
+        # host <-> ToR links
+        self._host_up: Dict[int, int] = {}
+        self._host_down: Dict[int, int] = {}
+        for h in range(num_hosts):
+            tor = self.tor_switches[self.tor_of(h)]
+            up, down = self._add_duplex(
+                h, tor, bandwidth, latency, f"host{h}->tor{self.tor_of(h)}", f"tor{self.tor_of(h)}->host{h}"
+            )
+            self._host_up[h] = up
+            self._host_down[h] = down
+
+        # ToR <-> core links
+        self._tor_up: Dict[Tuple[int, int], int] = {}
+        self._tor_down: Dict[Tuple[int, int], int] = {}
+        for t in range(self.num_tors):
+            for c in range(self.num_cores):
+                up, down = self._add_duplex(
+                    self.tor_switches[t],
+                    self.core_switches[c],
+                    bandwidth,
+                    latency,
+                    f"tor{t}->core{c}",
+                    f"core{c}->tor{t}",
+                )
+                self._tor_up[(t, c)] = up
+                self._tor_down[(t, c)] = down
+
+        # route cache: (src_tor, dst_tor) -> tuple of (uplink, downlink) pairs
+        self._inter_tor_cache: Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]] = {}
+
+    def tor_of(self, host: int) -> int:
+        """Index of the ToR switch ``host`` is attached to."""
+        return host // self.nodes_per_tor
+
+    def routes(self, src_host: int, dst_host: int) -> Sequence[Tuple[int, ...]]:
+        if src_host == dst_host:
+            raise ValueError("no route from a host to itself")
+        src_tor = self.tor_of(src_host)
+        dst_tor = self.tor_of(dst_host)
+        up = self._host_up[src_host]
+        down = self._host_down[dst_host]
+        if src_tor == dst_tor:
+            return ((up, down),)
+        key = (src_tor, dst_tor)
+        middles = self._inter_tor_cache.get(key)
+        if middles is None:
+            middles = tuple(
+                (self._tor_up[(src_tor, c)], self._tor_down[(dst_tor, c)])
+                for c in range(self.num_cores)
+            )
+            self._inter_tor_cache[key] = middles
+        return tuple((up, mid_up, mid_down, down) for mid_up, mid_down in middles)
+
+    def core_uplinks(self, tor: int) -> List[int]:
+        """Link ids of the uplinks of ToR ``tor`` (useful for drop statistics)."""
+        return [self._tor_up[(tor, c)] for c in range(self.num_cores)]
+
+    def describe(self) -> Dict[str, object]:
+        d = super().describe()
+        d.update(
+            {
+                "num_tors": self.num_tors,
+                "num_cores": self.num_cores,
+                "nodes_per_tor": self.nodes_per_tor,
+                "oversubscription": self.oversubscription,
+            }
+        )
+        return d

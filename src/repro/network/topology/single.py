@@ -1,0 +1,37 @@
+"""Single non-blocking switch topology.
+
+Every host attaches to one crossbar switch with a full-duplex link.  This is
+the simplest congestion-capable topology (incast still congests the
+destination's downlink) and the default for unit tests and microbenchmarks.
+"""
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.network.topology.base import Topology
+
+
+class SingleSwitchTopology(Topology):
+    """``num_hosts`` hosts connected to a single switch."""
+
+    def __init__(self, num_hosts: int, bandwidth: float = 25.0, latency: int = 500) -> None:
+        super().__init__(num_hosts)
+        self.switch = self._new_device()
+        self._up: Dict[int, int] = {}
+        self._down: Dict[int, int] = {}
+        for h in range(num_hosts):
+            up, down = self._add_duplex(
+                h,
+                self.switch,
+                bandwidth,
+                latency,
+                f"host{h}->switch",
+                f"switch->host{h}",
+            )
+            self._up[h] = up
+            self._down[h] = down
+
+    def routes(self, src_host: int, dst_host: int) -> Sequence[Tuple[int, ...]]:
+        if src_host == dst_host:
+            raise ValueError("no route from a host to itself")
+        return ((self._up[src_host], self._down[dst_host]),)

@@ -1,0 +1,22 @@
+"""Job placement strategies and multi-job / multi-tenant composition."""
+from repro.placement.strategies import (
+    JobRequest,
+    PlacementResult,
+    packed_placement,
+    random_placement,
+    round_robin_placement,
+    strided_placement,
+    place_jobs,
+    PLACEMENT_STRATEGIES,
+)
+
+__all__ = [
+    "JobRequest",
+    "PlacementResult",
+    "packed_placement",
+    "random_placement",
+    "round_robin_placement",
+    "strided_placement",
+    "place_jobs",
+    "PLACEMENT_STRATEGIES",
+]

@@ -1,0 +1,163 @@
+"""Job placement strategies (the paper's §3.2 and Fig. 13 case study).
+
+A *placement* assigns the ranks of each job to nodes of a shared cluster.
+The paper contrasts two strategies on an oversubscribed fat tree:
+
+* **Packed allocation** — nodes are assigned sequentially per job, keeping
+  each job's communication local to as few ToR switches as possible,
+* **Random allocation** — nodes are assigned without locality, spreading
+  every job across the cluster and loading the oversubscribed core.
+
+Additional strategies (round-robin across ToRs, strided) are provided for
+ablations.  :func:`place_jobs` turns a placement plus the jobs' GOAL
+schedules into one combined multi-job schedule via
+:func:`repro.goal.merge.concatenate_schedules`.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.goal.merge import concatenate_schedules
+from repro.goal.schedule import GoalSchedule
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A job to place: its GOAL schedule and (implicitly) its node count."""
+
+    schedule: GoalSchedule
+    name: Optional[str] = None
+
+    @property
+    def num_nodes(self) -> int:
+        return self.schedule.num_ranks
+
+    @property
+    def label(self) -> str:
+        return self.name or self.schedule.name
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of placing several jobs on a cluster.
+
+    Attributes
+    ----------
+    mappings:
+        One ``{job rank -> cluster node}`` dict per job, in job order.
+    cluster_nodes:
+        Total nodes of the cluster.
+    strategy:
+        Name of the strategy that produced the placement.
+    """
+
+    mappings: List[Dict[int, int]]
+    cluster_nodes: int
+    strategy: str
+
+    def merged_schedule(self, jobs: Sequence[JobRequest], name: Optional[str] = None) -> GoalSchedule:
+        """Combine the jobs into one multi-job GOAL schedule under this placement."""
+        return concatenate_schedules(
+            [job.schedule for job in jobs],
+            placements=self.mappings,
+            num_ranks=self.cluster_nodes,
+            name=name or f"multi-job-{self.strategy}",
+        )
+
+    def nodes_of_job(self, job_index: int) -> List[int]:
+        """Cluster nodes assigned to ``job_index`` (in job-rank order)."""
+        mapping = self.mappings[job_index]
+        return [mapping[r] for r in sorted(mapping)]
+
+
+def _require_capacity(jobs: Sequence[JobRequest], cluster_nodes: int) -> None:
+    needed = sum(job.num_nodes for job in jobs)
+    if needed > cluster_nodes:
+        raise ValueError(f"jobs need {needed} nodes but the cluster only has {cluster_nodes}")
+
+
+def packed_placement(jobs: Sequence[JobRequest], cluster_nodes: int) -> PlacementResult:
+    """Assign nodes sequentially: job 0 gets nodes 0..n0-1, job 1 the next block, ..."""
+    _require_capacity(jobs, cluster_nodes)
+    mappings: List[Dict[int, int]] = []
+    base = 0
+    for job in jobs:
+        mappings.append({r: base + r for r in range(job.num_nodes)})
+        base += job.num_nodes
+    return PlacementResult(mappings, cluster_nodes, "packed")
+
+
+def random_placement(jobs: Sequence[JobRequest], cluster_nodes: int, seed: int = 0) -> PlacementResult:
+    """Assign nodes uniformly at random without locality (paper's "Random Allocation")."""
+    _require_capacity(jobs, cluster_nodes)
+    rng = np.random.default_rng(seed)
+    order = list(rng.permutation(cluster_nodes))
+    mappings: List[Dict[int, int]] = []
+    cursor = 0
+    for job in jobs:
+        nodes = order[cursor : cursor + job.num_nodes]
+        cursor += job.num_nodes
+        mappings.append({r: int(nodes[r]) for r in range(job.num_nodes)})
+    return PlacementResult(mappings, cluster_nodes, "random")
+
+
+def round_robin_placement(
+    jobs: Sequence[JobRequest], cluster_nodes: int, nodes_per_tor: int = 16
+) -> PlacementResult:
+    """Deal nodes to jobs ToR by ToR, interleaving jobs across racks."""
+    _require_capacity(jobs, cluster_nodes)
+    # visit nodes in an order that cycles across ToRs: node k of ToR 0, ToR 1, ...
+    num_tors = (cluster_nodes + nodes_per_tor - 1) // nodes_per_tor
+    order: List[int] = []
+    for slot in range(nodes_per_tor):
+        for tor in range(num_tors):
+            node = tor * nodes_per_tor + slot
+            if node < cluster_nodes:
+                order.append(node)
+    mappings: List[Dict[int, int]] = []
+    cursor = 0
+    for job in jobs:
+        nodes = order[cursor : cursor + job.num_nodes]
+        cursor += job.num_nodes
+        mappings.append({r: nodes[r] for r in range(job.num_nodes)})
+    return PlacementResult(mappings, cluster_nodes, "round_robin")
+
+
+def strided_placement(jobs: Sequence[JobRequest], cluster_nodes: int, stride: int = 2) -> PlacementResult:
+    """Assign every ``stride``-th node to the first job, interleaving the others."""
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    _require_capacity(jobs, cluster_nodes)
+    order = [n for offset in range(stride) for n in range(offset, cluster_nodes, stride)]
+    mappings: List[Dict[int, int]] = []
+    cursor = 0
+    for job in jobs:
+        nodes = order[cursor : cursor + job.num_nodes]
+        cursor += job.num_nodes
+        mappings.append({r: nodes[r] for r in range(job.num_nodes)})
+    return PlacementResult(mappings, cluster_nodes, "strided")
+
+
+PLACEMENT_STRATEGIES: Dict[str, Callable[..., PlacementResult]] = {
+    "packed": packed_placement,
+    "random": random_placement,
+    "round_robin": round_robin_placement,
+    "strided": strided_placement,
+}
+
+
+def place_jobs(
+    jobs: Sequence[JobRequest],
+    cluster_nodes: int,
+    strategy: str = "packed",
+    **kwargs,
+) -> PlacementResult:
+    """Place ``jobs`` using the named strategy (see :data:`PLACEMENT_STRATEGIES`)."""
+    try:
+        fn = PLACEMENT_STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(f"unknown placement strategy {strategy!r}") from None
+    return fn(jobs, cluster_nodes, **kwargs)

@@ -1,0 +1,285 @@
+"""MPI trace → GOAL conversion (the paper's Schedgen, §3.1.1).
+
+The generator walks every rank's traced call sequence:
+
+* the gap between the end of one call and the start of the next becomes a
+  ``calc`` vertex (the inferred computation), optionally scaled by
+  ``compute_scale`` to retarget a different machine (paper §7),
+* point-to-point calls become ``send`` / ``recv`` vertices (``MPI_Sendrecv``
+  becomes a send and a receive that may proceed concurrently),
+* collective calls are substituted by their point-to-point algorithms from
+  :mod:`repro.collectives.mpi`, selected per collective via the
+  ``algorithms`` mapping.
+
+Because a collective's decomposition spans all ranks of its communicator,
+ranks are processed co-routine style: each rank advances until it blocks on a
+collective; once every member of a communicator blocks on the same
+collective instance (same per-communicator sequence number), that collective
+is emitted and the ranks resume.  A trace in which collectives do not line up
+(as would deadlock in a real MPI run) raises :class:`TraceMismatchError`.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.collectives import mpi as calgs
+from repro.collectives.context import CollectiveContext, TagAllocator
+from repro.goal.builder import GoalBuilder
+from repro.goal.schedule import GoalSchedule
+from repro.tracers.mpi import COLLECTIVE_CALLS, MpiEvent, MpiTrace
+
+#: Offset separating application point-to-point tags from collective tags.
+P2P_TAG_BASE = 1 << 30
+
+
+class TraceMismatchError(RuntimeError):
+    """Raised when the per-rank call sequences cannot be reconciled.
+
+    This happens when ranks of one communicator disagree on the order of
+    collectives — such a program would also deadlock on a real machine.
+    """
+
+
+DEFAULT_ALGORITHMS: Dict[str, str] = {
+    "MPI_Allreduce": "ring",
+    "MPI_Bcast": "binomial",
+    "MPI_Reduce": "binomial",
+    "MPI_Barrier": "dissemination",
+    "MPI_Allgather": "ring",
+    "MPI_Alltoall": "pairwise",
+    "MPI_Gather": "linear",
+    "MPI_Scatter": "linear",
+    "MPI_Reduce_scatter": "ring",
+}
+
+#: Below this size, allreduces default to recursive doubling (latency bound),
+#: above it to the ring algorithm (bandwidth bound) — mirroring common MPI
+#: library switch points.
+ALLREDUCE_RD_THRESHOLD = 16 * 1024
+
+
+@dataclass
+class _RankCursor:
+    """Progress of one rank through its traced event list."""
+
+    index: int = 0
+    last_handle: Optional[int] = None
+    prev_end_ns: int = 0
+    blocked_gap_emitted: bool = False
+
+
+class MpiScheduleGenerator:
+    """Converts an :class:`~repro.tracers.mpi.MpiTrace` into a GOAL schedule.
+
+    Parameters
+    ----------
+    trace:
+        The input trace.
+    algorithms:
+        Per-collective algorithm overrides (see :data:`DEFAULT_ALGORITHMS`).
+    compute_scale:
+        Multiplier applied to every inferred computation gap (hardware
+        retargeting knob).
+    reduce_ns_per_byte:
+        Cost of reduction arithmetic inserted into reducing collectives.
+    """
+
+    def __init__(
+        self,
+        trace: MpiTrace,
+        algorithms: Optional[Dict[str, str]] = None,
+        compute_scale: float = 1.0,
+        reduce_ns_per_byte: float = 0.0,
+    ) -> None:
+        if compute_scale < 0:
+            raise ValueError("compute_scale must be non-negative")
+        self.trace = trace
+        self.algorithms = dict(DEFAULT_ALGORITHMS)
+        if algorithms:
+            self.algorithms.update(algorithms)
+        self.compute_scale = compute_scale
+        self.reduce_ns_per_byte = reduce_ns_per_byte
+        self.tags = TagAllocator()
+
+    # ------------------------------------------------------------------ public
+    def generate(self, name: Optional[str] = None) -> GoalSchedule:
+        """Run the conversion and return the GOAL schedule."""
+        trace = self.trace
+        builder = GoalBuilder(trace.num_ranks, name=name or trace.name)
+        cursors = [_RankCursor() for _ in range(trace.num_ranks)]
+
+        progressed = True
+        while progressed:
+            progressed = False
+            # advance every rank to its next collective (or to the end)
+            for rank in range(trace.num_ranks):
+                if self._advance_rank(builder, cursors, rank):
+                    progressed = True
+            # emit every collective whose members are all blocked on it
+            if self._emit_ready_collectives(builder, cursors):
+                progressed = True
+
+        remaining = [
+            (rank, len(trace.events[rank]) - cursors[rank].index)
+            for rank in range(trace.num_ranks)
+            if cursors[rank].index < len(trace.events[rank])
+        ]
+        if remaining:
+            raise TraceMismatchError(
+                "collective operations in the trace do not line up across ranks; "
+                f"unconsumed events per rank: {remaining[:10]}"
+            )
+        return builder.build()
+
+    # --------------------------------------------------------------- internals
+    def _scaled_gap(self, event: MpiEvent, cursor: _RankCursor) -> int:
+        gap = max(0, event.start_ns - cursor.prev_end_ns)
+        return int(round(gap * self.compute_scale))
+
+    def _emit_gap(self, builder: GoalBuilder, rank: int, cursor: _RankCursor, event: MpiEvent) -> None:
+        """Insert the inferred-computation calc before ``event`` (if any)."""
+        gap = self._scaled_gap(event, cursor)
+        if gap > 0:
+            handle = builder.rank(rank).calc(
+                gap, requires=[cursor.last_handle] if cursor.last_handle is not None else []
+            )
+            cursor.last_handle = handle
+
+    def _advance_rank(self, builder: GoalBuilder, cursors: List[_RankCursor], rank: int) -> bool:
+        """Emit P2P/compute ops for ``rank`` until it blocks on a collective.
+
+        Returns True when at least one event was consumed.
+        """
+        cursor = cursors[rank]
+        events = self.trace.events[rank]
+        progressed = False
+        while cursor.index < len(events):
+            event = events[cursor.index]
+            if event.call in COLLECTIVE_CALLS:
+                if not cursor.blocked_gap_emitted:
+                    self._emit_gap(builder, rank, cursor, event)
+                    cursor.blocked_gap_emitted = True
+                return progressed
+            self._emit_gap(builder, rank, cursor, event)
+            self._emit_p2p(builder, rank, cursor, event)
+            cursor.prev_end_ns = event.end_ns
+            cursor.index += 1
+            progressed = True
+        return progressed
+
+    def _emit_p2p(self, builder: GoalBuilder, rank: int, cursor: _RankCursor, event: MpiEvent) -> None:
+        rb = builder.rank(rank)
+        reqs = [cursor.last_handle] if cursor.last_handle is not None else []
+        tag = P2P_TAG_BASE + event.tag
+        if event.call == "MPI_Send":
+            cursor.last_handle = rb.send(max(1, event.size), dst=event.peer, tag=tag, requires=reqs)
+        elif event.call == "MPI_Recv":
+            cursor.last_handle = rb.recv(max(1, event.size), src=event.peer, tag=tag, requires=reqs)
+        elif event.call == "MPI_Sendrecv":
+            s = rb.send(max(1, event.size), dst=event.peer, tag=tag, requires=reqs)
+            r = rb.recv(max(1, event.recv_size or event.size), src=event.recv_peer, tag=tag, requires=reqs)
+            cursor.last_handle = rb.join([s, r])
+        else:  # pragma: no cover - guarded by KNOWN_CALLS
+            raise ValueError(f"unsupported point-to-point call {event.call}")
+
+    # ----------------------------------------------------------- collectives
+    def _emit_ready_collectives(self, builder: GoalBuilder, cursors: List[_RankCursor]) -> bool:
+        """Emit every collective on which all communicator members are blocked."""
+        trace = self.trace
+        # (comm, seq, call) -> list of ranks blocked on it
+        blocked: Dict[Tuple[int, int, str], List[int]] = {}
+        for rank in range(trace.num_ranks):
+            cursor = cursors[rank]
+            if cursor.index >= len(trace.events[rank]):
+                continue
+            event = trace.events[rank][cursor.index]
+            if event.call in COLLECTIVE_CALLS:
+                blocked.setdefault((event.comm, event.seq, event.call), []).append(rank)
+
+        emitted = False
+        for (comm, seq, call), ranks_blocked in sorted(blocked.items()):
+            members = trace.communicators.get(comm)
+            if members is None:
+                raise TraceMismatchError(f"event references unknown communicator {comm}")
+            if sorted(ranks_blocked) != sorted(members):
+                continue  # not everyone has arrived yet
+            self._emit_collective(builder, cursors, comm, members, call)
+            emitted = True
+        return emitted
+
+    def _emit_collective(
+        self,
+        builder: GoalBuilder,
+        cursors: List[_RankCursor],
+        comm: int,
+        members: List[int],
+        call: str,
+    ) -> None:
+        events = {rank: self.trace.events[rank][cursors[rank].index] for rank in members}
+        # all members must agree on size/root; use the root's (or first member's) view
+        sample = events[members[0]]
+        deps = {
+            rank: cursors[rank].last_handle
+            for rank in members
+            if cursors[rank].last_handle is not None
+        }
+        ctx = CollectiveContext(
+            builder,
+            members,
+            tags=self.tags,
+            reduce_ns_per_byte=self.reduce_ns_per_byte,
+        )
+        exits = self._dispatch_collective(ctx, call, sample, deps)
+        for rank in members:
+            cursor = cursors[rank]
+            if rank in exits:
+                cursor.last_handle = exits[rank]
+            cursor.prev_end_ns = events[rank].end_ns
+            cursor.index += 1
+            cursor.blocked_gap_emitted = False
+
+    def _dispatch_collective(self, ctx: CollectiveContext, call: str, event: MpiEvent, deps) -> Dict[int, int]:
+        size = max(1, event.size)
+        algo = self.algorithms.get(call, "")
+        if call == "MPI_Allreduce":
+            if algo == "ring" and size < ALLREDUCE_RD_THRESHOLD:
+                return calgs.recursive_doubling_allreduce(ctx, size, deps)
+            return calgs.ALLREDUCE_ALGORITHMS.get(algo, calgs.ring_allreduce)(ctx, size, deps)
+        if call == "MPI_Bcast":
+            root = ctx.ranks.index(event.root) if event.root in ctx.ranks else 0
+            return calgs.binomial_bcast(ctx, size, root=root, deps=deps)
+        if call == "MPI_Reduce":
+            root = ctx.ranks.index(event.root) if event.root in ctx.ranks else 0
+            return calgs.binomial_reduce(ctx, size, root=root, deps=deps)
+        if call == "MPI_Barrier":
+            return calgs.dissemination_barrier(ctx, deps)
+        if call == "MPI_Allgather":
+            return calgs.allgather(ctx, size, deps)
+        if call == "MPI_Alltoall":
+            return calgs.pairwise_alltoall(ctx, size, deps)
+        if call == "MPI_Gather":
+            root = ctx.ranks.index(event.root) if event.root in ctx.ranks else 0
+            return calgs.linear_gather(ctx, size, root=root, deps=deps)
+        if call == "MPI_Scatter":
+            root = ctx.ranks.index(event.root) if event.root in ctx.ranks else 0
+            return calgs.linear_scatter(ctx, size, root=root, deps=deps)
+        if call == "MPI_Reduce_scatter":
+            return calgs.ring_reduce_scatter(ctx, size, deps)
+        raise ValueError(f"unsupported collective {call}")
+
+
+def mpi_trace_to_goal(
+    trace: MpiTrace,
+    algorithms: Optional[Dict[str, str]] = None,
+    compute_scale: float = 1.0,
+    reduce_ns_per_byte: float = 0.0,
+    name: Optional[str] = None,
+) -> GoalSchedule:
+    """Convenience wrapper around :class:`MpiScheduleGenerator`."""
+    return MpiScheduleGenerator(
+        trace,
+        algorithms=algorithms,
+        compute_scale=compute_scale,
+        reduce_ns_per_byte=reduce_ns_per_byte,
+    ).generate(name=name)

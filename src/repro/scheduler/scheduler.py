@@ -1,0 +1,161 @@
+"""The GOAL scheduler (the paper's "workload simulation pipeline").
+
+The scheduler walks every rank's dependency DAG and issues operations to the
+configured network backend as soon as their dependencies are satisfied.  The
+backend reports completions back (``eventOver``), which unlocks successor
+vertices; the loop continues until every vertex of every rank has executed.
+
+The scheduler is backend-agnostic: it performs no timing itself beyond
+propagating completion times as the ready times of successors.  Compute
+streams, LogGOPS overheads, queues and congestion control all live behind
+the :class:`~repro.network.backend.NetworkBackend` API.
+"""
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, List, Optional
+
+from repro.goal.ops import OpType
+from repro.goal.schedule import GoalSchedule
+from repro.goal.validate import validate_schedule
+from repro.network.backend import NetworkBackend, OpCompletion, SimulationResult, create_backend
+from repro.network.config import SimulationConfig
+
+
+class SchedulerDeadlockError(RuntimeError):
+    """Raised when the simulation drains without executing every vertex.
+
+    This indicates a structural problem in the GOAL schedule (e.g. a receive
+    whose matching send never happens, or a dependency cycle across ranks via
+    messages).  The exception carries per-rank counts of stuck vertices.
+    """
+
+    def __init__(self, message: str, stuck_per_rank: Dict[int, int]) -> None:
+        super().__init__(message)
+        self.stuck_per_rank = stuck_per_rank
+
+
+class GoalScheduler:
+    """Replays a :class:`~repro.goal.schedule.GoalSchedule` on a backend.
+
+    Parameters
+    ----------
+    schedule:
+        The GOAL program to simulate.
+    backend:
+        A :class:`NetworkBackend` instance, or a backend name accepted by
+        :func:`repro.network.backend.create_backend` (``"lgs"``, ``"htsim"``).
+    config:
+        Simulation configuration; a default-constructed
+        :class:`SimulationConfig` is used when omitted.
+    validate:
+        Run :func:`repro.goal.validate.validate_schedule` before simulating.
+    """
+
+    def __init__(
+        self,
+        schedule: GoalSchedule,
+        backend: "NetworkBackend | str" = "lgs",
+        config: Optional[SimulationConfig] = None,
+        validate: bool = True,
+    ) -> None:
+        self.schedule = schedule
+        self.config = config if config is not None else SimulationConfig()
+        self.backend = create_backend(backend) if isinstance(backend, str) else backend
+        if validate:
+            validate_schedule(schedule)
+
+        # Global vertex ids: rank r, vertex v  ->  offset[r] + v
+        self._offsets: List[int] = []
+        total = 0
+        for rank in schedule.ranks:
+            self._offsets.append(total)
+            total += len(rank)
+        self._total_ops = total
+
+        self._indegree: List[List[int]] = [rank.in_degrees() for rank in schedule.ranks]
+        self._successors: List[List[List[int]]] = [rank.successors() for rank in schedule.ranks]
+        self._completed = 0
+        self._issued: List[List[bool]] = [[False] * len(rank) for rank in schedule.ranks]
+        self._finish_time = 0
+
+    # ------------------------------------------------------------------ public
+    def run(self) -> SimulationResult:
+        """Simulate the schedule to completion and return the result."""
+        wall_start = _time.perf_counter()
+        self.backend.setup(self.schedule.num_ranks, self.config)
+
+        for rank in self.schedule.ranks:
+            for vertex in rank.roots():
+                self._issue(rank.rank, vertex, ready_time=0)
+
+        self.backend.run(self._on_complete)
+        wall_elapsed = _time.perf_counter() - wall_start
+
+        if self._completed != self._total_ops:
+            stuck = self._stuck_per_rank()
+            raise SchedulerDeadlockError(
+                f"simulation deadlocked: {self._total_ops - self._completed} of "
+                f"{self._total_ops} operations never completed "
+                f"(stuck vertices per rank: {stuck})",
+                stuck,
+            )
+
+        rank_finish = [0] * self.schedule.num_ranks
+        backend_finish = getattr(self.backend, "rank_finish", None)
+        if backend_finish is not None:
+            rank_finish = list(backend_finish)
+
+        return SimulationResult(
+            finish_time_ns=self._finish_time,
+            rank_finish_times_ns=rank_finish,
+            stats=self.backend.collect_stats(),
+            message_records=self.backend.collect_message_records(),
+            ops_completed=self._completed,
+            backend=self.backend.name,
+            wall_clock_s=wall_elapsed,
+        )
+
+    # ---------------------------------------------------------------- internals
+    def _issue(self, rank: int, vertex: int, ready_time: int) -> None:
+        if self._issued[rank][vertex]:
+            raise RuntimeError(f"vertex {vertex} of rank {rank} issued twice")
+        self._issued[rank][vertex] = True
+        op = self.schedule.ranks[rank].ops[vertex]
+        op_id = self._offsets[rank] + vertex
+        if op.kind == OpType.CALC:
+            self.backend.issue_calc(rank, op.cpu, op.size, op_id, ready_time)
+        elif op.kind == OpType.SEND:
+            self.backend.issue_send(rank, op.peer, op.size, op.tag, op.cpu, op_id, ready_time)
+        else:
+            self.backend.issue_recv(rank, op.peer, op.size, op.tag, op.cpu, op_id, ready_time)
+
+    def _on_complete(self, completion: OpCompletion) -> None:
+        rank = completion.rank
+        vertex = completion.op_id - self._offsets[rank]
+        self._completed += 1
+        if completion.time > self._finish_time:
+            self._finish_time = completion.time
+        indegree = self._indegree[rank]
+        for succ in self._successors[rank][vertex]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                self._issue(rank, succ, ready_time=completion.time)
+
+    def _stuck_per_rank(self) -> Dict[int, int]:
+        stuck: Dict[int, int] = {}
+        for rank in self.schedule.ranks:
+            count = sum(1 for issued in self._issued[rank.rank] if not issued)
+            if count:
+                stuck[rank.rank] = count
+        return stuck
+
+
+def simulate(
+    schedule: GoalSchedule,
+    backend: "NetworkBackend | str" = "lgs",
+    config: Optional[SimulationConfig] = None,
+    validate: bool = True,
+) -> SimulationResult:
+    """Convenience wrapper: construct a :class:`GoalScheduler` and run it."""
+    return GoalScheduler(schedule, backend=backend, config=config, validate=validate).run()

@@ -1,0 +1,13 @@
+"""Trace formats and tracers for the three supported application domains.
+
+* :mod:`repro.tracers.mpi` — liballprof-style MPI traces (PMPI interception),
+* :mod:`repro.tracers.nccl` — Nsight-Systems-style per-GPU, per-CUDA-stream
+  kernel traces with NCCL annotations,
+* :mod:`repro.tracers.storage` — SPC-format block-I/O traces plus a
+  Financial-distribution-like synthetic generator.
+
+On a real system these traces would be produced by instrumenting running
+applications; here they are produced by the application models in
+:mod:`repro.apps`, which emit records with exactly the same schema (see
+DESIGN.md, substitution table).
+"""

@@ -1,0 +1,185 @@
+"""Tests for the HPC and AI application models."""
+import pytest
+
+from repro.apps.ai import (
+    DlrmTrainer,
+    LlmTrainer,
+    MODEL_PRESETS,
+    ModelConfig,
+    ParallelismConfig,
+    llama_7b,
+    mistral_8x7b,
+)
+from repro.apps.hpc import HPC_APPLICATIONS, HpcRunConfig, factor_2d, factor_3d
+from repro.tracers.mpi import COLLECTIVE_CALLS
+
+
+class TestFactorisation:
+    def test_factor_2d(self):
+        assert factor_2d(16) == (4, 4)
+        assert factor_2d(12) == (3, 4)
+        assert factor_2d(7) == (1, 7)
+
+    def test_factor_3d(self):
+        assert factor_3d(8) == (2, 2, 2)
+        assert factor_3d(27) == (3, 3, 3)
+        px, py, pz = factor_3d(12)
+        assert px * py * pz == 12
+
+
+class TestHpcRunConfig:
+    def test_weak_scaling_keeps_per_rank_size(self):
+        cfg = HpcRunConfig(num_ranks=64, cells_per_rank=1000, scaling="weak")
+        assert cfg.effective_cells_per_rank() == 1000
+
+    def test_strong_scaling_shrinks_per_rank_size(self):
+        cfg = HpcRunConfig(
+            num_ranks=64, cells_per_rank=1000, scaling="strong", strong_scaling_base_ranks=8
+        )
+        assert cfg.effective_cells_per_rank() == 125
+
+    def test_invalid_scaling(self):
+        with pytest.raises(ValueError):
+            HpcRunConfig(num_ranks=4, scaling="superlinear")
+
+
+class TestHpcApplications:
+    @pytest.mark.parametrize("name", sorted(HPC_APPLICATIONS))
+    def test_every_app_produces_consistent_trace(self, name):
+        app = HPC_APPLICATIONS[name]
+        cfg = HpcRunConfig(num_ranks=8, iterations=2, cells_per_rank=4000, seed=1)
+        trace = app.trace(cfg)
+        assert trace.num_ranks == 8
+        assert trace.num_events() > 0
+        # every rank participates
+        assert all(len(evts) > 0 for evts in trace.events)
+        # collective call sequences must agree across ranks (same multiset of calls)
+        coll_per_rank = [
+            [e.call for e in evts if e.call in COLLECTIVE_CALLS] for evts in trace.events
+        ]
+        assert all(c == coll_per_rank[0] for c in coll_per_rank[1:])
+
+    def test_compute_dominates_cloverleaf(self):
+        cfg = HpcRunConfig(num_ranks=8, iterations=2, cells_per_rank=8000)
+        trace = HPC_APPLICATIONS["cloverleaf"].trace(cfg)
+        events = trace.events[0]
+        gaps = sum(
+            max(0, b.start_ns - a.end_ns) for a, b in zip(events, events[1:])
+        )
+        assert gaps > 0
+
+    def test_openmx_uses_alltoall(self):
+        cfg = HpcRunConfig(num_ranks=8, iterations=1, cells_per_rank=4000)
+        trace = HPC_APPLICATIONS["openmx"].trace(cfg)
+        assert any(e.call == "MPI_Alltoall" for e in trace.events[0])
+
+    def test_icon_gathers_to_root(self):
+        cfg = HpcRunConfig(num_ranks=8, iterations=4, cells_per_rank=4000)
+        trace = HPC_APPLICATIONS["icon"].trace(cfg)
+        assert any(e.call == "MPI_Gather" for e in trace.events[0])
+
+    def test_traces_are_deterministic_per_seed(self):
+        cfg = HpcRunConfig(num_ranks=4, iterations=2, cells_per_rank=4000, seed=7)
+        a = HPC_APPLICATIONS["hpcg"].trace(cfg).to_text()
+        b = HPC_APPLICATIONS["hpcg"].trace(cfg).to_text()
+        assert a == b
+
+
+class TestParallelismConfig:
+    def test_num_gpus(self):
+        assert ParallelismConfig(tp=2, pp=2, dp=4, global_batch=32, microbatches=2).num_gpus == 16
+
+    def test_microbatch_size(self):
+        par = ParallelismConfig(dp=4, microbatches=4, global_batch=32)
+        assert par.microbatch_size == 2
+
+    def test_invalid_batch_divisibility(self):
+        with pytest.raises(ValueError):
+            ParallelismConfig(dp=3, microbatches=2, global_batch=32)
+
+    def test_ep_must_divide_dp(self):
+        with pytest.raises(ValueError):
+            ParallelismConfig(dp=4, ep=3, global_batch=32, microbatches=1)
+
+
+class TestModelConfig:
+    def test_presets_exist(self):
+        assert set(MODEL_PRESETS) >= {"llama-7b", "llama-70b", "mistral-8x7b", "moe-8x13b", "moe-8x70b", "dlrm"}
+
+    def test_scaled_reduces_size(self):
+        full = llama_7b()
+        small = full.scaled(0.1)
+        assert small.num_layers < full.num_layers
+        assert small.hidden < full.hidden
+
+    def test_moe_layer_pattern(self):
+        moe = mistral_8x7b()
+        assert moe.is_moe_layer(0)
+        assert not llama_7b().is_moe_layer(0)
+
+    def test_scaled_factor_bounds(self):
+        with pytest.raises(ValueError):
+            llama_7b().scaled(0.0)
+
+
+class TestLlmTrainer:
+    def _trace(self, model, par, **kw):
+        return LlmTrainer(model, par, iterations=1, **kw).trace()
+
+    def test_dp_only_has_allreduce_no_p2p(self):
+        par = ParallelismConfig(dp=4, microbatches=2, global_batch=16)
+        report = self._trace(llama_7b().scaled(0.05), par)
+        ops = [k.op for _, k in report.nccl_kernels(0)]
+        assert "AllReduce" in ops
+        assert "Send" not in ops and "Recv" not in ops
+
+    def test_pp_emits_send_recv(self):
+        par = ParallelismConfig(pp=2, dp=2, microbatches=2, global_batch=16)
+        report = self._trace(llama_7b().scaled(0.05), par)
+        first_stage_ops = [k.op for _, k in report.nccl_kernels(0)]
+        last_stage_gpu = LlmTrainer(llama_7b().scaled(0.05), par).gpu_id(0, 1, 0)
+        last_stage_ops = [k.op for _, k in report.nccl_kernels(last_stage_gpu)]
+        assert "Send" in first_stage_ops
+        assert "Recv" in last_stage_ops
+
+    def test_moe_emits_alltoall(self):
+        par = ParallelismConfig(pp=1, dp=4, ep=2, microbatches=2, global_batch=16)
+        report = self._trace(mistral_8x7b().scaled(0.05), par)
+        ops = [k.op for _, k in report.nccl_kernels(0)]
+        assert "AllToAll" in ops
+
+    def test_tp_allreduce_on_tp_communicator(self):
+        par = ParallelismConfig(tp=2, dp=2, microbatches=2, global_batch=16)
+        report = self._trace(llama_7b().scaled(0.05), par)
+        comms = report.communicators
+        tp_groups = [m for cid, m in comms.items() if cid != 0 and len(m) == 2 and m[1] - m[0] == 1]
+        assert tp_groups, "expected at least one TP communicator of stride 1"
+
+    def test_gpu_count_matches_parallelism(self):
+        par = ParallelismConfig(tp=2, pp=2, dp=2, microbatches=2, global_batch=16)
+        report = self._trace(llama_7b().scaled(0.05), par)
+        assert report.num_gpus == 8
+
+    def test_dp_allreduce_on_separate_stream(self):
+        par = ParallelismConfig(dp=4, microbatches=2, global_batch=16)
+        report = self._trace(llama_7b().scaled(0.05), par)
+        assert LlmTrainer.DP_STREAM in report.streams[0]
+
+    def test_ep_cannot_exceed_experts(self):
+        with pytest.raises(ValueError):
+            LlmTrainer(
+                mistral_8x7b().scaled(0.05),
+                ParallelismConfig(dp=16, ep=16, microbatches=1, global_batch=16),
+            )
+
+
+class TestDlrm:
+    def test_trace_contains_alltoall_and_allreduce(self):
+        report = DlrmTrainer(num_gpus=4, iterations=1).trace()
+        ops = [k.op for _, k in report.nccl_kernels(0)]
+        assert ops.count("AllToAll") == 2
+        assert "AllReduce" in ops
+
+    def test_requires_two_gpus(self):
+        with pytest.raises(ValueError):
+            DlrmTrainer(num_gpus=1)

@@ -1,0 +1,144 @@
+"""Tests for the NCCL-style collective decompositions."""
+import pytest
+
+from repro.collectives import CollectiveContext
+from repro.collectives import nccl as cnccl
+from repro.goal import GoalBuilder, validate_schedule
+from repro.scheduler import simulate
+
+
+def _ctx(n, **kwargs):
+    b = GoalBuilder(n)
+    return b, CollectiveContext(b, list(range(n)), **kwargs)
+
+
+class TestNcclConfig:
+    def test_defaults(self):
+        cfg = cnccl.NcclConfig()
+        assert cfg.algorithm == "ring" and cfg.protocol == "Simple"
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(ValueError):
+            cnccl.NcclConfig(algorithm="butterfly")
+
+    def test_invalid_protocol(self):
+        with pytest.raises(ValueError):
+            cnccl.NcclConfig(protocol="LL256")
+
+    def test_protocol_chunk_defaults(self):
+        assert cnccl.NcclConfig(protocol="LL").effective_chunk_bytes() < cnccl.NcclConfig(
+            protocol="Simple"
+        ).effective_chunk_bytes()
+
+    def test_ll_wire_overhead(self):
+        cfg = cnccl.NcclConfig(protocol="LL")
+        assert cfg.wire_size(1000) == 2000
+
+    def test_explicit_chunk_size(self):
+        assert cnccl.NcclConfig(chunk_bytes=1234).effective_chunk_bytes() == 1234
+
+
+class TestRingAllreduce:
+    def test_channels_map_to_streams(self):
+        b, ctx = _ctx(4)
+        cfg = cnccl.NcclConfig(nchannels=3)
+        cnccl.allreduce(ctx, 3 << 20, cfg)
+        streams = set()
+        for rank in b.build().ranks:
+            streams.update(rank.compute_streams())
+        assert {0, 1, 2}.issubset(streams)
+
+    def test_chunking_increases_message_count(self):
+        b1, ctx1 = _ctx(4)
+        cnccl.allreduce(ctx1, 4 << 20, cnccl.NcclConfig(nchannels=1, chunk_bytes=1 << 20))
+        coarse = b1.build().op_counts()["send"]
+        b2, ctx2 = _ctx(4)
+        cnccl.allreduce(ctx2, 4 << 20, cnccl.NcclConfig(nchannels=1, chunk_bytes=1 << 18))
+        fine = b2.build().op_counts()["send"]
+        assert fine > coarse
+
+    def test_chunk_cap_respected(self):
+        b, ctx = _ctx(2)
+        cfg = cnccl.NcclConfig(nchannels=1, chunk_bytes=1024, max_chunks_per_step=4)
+        cnccl.allreduce(ctx, 1 << 22, cfg)
+        # 2 ranks, 2 steps, at most 4 chunks per step per rank
+        assert b.build().op_counts()["send"] <= 2 * 2 * 4
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 8])
+    def test_completes_on_lgs(self, n):
+        b, ctx = _ctx(n, reduce_ns_per_byte=0.001)
+        cnccl.allreduce(ctx, 1 << 20, cnccl.NcclConfig())
+        sched = b.build()
+        validate_schedule(sched)
+        assert simulate(sched, backend="lgs").ops_completed == sched.num_ops()
+
+    def test_tree_algorithm_completes(self):
+        b, ctx = _ctx(8)
+        cnccl.allreduce(ctx, 1 << 20, cnccl.NcclConfig(algorithm="tree"))
+        sched = b.build()
+        validate_schedule(sched)
+        assert simulate(sched, backend="lgs").ops_completed == sched.num_ops()
+
+    def test_single_rank_noop(self):
+        b, ctx = _ctx(1)
+        assert cnccl.allreduce(ctx, 1024, cnccl.NcclConfig()) == {}
+
+
+class TestBroadcastAndOthers:
+    def test_broadcast_chunks_travel_ring(self):
+        # Fig. 4: a 2 MB broadcast over 4 ranks with 0.5 MB chunks -> each rank
+        # forwards 4 chunks, the last rank only receives.
+        b, ctx = _ctx(4)
+        cfg = cnccl.NcclConfig(nchannels=1, chunk_bytes=1 << 19)
+        cnccl.broadcast(ctx, 2 << 20, cfg, root=0)
+        sched = b.build()
+        counts = sched.op_counts()
+        assert counts["send"] == 4 * 3  # 4 chunks forwarded over 3 ring hops
+        assert sched.ranks[0].total_bytes_received() == 0
+        validate_schedule(sched)
+
+    def test_broadcast_nonzero_root(self):
+        b, ctx = _ctx(4)
+        cnccl.broadcast(ctx, 1 << 20, cnccl.NcclConfig(), root=2)
+        sched = b.build()
+        assert sched.ranks[2].total_bytes_received() == 0
+        validate_schedule(sched)
+
+    def test_allgather_and_reduce_scatter(self):
+        for fn in (cnccl.allgather, cnccl.reduce_scatter):
+            b, ctx = _ctx(4)
+            fn(ctx, 1 << 20, cnccl.NcclConfig())
+            sched = b.build()
+            validate_schedule(sched)
+            counts = sched.op_counts()
+            assert counts["send"] == counts["recv"] > 0
+
+    def test_alltoall_pairs(self):
+        n = 4
+        b, ctx = _ctx(n)
+        cnccl.alltoall(ctx, 1 << 16, cnccl.NcclConfig())
+        assert b.build().op_counts()["send"] == n * (n - 1)
+        validate_schedule(b.build())
+
+    def test_send_recv_pair_chunked(self):
+        b, ctx = _ctx(2)
+        cfg = cnccl.NcclConfig(chunk_bytes=1 << 18, max_chunks_per_step=8)
+        cnccl.send_recv_pair(ctx, 0, 1, 1 << 20, cfg)
+        sched = b.build()
+        assert sched.op_counts()["send"] == 4
+        validate_schedule(sched)
+
+    def test_send_recv_same_rank_rejected(self):
+        b, ctx = _ctx(2)
+        with pytest.raises(ValueError):
+            cnccl.send_recv_pair(ctx, 1, 1, 1024, cnccl.NcclConfig())
+
+    def test_deps_are_respected(self):
+        b, ctx = _ctx(2)
+        first = {0: b.rank(0).calc(100), 1: b.rank(1).calc(100)}
+        cfg = cnccl.NcclConfig(nchannels=1)
+        cnccl.allreduce(ctx, 1 << 16, cfg, deps=first)
+        sched = b.build()
+        # every comm op of rank 0 must (transitively) depend on the first calc
+        roots = sched.ranks[0].roots()
+        assert roots == [0]

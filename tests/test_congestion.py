@@ -1,0 +1,157 @@
+"""Unit tests of the congestion-control window algorithms."""
+import pytest
+
+from repro.network.congestion import (
+    DCTCP,
+    MPRDMA,
+    FixedWindow,
+    NDPReceiverDriven,
+    Swift,
+    create_congestion_control,
+)
+
+
+def _mk(cls, **kwargs):
+    defaults = dict(mtu=4096, initial_window_packets=10, base_rtt_ns=10_000)
+    defaults.update(kwargs)
+    return cls(**defaults)
+
+
+class TestFactory:
+    def test_create_by_name(self):
+        for name, cls in (
+            ("mprdma", MPRDMA),
+            ("swift", Swift),
+            ("dctcp", DCTCP),
+            ("ndp", NDPReceiverDriven),
+            ("fixed", FixedWindow),
+        ):
+            cc = create_congestion_control(name, mtu=4096, initial_window_packets=8, base_rtt_ns=5000)
+            assert isinstance(cc, cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            create_congestion_control("bbr", 4096, 8, 5000)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            _mk(MPRDMA, mtu=0)
+        with pytest.raises(ValueError):
+            _mk(MPRDMA, initial_window_packets=0)
+
+
+class TestWindowSemantics:
+    def test_can_send_respects_window(self):
+        cc = _mk(FixedWindow, initial_window_packets=2)
+        assert cc.can_send(0)
+        assert cc.can_send(4096)
+        assert not cc.can_send(2 * 4096)
+
+    def test_can_send_always_allows_first_packet(self):
+        cc = _mk(FixedWindow, initial_window_packets=1)
+        assert cc.can_send(0)
+
+    def test_window_bytes(self):
+        cc = _mk(FixedWindow, initial_window_packets=3)
+        assert cc.window_bytes() == 3 * 4096
+
+
+class TestMPRDMA:
+    def test_unmarked_acks_grow_window(self):
+        cc = _mk(MPRDMA)
+        before = cc.cwnd
+        for _ in range(20):
+            cc.on_ack(4096, ecn_marked=False, rtt_ns=10_000)
+        assert cc.cwnd > before
+
+    def test_marked_acks_shrink_window(self):
+        cc = _mk(MPRDMA)
+        before = cc.cwnd
+        for _ in range(5):
+            cc.on_ack(4096, ecn_marked=True, rtt_ns=10_000)
+        assert cc.cwnd < before
+
+    def test_loss_collapses_window(self):
+        cc = _mk(MPRDMA)
+        cc.on_loss()
+        assert cc.cwnd == cc.min_window
+
+    def test_window_never_below_minimum(self):
+        cc = _mk(MPRDMA, initial_window_packets=1)
+        for _ in range(50):
+            cc.on_ack(4096, ecn_marked=True, rtt_ns=10_000)
+        assert cc.cwnd >= cc.min_window
+
+
+class TestSwift:
+    def test_low_delay_grows_window(self):
+        cc = _mk(Swift)
+        before = cc.cwnd
+        for _ in range(20):
+            cc.on_ack(4096, ecn_marked=False, rtt_ns=5_000)
+        assert cc.cwnd > before
+
+    def test_high_delay_shrinks_window(self):
+        cc = _mk(Swift, initial_window_packets=4)
+        before = cc.cwnd
+        for _ in range(40):
+            cc.on_ack(4096, ecn_marked=False, rtt_ns=200_000)
+        assert cc.cwnd < before
+
+    def test_decrease_bounded_by_max_mdf(self):
+        cc = _mk(Swift, initial_window_packets=4)
+        start = cc.cwnd
+        # one full window of very late acks triggers exactly one decrease
+        for _ in range(int(start)):
+            cc.on_ack(4096, ecn_marked=False, rtt_ns=10_000_000)
+        assert cc.cwnd >= start * (1.0 - cc.max_mdf) - 1e-9
+
+    def test_ecn_is_ignored_by_swift(self):
+        cc = _mk(Swift)
+        a = _mk(Swift)
+        for _ in range(10):
+            cc.on_ack(4096, ecn_marked=True, rtt_ns=5_000)
+            a.on_ack(4096, ecn_marked=False, rtt_ns=5_000)
+        assert cc.cwnd == a.cwnd
+
+    def test_loss_reduces_window(self):
+        cc = _mk(Swift)
+        before = cc.cwnd
+        cc.on_loss()
+        assert cc.cwnd < before
+
+
+class TestDCTCP:
+    def test_alpha_tracks_marking_fraction(self):
+        cc = _mk(DCTCP, initial_window_packets=4)
+        for _ in range(100):
+            cc.on_ack(4096, ecn_marked=True, rtt_ns=10_000)
+        assert cc.alpha > 0.3
+
+    def test_unmarked_traffic_keeps_alpha_zero(self):
+        cc = _mk(DCTCP)
+        for _ in range(50):
+            cc.on_ack(4096, ecn_marked=False, rtt_ns=10_000)
+        assert cc.alpha == 0.0
+        assert cc.cwnd > cc.initial_window_packets
+
+    def test_loss_halves_window(self):
+        cc = _mk(DCTCP, initial_window_packets=8)
+        cc.on_loss()
+        assert cc.cwnd == pytest.approx(4.0)
+
+
+class TestNDP:
+    def test_marked_receiver_driven(self):
+        assert NDPReceiverDriven.receiver_driven is True
+        assert not MPRDMA.receiver_driven
+
+    def test_feedback_is_noop(self):
+        cc = _mk(NDPReceiverDriven)
+        w = cc.cwnd
+        cc.on_ack(4096, True, 1_000_000)
+        cc.on_loss()
+        assert cc.cwnd == w
+
+    def test_header_size_positive(self):
+        assert _mk(NDPReceiverDriven).header_size > 0

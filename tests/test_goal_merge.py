@@ -1,0 +1,152 @@
+"""Tests for rank remapping and multi-job / multi-tenant merging."""
+import pytest
+
+from repro.goal import (
+    GoalBuilder,
+    concatenate_schedules,
+    merge_onto_shared_nodes,
+    relabel_tags,
+    remap_ranks,
+    validate_schedule,
+)
+from repro.scheduler import simulate
+
+
+def _pingpong(name="pp", size=1024):
+    b = GoalBuilder(2, name=name)
+    s = b.rank(0).send(size, dst=1, tag=1)
+    b.rank(0).recv(size, src=1, tag=2, requires=[s])
+    r = b.rank(1).recv(size, src=0, tag=1)
+    b.rank(1).send(size, dst=0, tag=2, requires=[r])
+    return b.build()
+
+
+class TestRemapRanks:
+    def test_remap_moves_ops_and_peers(self):
+        sched = _pingpong()
+        remapped = remap_ranks(sched, {0: 3, 1: 1}, num_ranks=4)
+        assert len(remapped.ranks[3]) == 2
+        assert len(remapped.ranks[0]) == 0
+        assert remapped.ranks[3].ops[0].peer == 1
+        validate_schedule(remapped)
+
+    def test_remap_infers_num_ranks(self):
+        remapped = remap_ranks(_pingpong(), {0: 5, 1: 2})
+        assert remapped.num_ranks == 6
+
+    def test_remap_requires_full_mapping(self):
+        with pytest.raises(ValueError):
+            remap_ranks(_pingpong(), {0: 1})
+
+    def test_remap_requires_injective_mapping(self):
+        with pytest.raises(ValueError):
+            remap_ranks(_pingpong(), {0: 1, 1: 1})
+
+    def test_remap_too_small_num_ranks(self):
+        with pytest.raises(ValueError):
+            remap_ranks(_pingpong(), {0: 0, 1: 5}, num_ranks=3)
+
+    def test_remapped_schedule_still_simulates(self):
+        remapped = remap_ranks(_pingpong(), {0: 2, 1: 0}, num_ranks=3)
+        result = simulate(remapped, backend="lgs")
+        assert result.ops_completed == remapped.num_ops()
+
+
+class TestRelabelTags:
+    def test_tags_offset(self):
+        out = relabel_tags(_pingpong(), 100)
+        tags = sorted({op.tag for r in out.ranks for op in r.ops if op.is_comm})
+        assert tags == [101, 102]
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            relabel_tags(_pingpong(), -1)
+
+
+class TestConcatenate:
+    def test_default_packing(self):
+        merged = concatenate_schedules([_pingpong("a"), _pingpong("b")])
+        assert merged.num_ranks == 4
+        assert merged.num_ops() == 8
+        validate_schedule(merged)
+
+    def test_explicit_placements(self):
+        merged = concatenate_schedules(
+            [_pingpong("a"), _pingpong("b")],
+            placements=[{0: 0, 1: 2}, {0: 1, 1: 3}],
+        )
+        assert len(merged.ranks[2]) == 2
+        validate_schedule(merged)
+
+    def test_overlapping_placements_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate_schedules(
+                [_pingpong("a"), _pingpong("b")],
+                placements=[{0: 0, 1: 1}, {0: 1, 1: 2}],
+            )
+
+    def test_tags_kept_disjoint_across_jobs(self):
+        merged = concatenate_schedules([_pingpong("a"), _pingpong("b")])
+        tags_job0 = {op.tag for op in merged.ranks[0].ops if op.is_comm}
+        tags_job1 = {op.tag for op in merged.ranks[2].ops if op.is_comm}
+        assert tags_job0.isdisjoint(tags_job1)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate_schedules([])
+
+    def test_merged_simulates_to_completion(self):
+        merged = concatenate_schedules([_pingpong("a"), _pingpong("b"), _pingpong("c")])
+        result = simulate(merged, backend="lgs")
+        assert result.ops_completed == merged.num_ops()
+
+
+class TestMultiTenant:
+    def test_shared_nodes_merge(self):
+        merged = merge_onto_shared_nodes(
+            [_pingpong("a"), _pingpong("b")],
+            placements=[{0: 0, 1: 1}, {0: 0, 1: 1}],
+        )
+        assert merged.num_ranks == 2
+        assert merged.num_ops() == 8
+        validate_schedule(merged)
+
+    def test_tenant_streams_are_disjoint(self):
+        merged = merge_onto_shared_nodes(
+            [_pingpong("a"), _pingpong("b")],
+            placements=[{0: 0, 1: 1}, {0: 0, 1: 1}],
+            stream_stride=8,
+        )
+        streams = merged.ranks[0].compute_streams()
+        assert any(s >= 8 for s in streams)
+
+    def test_tenant_dags_stay_independent(self):
+        merged = merge_onto_shared_nodes(
+            [_pingpong("a"), _pingpong("b")],
+            placements=[{0: 0, 1: 1}, {0: 0, 1: 1}],
+        )
+        # the second tenant's first op must have no dependency on the first tenant
+        rank0 = merged.ranks[0]
+        second_tenant_first = 2  # two ops per tenant per rank, appended in order
+        assert rank0.preds[second_tenant_first] == []
+
+    def test_shared_merge_simulates(self):
+        merged = merge_onto_shared_nodes(
+            [_pingpong("a"), _pingpong("b")],
+            placements=[{0: 0, 1: 1}, {0: 1, 1: 0}],
+        )
+        result = simulate(merged, backend="lgs")
+        assert result.ops_completed == merged.num_ops()
+
+    def test_stream_stride_too_small_rejected(self):
+        b = GoalBuilder(2, name="hi-stream")
+        b.rank(0).send(8, dst=1, tag=1, cpu=70)
+        b.rank(1).recv(8, src=0, tag=1, cpu=70)
+        with pytest.raises(ValueError):
+            merge_onto_shared_nodes(
+                [b.build()], placements=[{0: 0, 1: 1}], stream_stride=64
+            )
+
+    def test_placement_must_cover_all_ranks(self):
+        with pytest.raises(ValueError):
+            merge_onto_shared_nodes([_pingpong()], placements=[{0: 0}])

@@ -1,0 +1,151 @@
+"""Unit tests for RankSchedule / GoalSchedule."""
+import pytest
+
+from repro.goal import GoalSchedule, Op
+from repro.goal.schedule import RankSchedule
+
+
+class TestRankSchedule:
+    def test_add_op_returns_indices_in_order(self):
+        rank = RankSchedule(0)
+        assert rank.add_op(Op.calc(1)) == 0
+        assert rank.add_op(Op.calc(2)) == 1
+
+    def test_dependencies_must_reference_earlier_vertices(self):
+        rank = RankSchedule(0)
+        rank.add_op(Op.calc(1))
+        with pytest.raises(ValueError):
+            rank.add_op(Op.calc(2), requires=[5])
+
+    def test_add_dependency_forward_edge_rejected(self):
+        rank = RankSchedule(0)
+        rank.add_op(Op.calc(1))
+        rank.add_op(Op.calc(2))
+        with pytest.raises(ValueError):
+            rank.add_dependency(0, 1)
+
+    def test_add_dependency_self_loop_rejected(self):
+        rank = RankSchedule(0)
+        rank.add_op(Op.calc(1))
+        with pytest.raises(ValueError):
+            rank.add_dependency(0, 0)
+
+    def test_duplicate_label_rejected(self):
+        rank = RankSchedule(0)
+        rank.add_op(Op.calc(1, label="a"))
+        with pytest.raises(ValueError):
+            rank.add_op(Op.calc(2, label="a"))
+
+    def test_vertex_by_label(self):
+        rank = RankSchedule(0)
+        rank.add_op(Op.calc(1, label="x"))
+        assert rank.vertex_by_label("x") == 0
+        with pytest.raises(KeyError):
+            rank.vertex_by_label("missing")
+
+    def test_successors_and_in_degrees(self):
+        rank = RankSchedule(0)
+        a = rank.add_op(Op.calc(1))
+        b = rank.add_op(Op.calc(1), requires=[a])
+        c = rank.add_op(Op.calc(1), requires=[a, b])
+        assert rank.successors()[a] == [b, c]
+        assert rank.in_degrees() == [0, 1, 2]
+
+    def test_roots_and_leaves(self):
+        rank = RankSchedule(0)
+        a = rank.add_op(Op.calc(1))
+        b = rank.add_op(Op.calc(1))
+        c = rank.add_op(Op.calc(1), requires=[a, b])
+        assert rank.roots() == [a, b]
+        assert rank.leaves() == [c]
+
+    def test_totals(self):
+        rank = RankSchedule(0)
+        rank.add_op(Op.send(100, dst=1))
+        rank.add_op(Op.recv(40, src=1))
+        rank.add_op(Op.calc(7))
+        assert rank.total_bytes_sent() == 100
+        assert rank.total_bytes_received() == 40
+        assert rank.total_calc_ns() == 7
+
+    def test_compute_streams(self):
+        rank = RankSchedule(0)
+        rank.add_op(Op.calc(1, cpu=0))
+        rank.add_op(Op.calc(1, cpu=3))
+        assert rank.compute_streams() == [0, 3]
+
+    def test_critical_path_chain(self):
+        rank = RankSchedule(0)
+        a = rank.add_op(Op.calc(10))
+        b = rank.add_op(Op.calc(20), requires=[a])
+        rank.add_op(Op.calc(5))  # independent
+        assert rank.critical_path_ns() == 30
+
+    def test_critical_path_ignores_comm(self):
+        rank = RankSchedule(0)
+        a = rank.add_op(Op.calc(10))
+        s = rank.add_op(Op.send(1000, dst=1), requires=[a])
+        rank.add_op(Op.calc(10), requires=[s])
+        assert rank.critical_path_ns() == 20
+
+    def test_copy_deep(self):
+        rank = RankSchedule(0)
+        a = rank.add_op(Op.calc(10, label="a"))
+        rank.add_op(Op.calc(20), requires=[a])
+        cp = rank.copy()
+        cp.ops[0].size = 99
+        cp.preds[1].append(0)
+        assert rank.ops[0].size == 10
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            RankSchedule(-1)
+
+    def test_mutation_invalidates_successor_cache(self):
+        rank = RankSchedule(0)
+        a = rank.add_op(Op.calc(1))
+        b = rank.add_op(Op.calc(1))
+        assert rank.successors()[a] == []
+        rank.add_dependency(b, a)
+        assert rank.successors()[a] == [b]
+
+
+class TestGoalSchedule:
+    def _simple(self) -> GoalSchedule:
+        sched = GoalSchedule(2, name="t")
+        sched.ranks[0].add_op(Op.calc(5))
+        sched.ranks[0].add_op(Op.send(100, dst=1), requires=[0])
+        sched.ranks[1].add_op(Op.recv(100, src=0))
+        return sched
+
+    def test_num_ranks_positive(self):
+        with pytest.raises(ValueError):
+            GoalSchedule(0)
+
+    def test_counts(self):
+        sched = self._simple()
+        assert sched.num_ops() == 3
+        assert sched.num_edges() == 1
+        assert sched.total_bytes() == 100
+        assert sched.total_calc_ns() == 5
+
+    def test_op_counts(self):
+        counts = self._simple().op_counts()
+        assert counts == {"send": 1, "recv": 1, "calc": 1}
+
+    def test_summary_keys(self):
+        summary = self._simple().summary()
+        for key in ("name", "num_ranks", "num_ops", "sends", "recvs", "calcs", "total_bytes"):
+            assert key in summary
+
+    def test_indexing_and_iteration(self):
+        sched = self._simple()
+        assert sched[0] is sched.ranks[0]
+        assert len(list(sched)) == 2
+        assert len(sched) == 2
+
+    def test_copy_independent(self):
+        sched = self._simple()
+        cp = sched.copy()
+        cp.ranks[0].ops[0].size = 999
+        assert sched.ranks[0].ops[0].size == 5

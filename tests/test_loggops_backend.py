@@ -1,0 +1,162 @@
+"""Tests for the message-level LogGOPS backend (analytic timing checks)."""
+import pytest
+
+from repro.goal import GoalBuilder
+from repro.network import LogGOPSParams, SimulationConfig
+from repro.scheduler import simulate
+
+
+def _config(**kwargs):
+    return SimulationConfig(loggops=LogGOPSParams(**kwargs))
+
+
+def _single_message(size, **params):
+    b = GoalBuilder(2)
+    b.rank(0).send(size, dst=1, tag=1)
+    b.rank(1).recv(size, src=0, tag=1)
+    return simulate(b.build(), backend="lgs", config=_config(**params))
+
+
+class TestSingleMessageTiming:
+    def test_eager_message_latency_formula(self):
+        # o (send cpu) + L + size*G + o (recv cpu)
+        res = _single_message(1000, L=1000, o=100, g=0, G=1.0, O=0.0, S=0)
+        assert res.finish_time_ns == 100 + 1000 + 1000 + 100
+
+    def test_zero_byte_like_small_message(self):
+        res = _single_message(1, L=500, o=10, g=0, G=0.0, O=0.0, S=0)
+        assert res.finish_time_ns == 10 + 500 + 10
+
+    def test_per_byte_cpu_overhead(self):
+        res = _single_message(1000, L=0, o=0, g=0, G=0.0, O=1.0, S=0)
+        # sender charges size*O before injecting; receiver charges size*O again
+        assert res.finish_time_ns == 2000
+
+    def test_bandwidth_term_scales_with_size(self):
+        small = _single_message(1_000, L=0, o=0, g=0, G=0.1, O=0.0, S=0)
+        large = _single_message(10_000, L=0, o=0, g=0, G=0.1, O=0.0, S=0)
+        assert large.finish_time_ns - small.finish_time_ns == pytest.approx(900, abs=2)
+
+    def test_send_completes_locally_for_eager(self):
+        b = GoalBuilder(2)
+        s = b.rank(0).send(1000, dst=1, tag=1)
+        b.rank(0).calc(50, requires=[s])
+        b.rank(1).recv(1000, src=0, tag=1)
+        res = simulate(b.build(), backend="lgs", config=_config(L=10_000, o=100, G=0.0, S=0))
+        # rank 0 finishes its calc long before the message is delivered at L
+        assert res.rank_finish_times_ns[0] < res.rank_finish_times_ns[1]
+
+
+class TestRendezvous:
+    def test_rendezvous_waits_for_receiver(self):
+        params = dict(L=100, o=10, g=0, G=0.0, O=0.0)
+        b = GoalBuilder(2)
+        b.rank(0).send(10_000, dst=1, tag=1)
+        c = b.rank(1).calc(50_000)
+        b.rank(1).recv(10_000, src=0, tag=1, requires=[c])
+        eager = simulate(b.build(), backend="lgs", config=_config(S=0, **params))
+
+        b2 = GoalBuilder(2)
+        b2.rank(0).send(10_000, dst=1, tag=1)
+        c2 = b2.rank(1).calc(50_000)
+        b2.rank(1).recv(10_000, src=0, tag=1, requires=[c2])
+        rndv = simulate(b2.build(), backend="lgs", config=_config(S=1000, **params))
+        # under rendezvous the transfer cannot start before the recv is posted
+        assert rndv.finish_time_ns > eager.finish_time_ns
+        assert rndv.finish_time_ns >= 50_000
+
+    def test_rendezvous_send_blocks_sender(self):
+        params = dict(L=100, o=10, g=0, G=0.0, O=0.0, S=1000)
+        b = GoalBuilder(2)
+        s = b.rank(0).send(10_000, dst=1, tag=1)
+        b.rank(0).calc(1, requires=[s])
+        c = b.rank(1).calc(20_000)
+        b.rank(1).recv(10_000, src=0, tag=1, requires=[c])
+        res = simulate(b.build(), backend="lgs", config=_config(**params))
+        assert res.rank_finish_times_ns[0] >= 20_000
+
+    def test_recv_posted_before_rendezvous_send(self):
+        params = dict(L=100, o=10, g=0, G=0.01, O=0.0, S=1000)
+        b = GoalBuilder(2)
+        c = b.rank(0).calc(5_000)
+        b.rank(0).send(10_000, dst=1, tag=1, requires=[c])
+        b.rank(1).recv(10_000, src=0, tag=1)
+        res = simulate(b.build(), backend="lgs", config=_config(**params))
+        assert res.ops_completed == 3
+
+
+class TestResourceContention:
+    def test_incast_serialises_at_receiver_nic(self):
+        # two senders to one receiver: second message must wait for the first
+        b = GoalBuilder(3)
+        b.rank(1).send(10_000, dst=0, tag=1)
+        b.rank(2).send(10_000, dst=0, tag=2)
+        b.rank(0).recv(10_000, src=1, tag=1)
+        b.rank(0).recv(10_000, src=2, tag=2)
+        res = simulate(b.build(), backend="lgs", config=_config(L=0, o=0, g=0, G=1.0, O=0.0, S=0))
+        assert res.finish_time_ns >= 20_000
+
+    def test_sender_nic_gap_g(self):
+        b = GoalBuilder(3)
+        b.rank(0).send(1, dst=1, tag=1)
+        b.rank(0).send(1, dst=2, tag=2)
+        b.rank(1).recv(1, src=0, tag=1)
+        b.rank(2).recv(1, src=0, tag=2)
+        res = simulate(b.build(), backend="lgs", config=_config(L=0, o=0, g=1000, G=0.0, O=0.0, S=0))
+        assert res.finish_time_ns >= 1000
+
+    def test_compute_streams_overlap(self):
+        b = GoalBuilder(1)
+        b.rank(0).calc(1000, cpu=0)
+        b.rank(0).calc(1000, cpu=1)
+        res = simulate(b.build(), backend="lgs")
+        assert res.finish_time_ns == 1000
+
+    def test_same_stream_serialises(self):
+        b = GoalBuilder(1)
+        b.rank(0).calc(1000, cpu=0)
+        b.rank(0).calc(1000, cpu=0)
+        res = simulate(b.build(), backend="lgs")
+        assert res.finish_time_ns == 2000
+
+
+class TestStatsAndRecords:
+    def test_message_records_collected(self):
+        b = GoalBuilder(2)
+        b.rank(0).send(100, dst=1, tag=9)
+        b.rank(1).recv(100, src=0, tag=9)
+        res = simulate(b.build(), backend="lgs")
+        assert len(res.message_records) == 1
+        rec = res.message_records[0]
+        assert (rec.src, rec.dst, rec.size, rec.tag) == (0, 1, 100, 9)
+        assert rec.completion_latency > 0
+
+    def test_stats_counts(self):
+        b = GoalBuilder(2)
+        for i in range(5):
+            b.rank(0).send(100, dst=1, tag=i)
+            b.rank(1).recv(100, src=0, tag=i)
+        res = simulate(b.build(), backend="lgs")
+        assert res.stats.messages_delivered == 5
+        assert res.stats.bytes_delivered == 500
+
+    def test_record_collection_can_be_disabled(self):
+        b = GoalBuilder(2)
+        b.rank(0).send(100, dst=1)
+        b.rank(1).recv(100, src=0)
+        cfg = SimulationConfig(collect_message_records=False)
+        res = simulate(b.build(), backend="lgs", config=cfg)
+        assert res.message_records == []
+        with pytest.raises(ValueError):
+            res.mct_statistics()
+
+    def test_ai_and_hpc_presets(self):
+        assert LogGOPSParams.ai_cluster().L == 3700
+        assert LogGOPSParams.hpc_cluster().S == 256000
+        assert LogGOPSParams(G=0.04).bandwidth_bytes_per_ns() == pytest.approx(25.0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            LogGOPSParams(L=-1)
+        with pytest.raises(ValueError):
+            LogGOPSParams(G=-0.1)

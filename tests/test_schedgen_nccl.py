@@ -1,0 +1,163 @@
+"""Tests for the NCCL trace -> GOAL pipeline (stages 2-4) and grouping."""
+import pytest
+
+from repro.apps.ai import LlmTrainer, ParallelismConfig, llama_7b, mistral_8x7b
+from repro.collectives.nccl import NcclConfig
+from repro.goal import GoalBuilder, validate_schedule
+from repro.goal.ops import OpType
+from repro.schedgen.grouping import group_ranks_into_nodes
+from repro.schedgen.nccl import NcclScheduleGenerator, NcclTraceMismatchError, nccl_trace_to_goal
+from repro.scheduler import simulate
+from repro.tracers.nccl import NcclTracer
+
+
+def _small_report(dp=4, pp=1, ep=1, model=None):
+    model = model or llama_7b().scaled(0.05)
+    par = ParallelismConfig(tp=1, pp=pp, dp=dp, ep=ep, microbatches=2, global_batch=16)
+    return LlmTrainer(model, par, gpus_per_node=2, iterations=1).trace()
+
+
+class TestStage2And3:
+    def test_gpu_schedule_one_rank_per_gpu(self):
+        report = _small_report()
+        gen = NcclScheduleGenerator(report, gpus_per_node=1)
+        sched = gen.generate()
+        assert sched.num_ranks == report.num_gpus
+        validate_schedule(sched)
+
+    def test_compute_gaps_become_calc(self):
+        t = NcclTracer(2)
+        t.compute(0, 0, 5000)
+        t.nccl(0, 0, "AllReduce", 4096)
+        t.compute(1, 0, 100)
+        t.nccl(1, 0, "AllReduce", 4096)
+        sched = NcclScheduleGenerator(t.finish(), gpus_per_node=1).generate()
+        assert sched.ranks[0].total_calc_ns() >= 5000
+
+    def test_compute_scale(self):
+        report = _small_report(dp=2)
+        full = NcclScheduleGenerator(report, gpus_per_node=1).generate()
+        half = NcclScheduleGenerator(report, compute_scale=0.5, gpus_per_node=1).generate()
+        assert half.total_calc_ns() < full.total_calc_ns()
+
+    def test_p2p_send_recv_correlated(self):
+        t = NcclTracer(2)
+        t.nccl(0, 0, "Send", 1 << 16, peer=1)
+        t.nccl(0, 0, "Send", 1 << 16, peer=1)
+        t.nccl(1, 0, "Recv", 1 << 16, peer=0)
+        t.nccl(1, 0, "Recv", 1 << 16, peer=0)
+        sched = NcclScheduleGenerator(t.finish(), gpus_per_node=1).generate()
+        validate_schedule(sched)
+        assert simulate(sched, backend="lgs").ops_completed == sched.num_ops()
+
+    def test_mismatched_collectives_raise(self):
+        t = NcclTracer(2)
+        t.nccl(0, 0, "AllReduce", 4096, comm=0)
+        # GPU 1 never issues the collective
+        with pytest.raises(NcclTraceMismatchError):
+            NcclScheduleGenerator(t.finish(), gpus_per_node=1).generate()
+
+    def test_nccl_config_changes_schedule_shape(self):
+        report = _small_report(dp=2)
+        a = nccl_trace_to_goal(report, nccl_config=NcclConfig(nchannels=1), gpus_per_node=1)
+        b = nccl_trace_to_goal(report, nccl_config=NcclConfig(nchannels=4), gpus_per_node=1)
+        assert b.num_ops() != a.num_ops()
+
+    def test_simulates_on_both_backends(self):
+        from repro.network import SimulationConfig
+
+        sched = nccl_trace_to_goal(_small_report(dp=4), gpus_per_node=1)
+        lgs = simulate(sched, backend="lgs")
+        pkt = simulate(
+            sched, backend="htsim", config=SimulationConfig(topology="fat_tree", nodes_per_tor=4)
+        )
+        assert lgs.ops_completed == pkt.ops_completed == sched.num_ops()
+
+
+class TestStage4Grouping:
+    def test_grouping_reduces_rank_count(self):
+        report = _small_report(dp=4)
+        sched = nccl_trace_to_goal(report, gpus_per_node=2)
+        assert sched.num_ranks == 2
+        validate_schedule(sched)
+
+    def test_intra_node_comm_replaced_by_calc(self):
+        b = GoalBuilder(4)
+        b.rank(0).send(1 << 20, dst=1, tag=1)
+        b.rank(1).recv(1 << 20, src=0, tag=1)
+        b.rank(2).send(1 << 20, dst=3, tag=2)
+        b.rank(3).recv(1 << 20, src=2, tag=2)
+        grouped = group_ranks_into_nodes(b.build(), ranks_per_node=2)
+        assert grouped.num_ranks == 2
+        counts = grouped.op_counts()
+        assert counts["send"] == 0 and counts["recv"] == 0
+        assert counts["calc"] == 4
+        # the send side carries the NVLink transfer cost
+        assert grouped.total_calc_ns() > 0
+
+    def test_intra_node_dependency_preserved(self):
+        b = GoalBuilder(2)
+        c = b.rank(0).calc(10_000)
+        b.rank(0).send(1024, dst=1, tag=1, requires=[c])
+        r = b.rank(1).recv(1024, src=0, tag=1)
+        b.rank(1).calc(500, requires=[r])
+        grouped = group_ranks_into_nodes(b.build(), ranks_per_node=2)
+        res = simulate(grouped, backend="lgs")
+        # the consumer calc must still wait for the producer's 10us compute
+        assert res.finish_time_ns >= 10_000
+
+    def test_inter_node_comm_remapped(self):
+        b = GoalBuilder(4)
+        b.rank(0).send(4096, dst=2, tag=1)
+        b.rank(2).recv(4096, src=0, tag=1)
+        grouped = group_ranks_into_nodes(b.build(), ranks_per_node=2)
+        sends = [op for r in grouped.ranks for op in r.ops if op.is_send]
+        assert len(sends) == 1 and sends[0].peer == 1
+        validate_schedule(grouped)
+
+    def test_streams_offset_per_local_rank(self):
+        b = GoalBuilder(2)
+        b.rank(0).calc(10, cpu=0)
+        b.rank(1).calc(10, cpu=0)
+        grouped = group_ranks_into_nodes(b.build(), ranks_per_node=2, stream_stride=16)
+        assert sorted(grouped.ranks[0].compute_streams()) == [0, 16]
+
+    def test_stream_stride_violation_rejected(self):
+        b = GoalBuilder(2)
+        b.rank(0).calc(10, cpu=20)
+        b.rank(1).calc(10)
+        with pytest.raises(ValueError):
+            group_ranks_into_nodes(b.build(), ranks_per_node=2, stream_stride=16)
+
+    def test_explicit_node_map(self):
+        b = GoalBuilder(4)
+        for r in range(4):
+            b.rank(r).calc(r + 1)
+        grouped = group_ranks_into_nodes(b.build(), node_of=[0, 1, 0, 1])
+        assert grouped.num_ranks == 2
+        assert len(grouped.ranks[0]) == 2
+
+    def test_requires_exactly_one_grouping_spec(self):
+        b = GoalBuilder(2)
+        b.rank(0).calc(1)
+        with pytest.raises(ValueError):
+            group_ranks_into_nodes(b.build())
+        with pytest.raises(ValueError):
+            group_ranks_into_nodes(b.build(), ranks_per_node=2, node_of=[0, 0])
+
+    def test_what_if_regrouping(self):
+        # the paper's Stage-4 example: regroup an 8-GPU/2-node trace as 4 nodes
+        report = _small_report(dp=8)
+        two_nodes = nccl_trace_to_goal(report, gpus_per_node=4)
+        four_nodes = nccl_trace_to_goal(report, gpus_per_node=2)
+        assert two_nodes.num_ranks == 2
+        assert four_nodes.num_ranks == 4
+        for sched in (two_nodes, four_nodes):
+            validate_schedule(sched)
+            assert simulate(sched, backend="lgs").ops_completed == sched.num_ops()
+
+    def test_grouped_moe_workload_completes(self):
+        report = _small_report(dp=4, pp=2, ep=2, model=mistral_8x7b().scaled(0.05))
+        sched = nccl_trace_to_goal(report, gpus_per_node=2)
+        validate_schedule(sched)
+        assert simulate(sched, backend="lgs").ops_completed == sched.num_ops()

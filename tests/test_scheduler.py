@@ -1,0 +1,117 @@
+"""Tests for the GOAL scheduler."""
+import pytest
+
+from repro.goal import GoalBuilder
+from repro.network import SimulationConfig
+from repro.scheduler import GoalScheduler, SchedulerDeadlockError, simulate
+
+
+class TestDependencies:
+    def test_chain_executes_fully(self):
+        b = GoalBuilder(1)
+        r = b.rank(0)
+        prev = None
+        for i in range(10):
+            prev = r.calc(10, requires=[prev] if prev is not None else [])
+        res = simulate(b.build(), backend="lgs")
+        assert res.ops_completed == 10
+        assert res.finish_time_ns == 100
+
+    def test_diamond_dependency(self):
+        b = GoalBuilder(1)
+        r = b.rank(0)
+        a = r.calc(10)
+        left = r.calc(20, requires=[a], cpu=0)
+        right = r.calc(30, requires=[a], cpu=1)
+        r.calc(5, requires=[left, right])
+        res = simulate(b.build(), backend="lgs")
+        assert res.finish_time_ns == 10 + 30 + 5
+
+    def test_cross_rank_dependency_via_message(self):
+        b = GoalBuilder(2)
+        c = b.rank(0).calc(1000)
+        b.rank(0).send(8, dst=1, tag=1, requires=[c])
+        r = b.rank(1).recv(8, src=0, tag=1)
+        b.rank(1).calc(500, requires=[r])
+        res = simulate(b.build(), backend="lgs")
+        assert res.rank_finish_times_ns[1] > 1000
+
+    def test_deadlock_detection_on_missing_send(self):
+        b = GoalBuilder(2)
+        b.rank(1).recv(8, src=0, tag=1)
+        with pytest.raises(SchedulerDeadlockError) as exc:
+            simulate(b.build(), backend="lgs", validate=False)
+        assert 1 in exc.value.stuck_per_rank or exc.value.stuck_per_rank == {}
+
+    def test_validation_enabled_by_default(self):
+        from repro.goal import GoalValidationError
+
+        b = GoalBuilder(2)
+        b.rank(1).recv(8, src=0, tag=1)
+        with pytest.raises(GoalValidationError):
+            simulate(b.build(), backend="lgs")
+
+
+class TestResults:
+    def test_ops_completed_counts_everything(self):
+        b = GoalBuilder(2)
+        for i in range(4):
+            b.rank(0).send(64, dst=1, tag=i)
+            b.rank(1).recv(64, src=0, tag=i)
+            b.rank(0).calc(10)
+        res = simulate(b.build(), backend="lgs")
+        assert res.ops_completed == 12
+
+    def test_rank_finish_times_length(self):
+        b = GoalBuilder(3)
+        b.rank(0).calc(10)
+        b.rank(2).calc(20)
+        res = simulate(b.build(), backend="lgs")
+        assert len(res.rank_finish_times_ns) == 3
+        assert res.rank_finish_times_ns[1] == 0
+
+    def test_wall_clock_recorded(self):
+        b = GoalBuilder(1)
+        b.rank(0).calc(1)
+        res = simulate(b.build(), backend="lgs")
+        assert res.wall_clock_s >= 0
+
+    def test_backend_name_in_result(self):
+        b = GoalBuilder(1)
+        b.rank(0).calc(1)
+        assert simulate(b.build(), backend="lgs").backend == "lgs"
+        assert (
+            simulate(b.build(), backend="htsim", config=SimulationConfig(topology="single_switch")).backend
+            == "htsim"
+        )
+
+    def test_finish_time_seconds_property(self):
+        b = GoalBuilder(1)
+        b.rank(0).calc(2_000_000_000)
+        res = simulate(b.build(), backend="lgs")
+        assert res.finish_time_s == pytest.approx(2.0)
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        b = GoalBuilder(1)
+        b.rank(0).calc(1)
+        with pytest.raises(ValueError):
+            simulate(b.build(), backend="omnet")
+
+    def test_backend_instance_accepted(self):
+        from repro.network.loggops import LogGOPSBackend
+
+        b = GoalBuilder(1)
+        b.rank(0).calc(5)
+        res = GoalScheduler(b.build(), backend=LogGOPSBackend()).run()
+        assert res.finish_time_ns == 5
+
+    def test_backends_agree_on_compute_only_workload(self):
+        b = GoalBuilder(2)
+        b.rank(0).calc(10_000)
+        b.rank(1).calc(20_000)
+        cfg = SimulationConfig(topology="single_switch")
+        lgs = simulate(b.build(), backend="lgs", config=cfg)
+        pkt = simulate(b.build(), backend="htsim", config=cfg)
+        assert lgs.finish_time_ns == pkt.finish_time_ns == 20_000

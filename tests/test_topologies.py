@@ -1,0 +1,120 @@
+"""Tests for the network topologies and their routing."""
+import pytest
+
+from repro.network.config import SimulationConfig
+from repro.network.topology import (
+    DragonflyTopology,
+    FatTreeTopology,
+    SingleSwitchTopology,
+    build_topology,
+)
+
+
+class TestSingleSwitch:
+    def test_route_shape(self):
+        topo = SingleSwitchTopology(4)
+        routes = topo.routes(0, 3)
+        assert len(routes) == 1
+        assert len(routes[0]) == 2
+
+    def test_routes_valid(self):
+        SingleSwitchTopology(5).check_routes()
+
+    def test_self_route_rejected(self):
+        with pytest.raises(ValueError):
+            SingleSwitchTopology(2).routes(1, 1)
+
+    def test_device_and_link_counts(self):
+        topo = SingleSwitchTopology(6)
+        assert topo.num_devices == 7
+        assert len(topo.links) == 12
+
+
+class TestFatTree:
+    def test_fully_provisioned_core_count(self):
+        topo = FatTreeTopology(32, nodes_per_tor=16, oversubscription=1.0)
+        assert topo.num_tors == 2
+        assert topo.num_cores == 16
+
+    def test_oversubscription_reduces_cores(self):
+        topo = FatTreeTopology(32, nodes_per_tor=16, oversubscription=8.0)
+        assert topo.num_cores == 2
+        assert topo.oversubscription == 8.0
+
+    def test_intra_tor_route_stays_local(self):
+        topo = FatTreeTopology(32, nodes_per_tor=16)
+        routes = topo.routes(0, 1)
+        assert len(routes) == 1 and len(routes[0]) == 2
+
+    def test_inter_tor_routes_fan_out_over_cores(self):
+        topo = FatTreeTopology(32, nodes_per_tor=16, oversubscription=2.0)
+        routes = topo.routes(0, 20)
+        assert len(routes) == topo.num_cores
+        for route in routes:
+            assert len(route) == 4
+
+    def test_routes_valid(self):
+        FatTreeTopology(12, nodes_per_tor=4, oversubscription=2.0).check_routes()
+
+    def test_core_uplinks_listed(self):
+        topo = FatTreeTopology(8, nodes_per_tor=4, oversubscription=1.0)
+        assert len(topo.core_uplinks(0)) == topo.num_cores
+
+    def test_describe(self):
+        d = FatTreeTopology(8, nodes_per_tor=4, oversubscription=4.0).describe()
+        assert d["num_cores"] == 1 and d["oversubscription"] == 4.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FatTreeTopology(8, nodes_per_tor=0)
+        with pytest.raises(ValueError):
+            FatTreeTopology(8, oversubscription=0.5)
+
+    def test_min_path_latency(self):
+        topo = FatTreeTopology(8, nodes_per_tor=4, latency=100)
+        assert topo.min_path_latency(0, 1) == 200
+        assert topo.min_path_latency(0, 5) == 400
+
+
+class TestDragonfly:
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            DragonflyTopology(1000, groups=2, routers_per_group=2, nodes_per_router=2)
+
+    def test_same_router_route(self):
+        topo = DragonflyTopology(16, groups=2, routers_per_group=2, nodes_per_router=4)
+        assert len(topo.routes(0, 1)[0]) == 2
+
+    def test_same_group_route(self):
+        topo = DragonflyTopology(16, groups=2, routers_per_group=2, nodes_per_router=4)
+        assert len(topo.routes(0, 4)[0]) == 3
+
+    def test_inter_group_route_contains_global_link(self):
+        topo = DragonflyTopology(16, groups=2, routers_per_group=2, nodes_per_router=4)
+        routes = topo.routes(0, 8)
+        assert routes, "expected at least one inter-group route"
+        assert 3 <= len(routes[0]) <= 5
+
+    def test_routes_valid(self):
+        DragonflyTopology(24, groups=3, routers_per_group=2, nodes_per_router=4).check_routes()
+
+    def test_needs_two_groups(self):
+        with pytest.raises(ValueError):
+            DragonflyTopology(4, groups=1)
+
+
+class TestBuildTopology:
+    def test_build_each_kind(self):
+        for kind, cls in (
+            ("single_switch", SingleSwitchTopology),
+            ("fat_tree", FatTreeTopology),
+            ("dragonfly", DragonflyTopology),
+        ):
+            cfg = SimulationConfig(topology=kind, nodes_per_tor=8)
+            topo = build_topology(cfg, 8)
+            assert isinstance(topo, cls)
+            assert topo.num_hosts == 8
+
+    def test_config_rejects_unknown_topology(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(topology="hypercube")

@@ -1,0 +1,201 @@
+"""Tests for the MPI, NCCL and storage trace formats and tracers."""
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tracers.mpi import MpiEvent, MpiTrace, MpiTracer
+from repro.tracers.nccl import GpuKernel, NcclTracer, NsysReport
+from repro.tracers.storage import (
+    FinancialWorkloadGenerator,
+    SpcRecord,
+    SpcTrace,
+    uniform_workload,
+)
+
+
+class TestMpiTrace:
+    def test_tracer_records_in_order(self):
+        t = MpiTracer(2, name="x")
+        t.compute(0, 500)
+        e = t.record(0, "MPI_Send", size=100, peer=1, tag=3)
+        assert e.start_ns == 500
+        t.compute(0, 100)
+        e2 = t.record(0, "MPI_Allreduce", size=8)
+        assert e2.start_ns == e.end_ns + 100
+
+    def test_collective_sequence_numbers(self):
+        t = MpiTracer(2)
+        a = t.record(0, "MPI_Allreduce", size=8)
+        b = t.record(0, "MPI_Allreduce", size=8)
+        c = t.record(1, "MPI_Allreduce", size=8)
+        assert (a.seq, b.seq, c.seq) == (0, 1, 0)
+
+    def test_unknown_call_rejected(self):
+        with pytest.raises(ValueError):
+            MpiEvent(call="MPI_Bogus", start_ns=0, end_ns=1)
+
+    def test_out_of_order_event_rejected(self):
+        trace = MpiTrace(1)
+        trace.add(0, MpiEvent(call="MPI_Barrier", start_ns=100, end_ns=200))
+        with pytest.raises(ValueError):
+            trace.add(0, MpiEvent(call="MPI_Barrier", start_ns=50, end_ns=60))
+
+    def test_text_roundtrip(self):
+        t = MpiTracer(2, name="rt")
+        t.define_communicator(1, [0, 1])
+        t.compute(0, 100)
+        t.record(0, "MPI_Sendrecv", size=64, peer=1, recv_peer=1, recv_size=64, tag=2)
+        t.record(1, "MPI_Sendrecv", size=64, peer=0, recv_peer=0, recv_size=64, tag=2)
+        t.record(0, "MPI_Allreduce", size=8, comm=1)
+        t.record(1, "MPI_Allreduce", size=8, comm=1)
+        trace = t.finish()
+        back = MpiTrace.from_text(trace.to_text())
+        assert back.num_ranks == 2
+        assert back.num_events() == trace.num_events()
+        assert back.communicators[1] == [0, 1]
+        assert back.events[0][0].recv_peer == 1
+
+    def test_makespan_and_sizes(self):
+        t = MpiTracer(2)
+        t.compute(1, 1000)
+        t.record(1, "MPI_Barrier")
+        trace = t.finish()
+        assert trace.makespan_ns() >= 1000
+        assert trace.size_bytes() == len(trace.to_text().encode())
+
+    def test_file_roundtrip(self, tmp_path):
+        t = MpiTracer(1)
+        t.record(0, "MPI_Barrier")
+        path = str(tmp_path / "trace.txt")
+        n = t.finish().to_file(path)
+        assert n > 0
+        assert MpiTrace.from_file(path).num_events() == 1
+
+
+class TestNcclTrace:
+    def test_tracer_clocks_per_stream(self):
+        t = NcclTracer(2)
+        t.compute(0, 0, 1000)
+        t.nccl(0, 0, "AllReduce", 4096)
+        t.compute(0, 1, 50)
+        report = t.finish()
+        k = report.streams[0][0].kernels
+        assert k[1].start_ns == 1000
+        assert report.streams[0][1].kernels[0].end_ns == 50
+
+    def test_collective_sequence_per_communicator(self):
+        t = NcclTracer(2)
+        t.define_communicator(5, [0, 1])
+        a = t.nccl(0, 0, "AllReduce", 128, comm=5)
+        b = t.nccl(0, 0, "AllReduce", 128, comm=5)
+        c = t.nccl(1, 0, "AllReduce", 128, comm=5)
+        assert (a.seq, b.seq, c.seq) == (0, 1, 0)
+
+    def test_p2p_requires_known_op(self):
+        t = NcclTracer(2)
+        with pytest.raises(ValueError):
+            t.nccl(0, 0, "Gather", 128)
+
+    def test_advance_to_creates_gap(self):
+        t = NcclTracer(1)
+        t.advance_to(0, 1, 5000)
+        k = t.nccl(0, 1, "AllReduce", 64)
+        assert k.start_ns == 5000
+
+    def test_json_roundtrip(self):
+        t = NcclTracer(2, gpus_per_node=2, name="rt")
+        t.define_communicator(1, [0, 1])
+        t.compute(0, 0, 10)
+        t.nccl(0, 0, "AllReduce", 2048, comm=1)
+        t.nccl(1, 0, "AllReduce", 2048, comm=1)
+        t.nccl(0, 0, "Send", 128, peer=1)
+        t.nccl(1, 0, "Recv", 128, peer=0)
+        report = t.finish()
+        back = NsysReport.from_json(report.to_json())
+        assert back.num_gpus == 2
+        assert back.gpus_per_node == 2
+        assert back.num_kernels() == report.num_kernels()
+        assert back.communicators[1] == [0, 1]
+
+    def test_kernel_ordering_enforced(self):
+        report = NsysReport(num_gpus=1)
+        report.stream(0, 0).add(GpuKernel(kind="compute", name="a", start_ns=100, end_ns=200))
+        with pytest.raises(ValueError):
+            report.stream(0, 0).add(GpuKernel(kind="compute", name="b", start_ns=50, end_ns=80))
+
+    def test_nccl_kernels_listing(self):
+        t = NcclTracer(1)
+        t.compute(0, 0, 10)
+        t.nccl(0, 0, "AllReduce", 64)
+        t.nccl(0, 1, "AllReduce", 64)
+        listing = t.finish().nccl_kernels(0)
+        assert len(listing) == 2
+
+    def test_num_nodes(self):
+        assert NsysReport(num_gpus=8, gpus_per_node=4).num_nodes == 2
+        assert NsysReport(num_gpus=9, gpus_per_node=4).num_nodes == 3
+
+
+class TestStorageTraces:
+    def test_spc_record_validation(self):
+        with pytest.raises(ValueError):
+            SpcRecord(asu=0, lba=0, size=0, opcode="r", timestamp=0.0)
+        with pytest.raises(ValueError):
+            SpcRecord(asu=0, lba=0, size=512, opcode="x", timestamp=0.0)
+
+    def test_spc_text_roundtrip(self):
+        trace = SpcTrace(
+            [
+                SpcRecord(0, 100, 4096, "r", 0.001),
+                SpcRecord(1, 200, 8192, "w", 0.002),
+            ]
+        )
+        back = SpcTrace.from_text(trace.to_text())
+        assert len(back) == 2
+        assert back.records[1].opcode == "w"
+        assert back.total_bytes() == 4096 + 8192
+
+    def test_records_must_be_time_ordered(self):
+        trace = SpcTrace()
+        trace.add(SpcRecord(0, 0, 512, "r", 1.0))
+        with pytest.raises(ValueError):
+            trace.add(SpcRecord(0, 0, 512, "r", 0.5))
+
+    def test_financial_generator_basic_properties(self):
+        trace = FinancialWorkloadGenerator(seed=3).generate(500)
+        assert len(trace) == 500
+        ts = [r.timestamp for r in trace]
+        assert ts == sorted(ts)
+        sizes = [r.size for r in trace]
+        assert all(512 <= s <= 256 * 1024 and s % 512 == 0 for s in sizes)
+
+    def test_financial_generator_write_fraction(self):
+        trace = FinancialWorkloadGenerator(write_fraction=0.75, seed=1).generate(2000)
+        frac = len(trace.writes()) / len(trace)
+        assert 0.68 <= frac <= 0.82
+
+    def test_financial_generator_deterministic(self):
+        a = FinancialWorkloadGenerator(seed=5).generate(100)
+        b = FinancialWorkloadGenerator(seed=5).generate(100)
+        assert a.to_text() == b.to_text()
+
+    def test_uniform_workload(self):
+        trace = uniform_workload(100, size_bytes=8192, seed=2)
+        assert len(trace) == 100
+        assert all(r.size == 8192 for r in trace)
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = FinancialWorkloadGenerator(seed=1).generate(50)
+        path = str(tmp_path / "spc.txt")
+        trace.to_file(path)
+        assert len(SpcTrace.from_file(path)) == 50
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=10_000))
+    def test_generator_property_sizes_and_order(self, n, seed):
+        trace = FinancialWorkloadGenerator(seed=seed).generate(n)
+        assert len(trace) == n
+        prev = -1.0
+        for r in trace:
+            assert r.timestamp >= prev
+            assert r.size % 512 == 0
+            prev = r.timestamp
