@@ -7,7 +7,12 @@ Subcommands mirror the main pipelines:
 * ``atlahs ai MODEL`` — trace + simulate an LLM-training workload,
 * ``atlahs storage`` — generate a Financial-like workload and replay it
   against Direct Drive,
-* ``atlahs synthetic PATTERN`` — run one of the synthetic microbenchmarks.
+* ``atlahs synthetic PATTERN`` — run one of the synthetic microbenchmarks,
+* ``atlahs topologies`` — list registered topologies and routing strategies.
+
+Every simulation subcommand accepts the shared network flags
+(``--backend``, ``--topology``, ``--routing``, topology shape parameters,
+``--cc``, ``--seed``); ``topologies`` is a pure listing and takes none.
 """
 from __future__ import annotations
 
@@ -22,25 +27,68 @@ from repro.core import Atlahs
 from repro.goal.binary import read_goal_binary
 from repro.goal.parser import parse_goal_file
 from repro.network.config import SimulationConfig
+from repro.network.routing import ROUTING_STRATEGIES, routing_names
+from repro.network.topology import TOPOLOGY_DESCRIPTIONS, topology_names
 from repro.schedgen import all_to_all, incast, permutation, ring_allreduce_microbenchmark
 from repro.schedgen.storage import DirectDriveConfig
 from repro.tracers.storage import FinancialWorkloadGenerator
 
 
+def _parse_dims(text: str) -> tuple:
+    """Parse a comma-separated torus shape like ``"4,4"`` or ``"4,4,2"``."""
+    try:
+        dims = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid torus dims {text!r}; expected e.g. 4,4") from None
+    if len(dims) not in (2, 3) or any(d < 2 for d in dims):
+        raise argparse.ArgumentTypeError(
+            f"torus dims must be 2 or 3 ring lengths, each >= 2 (e.g. 4,4 or 4,4,2); got {text!r}"
+        )
+    return dims
+
+
 def _add_network_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--backend", choices=["lgs", "htsim"], default="lgs", help="network backend")
-    parser.add_argument("--topology", choices=["single_switch", "fat_tree", "dragonfly"], default="fat_tree")
-    parser.add_argument("--nodes-per-tor", type=int, default=16)
-    parser.add_argument("--oversubscription", type=float, default=1.0)
-    parser.add_argument("--cc", choices=["mprdma", "swift", "dctcp", "ndp", "fixed"], default="mprdma")
-    parser.add_argument("--seed", type=int, default=0)
+    group = parser.add_argument_group("network")
+    group.add_argument("--backend", choices=["lgs", "htsim"], default="lgs", help="network backend")
+    group.add_argument(
+        "--topology", choices=list(topology_names()), default="fat_tree", help="network topology"
+    )
+    group.add_argument(
+        "--routing", choices=list(routing_names()), default="minimal", help="routing strategy"
+    )
+    group.add_argument("--nodes-per-tor", type=int, default=16, help="fat tree: hosts per ToR")
+    group.add_argument(
+        "--oversubscription", type=float, default=1.0, help="fat tree: ToR downlink:uplink ratio"
+    )
+    group.add_argument(
+        "--torus-dims", type=_parse_dims, default=(4, 4), metavar="X,Y[,Z]",
+        help="torus: ring length per dimension (e.g. 4,4 or 4,4,2)",
+    )
+    group.add_argument("--torus-hosts-per-node", type=int, default=1, help="torus: hosts per switch")
+    group.add_argument(
+        "--slimfly-q", type=int, default=5, help="slim fly: prime q = 1 mod 4 (5, 13, 17, ...)"
+    )
+    group.add_argument(
+        "--slimfly-hosts-per-router", type=int, default=0,
+        help="slim fly: hosts per router (0 = balanced concentration)",
+    )
+    group.add_argument(
+        "--cc", choices=["mprdma", "swift", "dctcp", "ndp", "fixed"], default="mprdma",
+        help="congestion control (packet backend)",
+    )
+    group.add_argument("--seed", type=int, default=0, help="seed for stochastic choices")
 
 
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
     return SimulationConfig(
         topology=args.topology,
+        routing=args.routing,
         nodes_per_tor=args.nodes_per_tor,
         oversubscription=args.oversubscription,
+        torus_dims=args.torus_dims,
+        torus_hosts_per_node=args.torus_hosts_per_node,
+        slimfly_q=args.slimfly_q,
+        slimfly_hosts_per_router=args.slimfly_hosts_per_router,
         cc_algorithm=args.cc,
         seed=args.seed,
     )
@@ -63,6 +111,7 @@ def _print_result(name: str, result, extra: Optional[dict] = None) -> None:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    """Replay a GOAL file (textual .goal or binary .bin/.goalbin) on a backend."""
     path = args.goal_file
     if path.endswith(".bin") or path.endswith(".goalbin"):
         schedule = read_goal_binary(path)
@@ -75,6 +124,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_hpc(args: argparse.Namespace) -> int:
+    """Trace one of the HPC application models and simulate the GOAL schedule."""
     atlahs = Atlahs(_config_from_args(args))
     run = HpcRunConfig(
         num_ranks=args.ranks,
@@ -92,6 +142,7 @@ def _cmd_hpc(args: argparse.Namespace) -> int:
 
 
 def _cmd_ai(args: argparse.Namespace) -> int:
+    """Trace an LLM-training workload and simulate the GOAL schedule."""
     atlahs = Atlahs(_config_from_args(args))
     model = MODEL_PRESETS[args.model]().scaled(args.scale)
     par = ParallelismConfig(
@@ -108,6 +159,7 @@ def _cmd_ai(args: argparse.Namespace) -> int:
 
 
 def _cmd_storage(args: argparse.Namespace) -> int:
+    """Generate a Financial-like workload and replay it against Direct Drive."""
     atlahs = Atlahs(_config_from_args(args))
     gen = FinancialWorkloadGenerator(seed=args.seed)
     trace = gen.generate(args.operations)
@@ -122,6 +174,7 @@ def _cmd_storage(args: argparse.Namespace) -> int:
 
 
 def _cmd_synthetic(args: argparse.Namespace) -> int:
+    """Run a synthetic microbenchmark (incast, permutation, alltoall, allreduce)."""
     atlahs = Atlahs(_config_from_args(args))
     size = args.message_size
     if args.pattern == "incast":
@@ -137,6 +190,26 @@ def _cmd_synthetic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _first_doc_line(obj) -> str:
+    """First docstring line of ``obj``, or '' when it has none (e.g. -OO)."""
+    lines = (getattr(obj, "__doc__", None) or "").strip().splitlines()
+    return lines[0] if lines else ""
+
+
+def _cmd_topologies(args: argparse.Namespace) -> int:
+    """List registered topologies and routing strategies."""
+    print("topologies:")
+    for name in topology_names():
+        print(f"  {name:15s} {TOPOLOGY_DESCRIPTIONS.get(name, '')}")
+    print()
+    print("routing strategies:")
+    for name in routing_names():
+        print(f"  {name:15s} {_first_doc_line(ROUTING_STRATEGIES[name])}")
+    print()
+    print("select with --topology NAME --routing NAME (any subcommand, both backends)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="atlahs",
@@ -144,12 +217,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("simulate", help="replay a GOAL file")
+    p = sub.add_parser("simulate", help="replay a GOAL file", description=_first_doc_line(_cmd_simulate))
     p.add_argument("goal_file")
     _add_network_args(p)
     p.set_defaults(func=_cmd_simulate)
 
-    p = sub.add_parser("hpc", help="trace and simulate an HPC application model")
+    p = sub.add_parser(
+        "hpc",
+        help="trace and simulate an HPC application model",
+        description=_first_doc_line(_cmd_hpc),
+    )
     p.add_argument("app", choices=sorted(HPC_APPLICATIONS))
     p.add_argument("--ranks", type=int, default=16)
     p.add_argument("--iterations", type=int, default=5)
@@ -158,7 +235,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_network_args(p)
     p.set_defaults(func=_cmd_hpc)
 
-    p = sub.add_parser("ai", help="trace and simulate an LLM training workload")
+    p = sub.add_parser(
+        "ai",
+        help="trace and simulate an LLM training workload",
+        description=_first_doc_line(_cmd_ai),
+    )
     p.add_argument("model", choices=sorted(MODEL_PRESETS))
     p.add_argument("--scale", type=float, default=0.05, help="model scale factor (1.0 = full size)")
     p.add_argument("--tp", type=int, default=1)
@@ -172,17 +253,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_network_args(p)
     p.set_defaults(func=_cmd_ai)
 
-    p = sub.add_parser("storage", help="replay a Financial-like workload against Direct Drive")
+    p = sub.add_parser(
+        "storage",
+        help="replay a Financial-like workload against Direct Drive",
+        description=_first_doc_line(_cmd_storage),
+    )
     p.add_argument("--operations", type=int, default=1000)
     _add_network_args(p)
     p.set_defaults(func=_cmd_storage)
 
-    p = sub.add_parser("synthetic", help="run a synthetic microbenchmark")
+    p = sub.add_parser(
+        "synthetic",
+        help="run a synthetic microbenchmark",
+        description=_first_doc_line(_cmd_synthetic),
+    )
     p.add_argument("pattern", choices=["incast", "permutation", "alltoall", "allreduce"])
     p.add_argument("--ranks", type=int, default=16)
     p.add_argument("--message-size", type=int, default=1 << 20)
     _add_network_args(p)
     p.set_defaults(func=_cmd_synthetic)
+
+    p = sub.add_parser(
+        "topologies",
+        help="list registered topologies and routing strategies",
+        description=_first_doc_line(_cmd_topologies),
+    )
+    p.set_defaults(func=_cmd_topologies)
 
     return parser
 

@@ -12,7 +12,10 @@ This package contains everything below the GOAL scheduler:
 * :mod:`repro.network.congestion` — congestion-control algorithms
   (MPRDMA, Swift, DCTCP, NDP, fixed window),
 * :mod:`repro.network.topology` — network topologies (fat trees with
-  configurable oversubscription, dragonfly, single switch) and routing.
+  configurable oversubscription, dragonfly, 2D/3D torus, Slim Fly, single
+  switch),
+* :mod:`repro.network.routing` — pluggable routing strategies (minimal/ECMP,
+  Valiant, UGAL-style adaptive) applied on top of any topology.
 """
 from repro.network.config import LogGOPSParams, SimulationConfig
 from repro.network.backend import (
@@ -22,6 +25,12 @@ from repro.network.backend import (
     MessageRecord,
     NetworkStats,
     create_backend,
+)
+from repro.network.routing import (
+    ROUTING_STRATEGIES,
+    RoutingStrategy,
+    create_routing,
+    routing_names,
 )
 
 __all__ = [
@@ -33,4 +42,8 @@ __all__ = [
     "MessageRecord",
     "NetworkStats",
     "create_backend",
+    "ROUTING_STRATEGIES",
+    "RoutingStrategy",
+    "create_routing",
+    "routing_names",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -76,13 +76,26 @@ class LogGOPSParams:
 class SimulationConfig:
     """Complete configuration of a simulation run.
 
-    Topology
-    --------
+    Topology and routing
+    --------------------
     topology:
-        One of ``"single_switch"``, ``"fat_tree"`` (two-level, with
-        ``oversubscription``) or ``"dragonfly"``.
-    nodes_per_tor / oversubscription / dragonfly_* :
+        Name of a registered topology: ``"single_switch"``, ``"fat_tree"``
+        (two-level, with ``oversubscription``), ``"dragonfly"``, ``"torus"``
+        or ``"slimfly"`` (see
+        :data:`repro.network.topology.TOPOLOGY_BUILDERS`).
+    nodes_per_tor / oversubscription / dragonfly_* / torus_* / slimfly_* :
         Shape parameters of the chosen topology (ignored by the others).
+    routing:
+        Routing strategy selecting one route per message: ``"minimal"``
+        (ECMP), ``"valiant"`` or ``"adaptive"`` (UGAL-style); see
+        :data:`repro.network.routing.ROUTING_STRATEGIES`.
+    loggops_use_topology:
+        Whether the message-level backend derives per-message wire latency
+        from the topology's routed path (hop-count model) instead of the
+        flat LogGOPS ``L``.  ``None`` (the default) enables it exactly for
+        the topologies whose point is path diversity (``torus``,
+        ``slimfly``), preserving the calibrated flat-``L`` behaviour of the
+        paper's fat-tree/dragonfly experiments.
 
     Packet-level parameters
     -----------------------
@@ -122,6 +135,14 @@ class SimulationConfig:
     dragonfly_groups: int = 4
     dragonfly_routers_per_group: int = 4
     dragonfly_nodes_per_router: int = 4
+    torus_dims: Tuple[int, ...] = (4, 4)
+    torus_hosts_per_node: int = 1
+    slimfly_q: int = 5
+    slimfly_hosts_per_router: int = 0  # 0 = ceil(network_radix / 2)
+
+    # routing
+    routing: str = "minimal"
+    loggops_use_topology: Optional[bool] = None  # None = auto (torus/slimfly)
 
     # message-level backend
     loggops: LogGOPSParams = field(default_factory=LogGOPSParams)
@@ -144,12 +165,39 @@ class SimulationConfig:
     collect_message_records: bool = True
 
     def __post_init__(self) -> None:
-        if self.topology not in ("single_switch", "fat_tree", "dragonfly"):
-            raise ValueError(f"unknown topology {self.topology!r}")
+        # imported here to keep repro.network.topology/routing import-light
+        from repro.network.routing import ROUTING_STRATEGIES
+        from repro.network.topology import TOPOLOGY_BUILDERS
+
+        if self.topology not in TOPOLOGY_BUILDERS:
+            raise ValueError(
+                f"unknown topology {self.topology!r} "
+                f"(registered: {', '.join(sorted(TOPOLOGY_BUILDERS))})"
+            )
+        if self.routing not in ROUTING_STRATEGIES:
+            raise ValueError(
+                f"unknown routing {self.routing!r} "
+                f"(registered: {', '.join(sorted(ROUTING_STRATEGIES))})"
+            )
         if self.oversubscription < 1.0:
             raise ValueError("oversubscription must be >= 1.0")
         if self.nodes_per_tor <= 0:
             raise ValueError("nodes_per_tor must be positive")
+        if self.torus_hosts_per_node <= 0:
+            raise ValueError("torus_hosts_per_node must be positive")
+        if self.slimfly_hosts_per_router < 0:
+            raise ValueError("slimfly_hosts_per_router must be non-negative")
+        self.torus_dims = tuple(self.torus_dims)
+        if len(self.torus_dims) not in (2, 3) or any(d < 2 for d in self.torus_dims):
+            raise ValueError(
+                f"torus_dims must be 2 or 3 ring lengths, each >= 2, got {self.torus_dims}"
+            )
+        from repro.network.topology.slimfly import _is_prime
+
+        if not _is_prime(self.slimfly_q) or self.slimfly_q % 4 != 1:
+            raise ValueError(
+                f"slimfly_q must be a prime with q % 4 == 1 (5, 13, 17, ...), got {self.slimfly_q}"
+            )
         if self.link_bandwidth <= 0:
             raise ValueError("link_bandwidth must be positive")
         if self.mtu <= 0:
@@ -164,6 +212,17 @@ class SimulationConfig:
             raise ValueError("latencies must be non-negative")
         if self.initial_window_packets <= 0:
             raise ValueError("initial_window_packets must be positive")
+
+    def loggops_topology_enabled(self) -> bool:
+        """Whether the LogGOPS backend should route through the topology.
+
+        ``loggops_use_topology`` overrides when set; otherwise topology-aware
+        latency is enabled exactly for the path-diverse topologies added on
+        top of the paper's calibrated flat-``L`` setups.
+        """
+        if self.loggops_use_topology is not None:
+            return self.loggops_use_topology
+        return self.topology in ("torus", "slimfly")
 
     def replace(self, **kwargs) -> "SimulationConfig":
         """Return a copy with the given fields replaced."""

@@ -74,8 +74,8 @@ class EventQueue:
         until:
             Stop (without executing) events scheduled after this time.
         max_events:
-            Safety valve against runaway simulations; raises ``RuntimeError``
-            when exceeded.
+            Safety valve against runaway simulations: at most ``max_events``
+            events execute, and ``RuntimeError`` is raised if more remain.
 
         Returns
         -------
@@ -86,13 +86,13 @@ class EventQueue:
         while self._heap:
             if until is not None and self._heap[0][0] > until:
                 break
-            time, _, callback, payload = heapq.heappop(self._heap)
-            self._now = time
-            callback(time, payload)
-            executed += 1
-            if max_events is not None and executed > max_events:
+            if max_events is not None and executed >= max_events:
                 raise RuntimeError(
                     f"event limit exceeded ({max_events} events); "
                     "simulation is likely livelocked"
                 )
+            time, _, callback, payload = heapq.heappop(self._heap)
+            self._now = time
+            callback(time, payload)
+            executed += 1
         return self._now

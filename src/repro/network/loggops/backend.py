@@ -31,10 +31,23 @@ Rendezvous messages (``size > S``) additionally wait for the matching
 receive to be posted and pay one extra ``L`` for the handshake before the
 transfer starts; the send op completes at message arrival rather than
 locally.
+
+Topology-aware latency
+----------------------
+When :meth:`SimulationConfig.loggops_topology_enabled` is true (the default
+for the path-diverse ``torus`` and ``slimfly`` topologies), the flat ``L``
+is replaced per message by the propagation latency of the route the
+configured :class:`~repro.network.routing.RoutingStrategy` selects — a
+hop-count/diameter model — and the rendezvous handshake likewise pays the
+minimal-path latency.  The backend feeds the strategy cumulative bytes
+routed over each link as its load signal, so adaptive routing steers around
+links that earlier messages loaded even though this backend has no queues.
 """
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.network.backend import (
     CompletionCallback,
@@ -47,6 +60,8 @@ from repro.network.config import SimulationConfig
 from repro.network.events import EventQueue
 from repro.network.host import HostCompute
 from repro.network.matching import MessageMatcher
+from repro.network.routing import create_routing
+from repro.network.topology import build_topology
 
 
 class _PendingRecv:
@@ -110,6 +125,15 @@ class LogGOPSBackend(NetworkBackend):
         self.matcher = MessageMatcher()
         self._send_nic_free: List[int] = [0] * num_ranks
         self._recv_nic_free: List[int] = [0] * num_ranks
+        # topology-aware wire latency (hop-count model); see module docstring
+        self.topology = None
+        self.routing = None
+        self._link_bytes: Dict[int, int] = {}
+        if config.loggops_topology_enabled():
+            self.topology = build_topology(config, num_ranks)
+            self.routing = create_routing(
+                config.routing, self.topology, np.random.default_rng(config.seed)
+            )
         # channel -> list of rendezvous sends awaiting a receive (FIFO)
         self._pending_rndv: Dict[Tuple[int, int, int], List[_PendingRendezvous]] = {}
         # channel -> list of receive post times available for rendezvous matching
@@ -173,13 +197,27 @@ class LogGOPSBackend(NetworkBackend):
                     _PendingRendezvous(op_id, rank, dst, tag, stream, size, cpu_end, cpu_start)
                 )
 
+    def _wire_latency(self, src: int, dst: int, size: int) -> int:
+        """Wire latency for one message: flat ``L``, or the routed path's
+        propagation delay when topology-aware latency is enabled."""
+        if self.routing is None:
+            return self.params.L
+        route = self.routing.select_route(
+            src, dst, size, lambda link: self._link_bytes.get(link, 0)
+        )
+        latency = 0
+        for link in route:
+            self._link_bytes[link] = self._link_bytes.get(link, 0) + size
+            latency += self.topology.links[link].latency
+        return latency
+
     def _transfer(self, src: int, dst: int, size: int, sender_ready: int) -> int:
         """Charge NIC resources for one message and return its arrival time."""
         p = self.params
         wire_bytes_ns = int(round(size * p.G))
         inj_start = max(sender_ready, self._send_nic_free[src])
         self._send_nic_free[src] = inj_start + p.g + wire_bytes_ns
-        recv_start = max(inj_start + p.L, self._recv_nic_free[dst])
+        recv_start = max(inj_start + self._wire_latency(src, dst, size), self._recv_nic_free[dst])
         arrival = recv_start + wire_bytes_ns
         self._recv_nic_free[dst] = arrival + p.g
         return arrival
@@ -236,8 +274,14 @@ class LogGOPSBackend(NetworkBackend):
         recv: _PendingRecv,
     ) -> None:
         """Run the rendezvous handshake and transfer once both sides are ready."""
-        p = self.params
-        handshake_done = max(sender_ready, recv.post_time + p.L)
+        # the handshake control message pays the topology's minimal path
+        # latency in topology-aware mode, the flat L otherwise (consistent
+        # with the data transfer's _wire_latency)
+        if self.topology is not None:
+            handshake_latency = self.topology.min_path_latency(dst, src)
+        else:
+            handshake_latency = self.params.L
+        handshake_done = max(sender_ready, recv.post_time + handshake_latency)
         arrival = self._transfer(src, dst, size, handshake_done)
         self.stats.messages_delivered += 1
         self.stats.bytes_delivered += size
@@ -280,6 +324,15 @@ class LogGOPSBackend(NetworkBackend):
         return self.records
 
     # ---------------------------------------------------------------- queries
+    def link_loads(self) -> Dict[str, int]:
+        """Cumulative bytes routed over each link (topology-aware mode only)."""
+        if self.topology is None:
+            return {}
+        return {
+            self.topology.links[link].name: load
+            for link, load in sorted(self._link_bytes.items())
+        }
+
     def unmatched_state(self) -> Dict[str, int]:
         """Diagnostics about unmatched communication at the end of a run.
 

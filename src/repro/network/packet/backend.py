@@ -4,6 +4,9 @@ The backend owns
 
 * the topology and one :class:`~repro.network.packet.linkqueue.LinkQueue`
   per directed link,
+* a :class:`~repro.network.routing.RoutingStrategy` that picks each flow's
+  route at injection time from the topology's candidates (minimal/ECMP,
+  Valiant, or UGAL-style adaptive fed by live queue occupancy),
 * one :class:`~repro.network.packet.flow.Flow` per GOAL send,
 * per-flow congestion control (sender-based MPRDMA / Swift / DCTCP /
   fixed-window, or receiver-driven NDP with trimming and pull pacing),
@@ -41,6 +44,7 @@ from repro.network.matching import MessageMatcher
 from repro.network.packet.flow import Flow
 from repro.network.packet.linkqueue import LinkQueue
 from repro.network.packet.packet import ACK, DATA, NACK, PULL, Packet
+from repro.network.routing import create_routing
 from repro.network.topology import build_topology
 
 
@@ -85,6 +89,7 @@ class PacketBackend(NetworkBackend):
         self.matcher = MessageMatcher()
         self.rng = np.random.default_rng(config.seed)
         self.topology = build_topology(config, num_ranks)
+        self.routing = create_routing(config.routing, self.topology, self.rng)
         self.stats = NetworkStats()
         kmin = int(config.ecn_kmin_frac * config.buffer_size)
         kmax = int(config.ecn_kmax_frac * config.buffer_size)
@@ -133,11 +138,12 @@ class PacketBackend(NetworkBackend):
         self.events.schedule(ready_time, self._post_recv, (rank, src, size, tag, stream, op_id))
 
     # ------------------------------------------------------------------- flows
-    def _pick_route(self, src: int, dst: int) -> Tuple[int, ...]:
-        routes = self.topology.routes(src, dst)
-        if len(routes) == 1:
-            return routes[0]
-        return routes[int(self.rng.integers(len(routes)))]
+    def _link_load(self, link_id: int) -> int:
+        """Live queue occupancy of a link (the adaptive strategy's signal)."""
+        return self.queues[link_id].queued_bytes
+
+    def _pick_route(self, src: int, dst: int, size: int = 0) -> Tuple[int, ...]:
+        return self.routing.select_route(src, dst, size, self._link_load)
 
     def _base_rtt(self, route: Tuple[int, ...], ack_route: Tuple[int, ...]) -> int:
         cfg = self.config
@@ -155,8 +161,8 @@ class PacketBackend(NetworkBackend):
         rank, dst, size, tag, stream, op_id = payload
         cfg = self.config
         _, overhead_end = self.host.reserve(rank, stream, time, cfg.host_overhead)
-        route = self._pick_route(rank, dst)
-        ack_route = self._pick_route(dst, rank)
+        route = self._pick_route(rank, dst, size)
+        ack_route = self._pick_route(dst, rank, cfg.ack_size)
         cc = create_congestion_control(
             cfg.cc_algorithm,
             mtu=cfg.mtu,

@@ -1,0 +1,175 @@
+"""Pluggable routing strategies shared by the simulation backends.
+
+A :class:`RoutingStrategy` turns the *candidate* routes a topology exposes
+into the single route a message actually takes.  Both backends consult the
+strategy once per message at injection time (the packet backend source-routes
+every packet of a flow along the chosen route; the message-level backend uses
+the chosen route's propagation latency in place of a flat ``L``), which makes
+the adaptive strategy a UGAL-style *injection-time* decision rather than a
+per-hop one.
+
+Three strategies ship with the toolchain:
+
+* :class:`MinimalRouting` — ECMP over the topology's minimal candidates
+  (the behaviour the backends hard-wired before this module existed),
+* :class:`ValiantRouting` — Valiant load balancing: bounce through a random
+  intermediate, trading path length for load uniformity on adversarial
+  traffic,
+* :class:`AdaptiveRouting` — UGAL-style choice between the best minimal and
+  the best Valiant candidate, weighted by current link load x path length.
+
+Strategies are registered in :data:`ROUTING_STRATEGIES` and constructed via
+:func:`create_routing`; ``SimulationConfig.routing`` selects one by name.
+Link load is supplied by the backend as a callable ``link_id -> queued
+bytes`` (the packet backend reports live queue occupancy; the LogGOPS
+backend reports cumulative bytes routed over each link).
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.network.topology.base import Topology, pick_route
+
+Route = Tuple[int, ...]
+LinkLoadFn = Callable[[int], int]
+
+
+class RoutingStrategy:
+    """Base class: selects one route per message from a topology's candidates.
+
+    Parameters
+    ----------
+    topology:
+        The :class:`~repro.network.topology.base.Topology` to route on.
+    rng:
+        Shared ``numpy`` generator (tie-breaking and random intermediates).
+    """
+
+    name = "base"
+
+    def __init__(self, topology: Topology, rng: np.random.Generator) -> None:
+        self.topology = topology
+        self.rng = rng
+
+    def select_route(
+        self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoadFn] = None
+    ) -> Route:
+        """Return the route (tuple of link ids) a ``size``-byte message takes.
+
+        ``link_load`` maps a link id to its current load in bytes; strategies
+        that ignore congestion may disregard it.
+        """
+        raise NotImplementedError
+
+    # -- helpers shared by subclasses ---------------------------------------
+    def _pick(self, candidates: Sequence[Route]) -> Route:
+        """Uniform random choice, consuming randomness only on real choices."""
+        return pick_route(candidates, self.rng)
+
+    def _route_cost(self, route: Route, link_load: Optional[LinkLoadFn]) -> int:
+        """UGAL cost of a candidate: (1 + queued bytes along it) x hops."""
+        load = 0 if link_load is None else sum(link_load(l) for l in route)
+        return (1 + load) * len(route)
+
+
+class MinimalRouting(RoutingStrategy):
+    """ECMP over the topology's minimal candidate routes."""
+
+    name = "minimal"
+
+    def select_route(
+        self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoadFn] = None
+    ) -> Route:
+        return self._pick(self.topology.routes(src, dst))
+
+
+class ValiantRouting(RoutingStrategy):
+    """Valiant load balancing: minimal route to a random intermediate, then on.
+
+    Topologies override :meth:`~repro.network.topology.base.Topology.
+    valiant_routes` to bounce through an intermediate *switch* where that is
+    natural (torus, Slim Fly); the base implementation composes minimal
+    routes through a random intermediate host.  Pairs with no non-minimal
+    candidate (e.g. two hosts on a single switch) fall back to minimal.
+    """
+
+    name = "valiant"
+
+    def __init__(self, topology: Topology, rng: np.random.Generator, count: int = 4) -> None:
+        super().__init__(topology, rng)
+        self.count = count
+
+    def select_route(
+        self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoadFn] = None
+    ) -> Route:
+        candidates = self.topology.valiant_routes(src, dst, self.rng, count=self.count)
+        if not candidates:
+            return self._pick(self.topology.routes(src, dst))
+        return self._pick(candidates)
+
+
+class AdaptiveRouting(RoutingStrategy):
+    """UGAL-style adaptive routing.
+
+    Compares the least-cost minimal candidate against the least-cost Valiant
+    candidate, where cost is ``(1 + queued bytes along the route) x hops``,
+    and takes the minimal route on ties — so an idle network routes
+    minimally and a congested one spills onto non-minimal paths exactly when
+    the detour is cheaper than the queueing.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, topology: Topology, rng: np.random.Generator, count: int = 2) -> None:
+        super().__init__(topology, rng)
+        self.count = count
+
+    def select_route(
+        self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoadFn] = None
+    ) -> Route:
+        minimal = self.topology.routes(src, dst)
+        # random choice among cost-tied minimal candidates keeps ECMP
+        # spreading alive when loads are equal (e.g. at an idle start)
+        costs = [self._route_cost(r, link_load) for r in minimal]
+        min_cost = min(costs)
+        best_min = self._pick([r for r, c in zip(minimal, costs) if c == min_cost])
+        if link_load is None:
+            return best_min
+        valiant = self.topology.valiant_routes(src, dst, self.rng, count=self.count)
+        if not valiant:
+            return best_min
+        best_val = min(valiant, key=lambda r: self._route_cost(r, link_load))
+        if self._route_cost(best_val, link_load) < min_cost:
+            return best_val
+        return best_min
+
+
+ROUTING_STRATEGIES: Dict[str, Type[RoutingStrategy]] = {
+    MinimalRouting.name: MinimalRouting,
+    ValiantRouting.name: ValiantRouting,
+    AdaptiveRouting.name: AdaptiveRouting,
+}
+
+
+def register_routing(cls: Type[RoutingStrategy]) -> Type[RoutingStrategy]:
+    """Register a strategy class under ``cls.name`` (usable as a decorator)."""
+    ROUTING_STRATEGIES[cls.name] = cls
+    return cls
+
+
+def routing_names() -> Tuple[str, ...]:
+    """Names of all registered routing strategies (sorted)."""
+    return tuple(sorted(ROUTING_STRATEGIES))
+
+
+def create_routing(name: str, topology: Topology, rng: np.random.Generator, **kwargs) -> RoutingStrategy:
+    """Construct the registered strategy ``name`` bound to a topology."""
+    try:
+        cls = ROUTING_STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing strategy {name!r} (registered: {', '.join(routing_names())})"
+        ) from None
+    return cls(topology, rng, **kwargs)

@@ -11,7 +11,21 @@ attaches one queue per link.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # avoid a hard numpy dependency at import time
+    import numpy as np
+
+
+def pick_route(candidates: Sequence[Tuple[int, ...]], rng: "np.random.Generator") -> Tuple[int, ...]:
+    """Uniform random choice among candidate routes.
+
+    Consumes randomness only when there is a real choice (more than one
+    candidate), which fixed-seed reproducibility tests rely on.
+    """
+    if len(candidates) == 1:
+        return candidates[0]
+    return candidates[int(rng.integers(len(candidates)))]
 
 
 @dataclass(frozen=True)
@@ -89,6 +103,87 @@ class Topology:
         """
         raise NotImplementedError
 
+    def valiant_routes(
+        self, src_host: int, dst_host: int, rng: "np.random.Generator", count: int = 4
+    ) -> Sequence[Tuple[int, ...]]:
+        """Non-minimal (Valiant) candidate routes via random intermediates.
+
+        The base implementation composes minimal routes through up to
+        ``count`` random intermediate *hosts*; topologies whose structure
+        offers a natural intermediate switch (torus routers, Slim Fly
+        routers) override this to avoid descending to a host NIC mid-path.
+        Returns an empty sequence when no intermediate exists (fewer than
+        three hosts), in which case callers fall back to minimal routing.
+        """
+        if src_host == dst_host:
+            raise ValueError("no route from a host to itself")
+        if self.num_hosts <= 2:
+            return ()
+        candidates: List[Tuple[int, ...]] = []
+        for _ in range(count):
+            via = int(rng.integers(self.num_hosts))
+            while via == src_host or via == dst_host:
+                via = int(rng.integers(self.num_hosts))
+            leg1 = pick_route(self.routes(src_host, via), rng)
+            leg2 = pick_route(self.routes(via, dst_host), rng)
+            candidates.append(leg1 + leg2)
+        return tuple(candidates)
+
+    def _valiant_via_routers(
+        self,
+        src_host: int,
+        dst_host: int,
+        rng: "np.random.Generator",
+        count: int,
+        num_routers: int,
+        router_of,
+        router_paths,
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Compose Valiant candidates through random intermediate *routers*.
+
+        Shared by switch-centric topologies (torus, Slim Fly) that expose a
+        router-level path function.  Requires the subclass's ``_host_up`` /
+        ``_host_down`` link maps; ``router_of(host)`` names the attachment
+        router and ``router_paths(r1, r2)`` returns the minimal router-level
+        path candidates between two routers.
+        """
+        if src_host == dst_host:
+            raise ValueError("no route from a host to itself")
+        r1 = router_of(src_host)
+        r2 = router_of(dst_host)
+        up = self._host_up[src_host]
+        down = self._host_down[dst_host]
+        candidates: List[Tuple[int, ...]] = []
+        for _ in range(count):
+            via = int(rng.integers(num_routers))
+            while via == r1 or via == r2:
+                via = int(rng.integers(num_routers))
+            leg1 = pick_route(router_paths(r1, via), rng)
+            leg2 = pick_route(router_paths(via, r2), rng)
+            candidates.append((up,) + leg1 + leg2 + (down,))
+        return tuple(candidates)
+
+    def attachment(self, host: int) -> int:
+        """Device id of the switch ``host`` injects into (its first-hop switch)."""
+        if not self.is_host(host):
+            raise ValueError(f"{host} is not a host")
+        out = self.out_links(host)
+        if not out:
+            raise ValueError(f"host {host} has no uplink")
+        return self.links[out[0]].dst
+
+    def host_groups(self) -> List[List[int]]:
+        """Hosts grouped by first-hop switch, in switch-id order.
+
+        This is the locality unit placement strategies should pack jobs
+        into: traffic between hosts of one group never leaves their shared
+        switch.
+        """
+        groups: Dict[int, List[int]] = {}
+        for h in range(self.num_hosts):
+            groups.setdefault(self.attachment(h), []).append(h)
+        return [groups[sw] for sw in sorted(groups)]
+
     def min_path_latency(self, src_host: int, dst_host: int) -> int:
         """Propagation latency along the first candidate route (ns)."""
         routes = self.routes(src_host, dst_host)
@@ -105,6 +200,18 @@ class Topology:
         }
 
     # -- invariants (used by tests) --------------------------------------------
+    def validate_route(self, route: Tuple[int, ...], src: int, dst: int) -> None:
+        """Assert one route starts at ``src``, ends at ``dst`` and is contiguous."""
+        if not route:
+            raise AssertionError(f"empty route {src}->{dst}")
+        if self.links[route[0]].src != src:
+            raise AssertionError(f"route {src}->{dst} does not start at source")
+        if self.links[route[-1]].dst != dst:
+            raise AssertionError(f"route {src}->{dst} does not end at destination")
+        for a, b in zip(route, route[1:]):
+            if self.links[a].dst != self.links[b].src:
+                raise AssertionError(f"route {src}->{dst} is not contiguous at links {a},{b}")
+
     def check_routes(self) -> None:
         """Verify that every route starts at the source host, ends at the
         destination host, and chains contiguously through the link graph."""
@@ -113,14 +220,4 @@ class Topology:
                 if src == dst:
                     continue
                 for route in self.routes(src, dst):
-                    if not route:
-                        raise AssertionError(f"empty route {src}->{dst}")
-                    if self.links[route[0]].src != src:
-                        raise AssertionError(f"route {src}->{dst} does not start at source")
-                    if self.links[route[-1]].dst != dst:
-                        raise AssertionError(f"route {src}->{dst} does not end at destination")
-                    for a, b in zip(route, route[1:]):
-                        if self.links[a].dst != self.links[b].src:
-                            raise AssertionError(
-                                f"route {src}->{dst} is not contiguous at links {a},{b}"
-                            )
+                    self.validate_route(route, src, dst)

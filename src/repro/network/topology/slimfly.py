@@ -1,0 +1,218 @@
+"""Slim Fly topology (McKay–Miller–Širáň graphs, diameter 2).
+
+Slim Fly (Besta & Hoefler, SC'14) arranges routers as an MMS graph: a
+near-optimal solution to the degree/diameter problem that connects
+``2 * q^2`` routers of radix ``(3q - 1) / 2`` with network diameter 2 —
+lower cost and latency than fat trees of comparable size.
+
+This implementation uses the prime-field MMS construction for primes
+``q ≡ 1 (mod 4)`` (q = 5, 13, 17, 29, ...):
+
+* routers form two blocks of ``q^2``: A-routers ``(0, x, y)`` and
+  B-routers ``(1, m, c)`` with ``x, y, m, c ∈ Z_q``,
+* with ``ξ`` a primitive root mod q, ``X`` = even powers of ξ (the
+  quadratic residues) and ``X'`` = odd powers,
+* ``(0, x, y) ~ (0, x, y')``  iff  ``y - y' ∈ X``,
+* ``(1, m, c) ~ (1, m, c')``  iff  ``c - c' ∈ X'``,
+* ``(0, x, y) ~ (1, m, c)``   iff  ``y = m·x + c  (mod q)``.
+
+Because ``q ≡ 1 (mod 4)``, ``-1`` is a quadratic residue, so ``X = -X``
+and ``X' = -X'`` and the adjacency is symmetric.  Every router reaches
+every other in at most two hops.
+
+Routing:
+
+* **minimal** — the direct link when adjacent, otherwise one candidate per
+  common neighbour (the diameter-2 property guarantees at least one),
+* **Valiant** — :meth:`valiant_routes` bounces through a random intermediate
+  *router*, the scheme the Slim Fly paper pairs with UGAL to spread
+  adversarial traffic over the abundant path diversity.
+"""
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.network.topology.base import Topology
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    for p in range(2, int(math.isqrt(n)) + 1):
+        if n % p == 0:
+            return False
+    return True
+
+
+def _primitive_root(q: int) -> int:
+    """Smallest primitive root modulo the prime ``q`` (brute force)."""
+    order = q - 1
+    prime_factors = set()
+    n = order
+    p = 2
+    while p * p <= n:
+        while n % p == 0:
+            prime_factors.add(p)
+            n //= p
+        p += 1
+    if n > 1:
+        prime_factors.add(n)
+    for g in range(2, q):
+        if all(pow(g, order // f, q) != 1 for f in prime_factors):
+            return g
+    raise ValueError(f"no primitive root mod {q}")  # unreachable for prime q
+
+
+class SlimFlyTopology(Topology):
+    """MMS-graph Slim Fly over the prime field ``Z_q``.
+
+    Parameters
+    ----------
+    num_hosts:
+        Number of endpoints; must fit in ``2 * q^2 * hosts_per_router``.
+    q:
+        A prime with ``q ≡ 1 (mod 4)`` (5, 13, 17, 29, ...).  The network
+        has ``2 * q^2`` routers of network radix ``(3q - 1) / 2``.
+    hosts_per_router:
+        Endpoints per router; 0 (the default) selects the paper's balanced
+        concentration ``ceil(radix / 2)``.
+    bandwidth / latency:
+        Applied uniformly to host links and router-router links.
+    """
+
+    def __init__(
+        self,
+        num_hosts: int,
+        q: int = 5,
+        hosts_per_router: int = 0,
+        bandwidth: float = 25.0,
+        latency: int = 500,
+    ) -> None:
+        super().__init__(num_hosts)
+        if not _is_prime(q) or q % 4 != 1:
+            raise ValueError(
+                f"slimfly q must be a prime with q % 4 == 1 (5, 13, 17, 29, ...), got {q}"
+            )
+        self.q = q
+        self.network_radix = (3 * q - 1) // 2
+        if hosts_per_router < 0:
+            raise ValueError("hosts_per_router must be non-negative")
+        self.hosts_per_router = hosts_per_router or (self.network_radix + 1) // 2
+        self.num_routers = 2 * q * q
+        capacity = self.num_routers * self.hosts_per_router
+        if num_hosts > capacity:
+            raise ValueError(
+                f"num_hosts {num_hosts} exceeds slimfly capacity {capacity} "
+                f"({self.num_routers} routers x {self.hosts_per_router} hosts)"
+            )
+
+        self.routers: List[int] = [self._new_device() for _ in range(self.num_routers)]
+
+        self._host_up: Dict[int, int] = {}
+        self._host_down: Dict[int, int] = {}
+        for h in range(num_hosts):
+            r = h // self.hosts_per_router
+            up, down = self._add_duplex(
+                h, self.routers[r], bandwidth, latency, f"host{h}->sf{r}", f"sf{r}->host{h}"
+            )
+            self._host_up[h] = up
+            self._host_down[h] = down
+
+        # generator sets: even and odd powers of a primitive root mod q
+        xi = _primitive_root(q)
+        powers = [pow(xi, i, q) for i in range(q - 1)]
+        x_even = frozenset(powers[0::2])
+        x_odd = frozenset(powers[1::2])
+
+        # router adjacency (router index -> {neighbour index: link id})
+        self._adj: List[Dict[int, int]] = [dict() for _ in range(self.num_routers)]
+
+        def a_index(x: int, y: int) -> int:
+            return x * q + y
+
+        def b_index(m: int, c: int) -> int:
+            return q * q + m * q + c
+
+        def connect(r1: int, r2: int) -> None:
+            if r2 in self._adj[r1]:
+                return
+            self._adj[r1][r2] = self._add_link(
+                self.routers[r1], self.routers[r2], bandwidth, latency, f"sf{r1}->sf{r2}"
+            )
+            self._adj[r2][r1] = self._add_link(
+                self.routers[r2], self.routers[r1], bandwidth, latency, f"sf{r2}->sf{r1}"
+            )
+
+        for x in range(q):
+            for y in range(q):
+                for yp in range(y + 1, q):
+                    if (y - yp) % q in x_even:
+                        connect(a_index(x, y), a_index(x, yp))
+        for m in range(q):
+            for c in range(q):
+                for cp in range(c + 1, q):
+                    if (c - cp) % q in x_odd:
+                        connect(b_index(m, c), b_index(m, cp))
+        for x in range(q):
+            for y in range(q):
+                for m in range(q):
+                    c = (y - m * x) % q
+                    connect(a_index(x, y), b_index(m, c))
+
+        # (src_router, dst_router) -> tuple of router-level paths (<= 2 hops)
+        self._path_cache: Dict[Tuple[int, int], Tuple[Tuple[int, ...], ...]] = {}
+
+    def router_of(self, host: int) -> int:
+        """Router index ``host`` is attached to."""
+        return host // self.hosts_per_router
+
+    # -- routing --------------------------------------------------------------
+    def _router_paths(self, r1: int, r2: int) -> Tuple[Tuple[int, ...], ...]:
+        """All minimal router-level paths between two routers (1 or 2 hops)."""
+        key = (r1, r2)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            direct = self._adj[r1].get(r2)
+            if direct is not None:
+                cached = ((direct,),)
+            else:
+                cached = tuple(
+                    (via_link, self._adj[via][r2])
+                    for via, via_link in self._adj[r1].items()
+                    if r2 in self._adj[via]
+                )
+                if not cached:
+                    raise AssertionError(
+                        f"MMS graph violated diameter 2 between routers {r1} and {r2}"
+                    )
+            self._path_cache[key] = cached
+        return cached
+
+    def routes(self, src_host: int, dst_host: int) -> Sequence[Tuple[int, ...]]:
+        if src_host == dst_host:
+            raise ValueError("no route from a host to itself")
+        up = self._host_up[src_host]
+        down = self._host_down[dst_host]
+        r1 = self.router_of(src_host)
+        r2 = self.router_of(dst_host)
+        if r1 == r2:
+            return ((up, down),)
+        return tuple((up,) + path + (down,) for path in self._router_paths(r1, r2))
+
+    def valiant_routes(self, src_host, dst_host, rng, count: int = 4):
+        return self._valiant_via_routers(
+            src_host, dst_host, rng, count, self.num_routers, self.router_of, self._router_paths
+        )
+
+    def describe(self) -> Dict[str, object]:
+        d = super().describe()
+        d.update(
+            {
+                "q": self.q,
+                "num_routers": self.num_routers,
+                "network_radix": self.network_radix,
+                "hosts_per_router": self.hosts_per_router,
+            }
+        )
+        return d

@@ -1,0 +1,198 @@
+"""k-ary n-dimensional torus topology (2D/3D wrap-around mesh).
+
+Tori are the workhorse of HPC interconnects (Blue Gene, the K computer,
+Fugaku's Tofu is a 6D variant): every switch sits at a lattice coordinate
+and connects to its two neighbours in each dimension, with wrap-around links
+closing every ring.  ``hosts_per_node`` endpoints attach to each switch.
+
+Routing:
+
+* **minimal / dimension-order (DOR)** — correct one dimension at a time
+  along the shorter wrap direction.  Every permutation of the dimension
+  order yields a distinct minimal path, so :meth:`routes` returns all
+  unique permutations as ECMP/adaptive candidates (2 for 2D, up to 6 for
+  3D).
+* **Valiant** — :meth:`valiant_routes` bounces through a random intermediate
+  *router* (not a host): DOR to the intermediate, then DOR to the
+  destination, which is the classical torus load-balancing scheme.
+
+Ties in wrap direction (distance exactly half the ring) resolve to the
+positive direction, keeping routes deterministic.
+"""
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+from repro.network.topology.base import Topology
+
+
+class TorusTopology(Topology):
+    """``dims`` wrap-around grid of switches with ``hosts_per_node`` hosts each.
+
+    Parameters
+    ----------
+    num_hosts:
+        Number of endpoints; must fit in ``prod(dims) * hosts_per_node``.
+    dims:
+        Ring length per dimension, e.g. ``(4, 4)`` for a 4x4 2D torus or
+        ``(4, 4, 2)`` for 3D.  Each dimension must be at least 2.
+    hosts_per_node:
+        Endpoints attached to each torus switch.
+    bandwidth / latency:
+        Applied uniformly to host links and inter-switch links.
+    """
+
+    def __init__(
+        self,
+        num_hosts: int,
+        dims: Tuple[int, ...] = (4, 4),
+        hosts_per_node: int = 1,
+        bandwidth: float = 25.0,
+        latency: int = 500,
+    ) -> None:
+        super().__init__(num_hosts)
+        dims = tuple(int(d) for d in dims)
+        if len(dims) not in (2, 3):
+            raise ValueError(f"torus must be 2D or 3D, got dims={dims}")
+        if any(d < 2 for d in dims):
+            raise ValueError(f"every torus dimension must be >= 2, got dims={dims}")
+        if hosts_per_node <= 0:
+            raise ValueError("hosts_per_node must be positive")
+        self.dims = dims
+        self.hosts_per_node = hosts_per_node
+        self.num_nodes = 1
+        for d in dims:
+            self.num_nodes *= d
+        capacity = self.num_nodes * hosts_per_node
+        if num_hosts > capacity:
+            raise ValueError(
+                f"num_hosts {num_hosts} exceeds torus capacity {capacity} "
+                f"({'x'.join(map(str, dims))} nodes x {hosts_per_node} hosts)"
+            )
+
+        self.routers: List[int] = [self._new_device() for _ in range(self.num_nodes)]
+
+        self._host_up: Dict[int, int] = {}
+        self._host_down: Dict[int, int] = {}
+        for h in range(num_hosts):
+            node = h // hosts_per_node
+            coords = self._coords(node)
+            up, down = self._add_duplex(
+                h,
+                self.routers[node],
+                bandwidth,
+                latency,
+                f"host{h}->t{coords}",
+                f"t{coords}->host{h}",
+            )
+            self._host_up[h] = up
+            self._host_down[h] = down
+
+        # torus links: (node, dim, sign) -> link id.  A ring of length 2 has
+        # one neighbour in both directions, so both signs share one link.
+        self._dim_link: Dict[Tuple[int, int, int], int] = {}
+        for node in range(self.num_nodes):
+            coords = self._coords(node)
+            for dim, size in enumerate(dims):
+                for sign in (1, -1):
+                    if sign == -1 and size == 2:
+                        self._dim_link[(node, dim, -1)] = self._dim_link[(node, dim, 1)]
+                        continue
+                    nbr_coords = list(coords)
+                    nbr_coords[dim] = (coords[dim] + sign) % size
+                    nbr = self._index(tuple(nbr_coords))
+                    link = self._add_link(
+                        self.routers[node],
+                        self.routers[nbr],
+                        bandwidth,
+                        latency,
+                        f"t{coords}->t{tuple(nbr_coords)}",
+                    )
+                    self._dim_link[(node, dim, sign)] = link
+
+        # (src_node, dst_node) -> unique DOR router paths over all dim orders
+        self._path_cache: Dict[Tuple[int, int], Tuple[Tuple[int, ...], ...]] = {}
+
+    # -- coordinate helpers ---------------------------------------------------
+    def _index(self, coords: Tuple[int, ...]) -> int:
+        idx = 0
+        for size, c in zip(reversed(self.dims), reversed(coords)):
+            idx = idx * size + c
+        return idx
+
+    def _coords(self, node: int) -> Tuple[int, ...]:
+        coords = []
+        for size in self.dims:
+            coords.append(node % size)
+            node //= size
+        return tuple(coords)
+
+    def node_of(self, host: int) -> int:
+        """Torus node index ``host`` is attached to."""
+        return host // self.hosts_per_node
+
+    # -- routing --------------------------------------------------------------
+    def _dor_path(self, src_node: int, dst_node: int, order: Sequence[int]) -> Tuple[int, ...]:
+        """Dimension-order route between two switches, visiting dims in ``order``."""
+        coords = list(self._coords(src_node))
+        target = self._coords(dst_node)
+        hops: List[int] = []
+        for dim in order:
+            size = self.dims[dim]
+            delta = (target[dim] - coords[dim]) % size
+            if delta == 0:
+                continue
+            if delta <= size - delta:
+                sign, steps = 1, delta
+            else:
+                sign, steps = -1, size - delta
+            for _ in range(steps):
+                node = self._index(tuple(coords))
+                hops.append(self._dim_link[(node, dim, sign)])
+                coords[dim] = (coords[dim] + sign) % size
+        return tuple(hops)
+
+    def _router_paths(self, src_node: int, dst_node: int) -> Tuple[Tuple[int, ...], ...]:
+        key = (src_node, dst_node)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            seen = set()
+            paths: List[Tuple[int, ...]] = []
+            for order in itertools.permutations(range(len(self.dims))):
+                path = self._dor_path(src_node, dst_node, order)
+                if path not in seen:
+                    seen.add(path)
+                    paths.append(path)
+            cached = tuple(paths)
+            self._path_cache[key] = cached
+        return cached
+
+    def routes(self, src_host: int, dst_host: int) -> Sequence[Tuple[int, ...]]:
+        if src_host == dst_host:
+            raise ValueError("no route from a host to itself")
+        up = self._host_up[src_host]
+        down = self._host_down[dst_host]
+        src_node = self.node_of(src_host)
+        dst_node = self.node_of(dst_host)
+        if src_node == dst_node:
+            return ((up, down),)
+        return tuple((up,) + path + (down,) for path in self._router_paths(src_node, dst_node))
+
+    def valiant_routes(self, src_host, dst_host, rng, count: int = 4):
+        if self.num_nodes <= 2:
+            return super().valiant_routes(src_host, dst_host, rng, count)
+        return self._valiant_via_routers(
+            src_host, dst_host, rng, count, self.num_nodes, self.node_of, self._router_paths
+        )
+
+    def describe(self) -> Dict[str, object]:
+        d = super().describe()
+        d.update(
+            {
+                "dims": self.dims,
+                "hosts_per_node": self.hosts_per_node,
+                "num_nodes": self.num_nodes,
+            }
+        )
+        return d

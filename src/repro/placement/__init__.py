@@ -6,6 +6,7 @@ from repro.placement.strategies import (
     random_placement,
     round_robin_placement,
     strided_placement,
+    locality_placement,
     place_jobs,
     PLACEMENT_STRATEGIES,
 )
@@ -17,6 +18,7 @@ __all__ = [
     "random_placement",
     "round_robin_placement",
     "strided_placement",
+    "locality_placement",
     "place_jobs",
     "PLACEMENT_STRATEGIES",
 ]

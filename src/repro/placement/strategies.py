@@ -9,14 +9,19 @@ The paper contrasts two strategies on an oversubscribed fat tree:
   every job across the cluster and loading the oversubscribed core.
 
 Additional strategies (round-robin across ToRs, strided) are provided for
-ablations.  :func:`place_jobs` turns a placement plus the jobs' GOAL
+ablations, and :func:`locality_placement` generalises packed allocation to
+any topology: it packs each job into whole switch-attachment groups (ToRs on
+a fat tree, routers on a dragonfly/torus/Slim Fly) using
+:meth:`repro.network.topology.base.Topology.host_groups`, so intra-job
+traffic stays on as few first-hop switches as possible regardless of the
+interconnect.  :func:`place_jobs` turns a placement plus the jobs' GOAL
 schedules into one combined multi-job schedule via
 :func:`repro.goal.merge.concatenate_schedules`.
 """
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -141,11 +146,87 @@ def strided_placement(jobs: Sequence[JobRequest], cluster_nodes: int, stride: in
     return PlacementResult(mappings, cluster_nodes, "strided")
 
 
+def locality_placement(
+    jobs: Sequence[JobRequest],
+    cluster_nodes: int,
+    topology=None,
+    group_size: int = 16,
+) -> PlacementResult:
+    """Pack jobs into whole switch-attachment groups of the topology.
+
+    Parameters
+    ----------
+    topology:
+        A :class:`~repro.network.topology.base.Topology`; its
+        :meth:`~repro.network.topology.base.Topology.host_groups` define the
+        locality unit (hosts sharing a ToR, torus router or Slim Fly
+        router).  When omitted, contiguous blocks of ``group_size`` hosts
+        are used instead.
+    group_size:
+        Fallback group width when no topology is given.
+
+    Each job is placed into the first single group with enough free slots;
+    jobs larger than any group spill over the fewest consecutive groups
+    that can hold them.  On a fat tree this reduces to packed allocation;
+    on a torus or Slim Fly it keeps every job on as few routers as the
+    concentration allows.
+    """
+    _require_capacity(jobs, cluster_nodes)
+    if topology is not None:
+        if topology.num_hosts != cluster_nodes:
+            raise ValueError(
+                f"topology has {topology.num_hosts} hosts but cluster_nodes is {cluster_nodes}"
+            )
+        groups = topology.host_groups()
+    else:
+        if group_size <= 0:
+            raise ValueError("group_size must be positive")
+        groups = [
+            list(range(start, min(start + group_size, cluster_nodes)))
+            for start in range(0, cluster_nodes, group_size)
+        ]
+    free: List[List[int]] = [list(g) for g in groups]
+    mappings: List[Dict[int, int]] = []
+    for job in jobs:
+        nodes: List[int] = []
+        # first single group that can hold the whole job
+        target = next((g for g in free if len(g) >= job.num_nodes), None)
+        if target is not None:
+            nodes = target[: job.num_nodes]
+            del target[: job.num_nodes]
+        else:
+            # spill over the fewest consecutive groups that can hold the job
+            # (earliest such window on ties)
+            best: Optional[Tuple[int, int]] = None  # (start, end) exclusive
+            for start in range(len(free)):
+                total = 0
+                for end in range(start, len(free)):
+                    total += len(free[end])
+                    if total >= job.num_nodes:
+                        if best is None or (end + 1 - start) < (best[1] - best[0]):
+                            best = (start, end + 1)
+                        break
+            if best is None:
+                raise ValueError(
+                    f"job {job.label!r} needs {job.num_nodes} nodes but only "
+                    f"{sum(len(g) for g in free)} remain free"
+                )
+            remaining = job.num_nodes
+            for g in free[best[0] : best[1]]:
+                take = min(remaining, len(g))
+                nodes.extend(g[:take])
+                del g[:take]
+                remaining -= take
+        mappings.append({r: nodes[r] for r in range(job.num_nodes)})
+    return PlacementResult(mappings, cluster_nodes, "locality")
+
+
 PLACEMENT_STRATEGIES: Dict[str, Callable[..., PlacementResult]] = {
     "packed": packed_placement,
     "random": random_placement,
     "round_robin": round_robin_placement,
     "strided": strided_placement,
+    "locality": locality_placement,
 }
 
 

@@ -1,0 +1,140 @@
+"""Topology x routing sweep API.
+
+Runs one GOAL schedule across a grid of topologies and routing strategies
+and collects runtime plus congestion signals for each combination — the
+programmatic form of the paper's "same workload, different interconnect"
+experiments, extended over the pluggable routing subsystem.
+
+Typical use::
+
+    from repro.sweep import default_topology_configs, topology_routing_sweep
+
+    configs = default_topology_configs(schedule.num_ranks)
+    entries = topology_routing_sweep(schedule, configs,
+                                     routings=("minimal", "valiant", "adaptive"),
+                                     backend="htsim")
+    for e in entries:
+        print(e.topology, e.routing, e.finish_time_ns, e.packets_dropped)
+
+``examples/topology_comparison.py`` demonstrates the API on a small LLM
+training workload; ``benchmarks/test_topology_routing_sweep.py`` uses it for
+the oversubscription comparison.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.goal.schedule import GoalSchedule
+from repro.network.config import SimulationConfig
+from repro.scheduler import simulate
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """Result of one (topology, routing, backend) cell of a sweep."""
+
+    topology: str
+    routing: str
+    backend: str
+    finish_time_ns: int
+    wall_clock_s: float
+    messages_delivered: int
+    packets_dropped: int
+    packets_ecn_marked: int
+    max_queue_bytes: int
+
+    @property
+    def finish_time_ms(self) -> float:
+        return self.finish_time_ns / 1e6
+
+
+def default_topology_configs(
+    num_hosts: int, base: Optional[SimulationConfig] = None
+) -> Dict[str, SimulationConfig]:
+    """One ready-to-run config per topology family, sized to ``num_hosts``.
+
+    Shape parameters carried by ``base`` (oversubscription, link speeds,
+    buffer sizes, congestion control, ...) are preserved; only the knobs
+    needed to *fit* ``num_hosts`` endpoints are adjusted:
+
+    * ``fat_tree`` — fits any host count as-is,
+    * ``dragonfly`` — ``nodes_per_router`` grows to reach capacity,
+    * ``torus`` — a near-square 2D torus over the configured
+      ``torus_hosts_per_node``,
+    * ``slimfly`` — ``hosts_per_router`` grows to reach capacity for the
+      configured ``slimfly_q``.
+    """
+    if num_hosts <= 0:
+        raise ValueError("num_hosts must be positive")
+    base = base if base is not None else SimulationConfig()
+
+    df_radix = base.dragonfly_groups * base.dragonfly_routers_per_group
+    df_nodes_per_router = max(
+        base.dragonfly_nodes_per_router, math.ceil(num_hosts / df_radix)
+    )
+
+    torus_nodes = math.ceil(num_hosts / base.torus_hosts_per_node)
+    side = max(2, math.ceil(math.sqrt(torus_nodes)))
+    other = max(2, math.ceil(torus_nodes / side))
+
+    sf_routers = 2 * base.slimfly_q * base.slimfly_q
+    sf_hosts_per_router = max(1, math.ceil(num_hosts / sf_routers))
+
+    return {
+        "fat_tree": base.replace(topology="fat_tree"),
+        "dragonfly": base.replace(
+            topology="dragonfly", dragonfly_nodes_per_router=df_nodes_per_router
+        ),
+        "torus": base.replace(topology="torus", torus_dims=(side, other)),
+        "slimfly": base.replace(
+            topology="slimfly", slimfly_hosts_per_router=sf_hosts_per_router
+        ),
+    }
+
+
+def topology_routing_sweep(
+    schedule: GoalSchedule,
+    configs: Dict[str, SimulationConfig],
+    routings: Sequence[str] = ("minimal", "valiant", "adaptive"),
+    backend: str = "htsim",
+) -> List[SweepEntry]:
+    """Simulate ``schedule`` for every (topology config) x (routing) cell.
+
+    Parameters
+    ----------
+    schedule:
+        The GOAL program to replay in every cell.
+    configs:
+        Mapping of topology label to the :class:`SimulationConfig` to use
+        (see :func:`default_topology_configs`); the label is echoed into
+        :attr:`SweepEntry.topology`.
+    routings:
+        Routing strategy names to apply to each config.
+    backend:
+        ``"htsim"`` (packet-level, reports congestion) or ``"lgs"``.
+        Note that on ``"lgs"`` the routing axis only differentiates cells
+        whose config routes through the topology (torus/slimfly by default;
+        see :meth:`SimulationConfig.loggops_topology_enabled`) — flat-``L``
+        cells return identical rows for every routing.  Pass configs with
+        ``loggops_use_topology=True`` to compare routing on any topology.
+    """
+    entries: List[SweepEntry] = []
+    for label, config in configs.items():
+        for routing in routings:
+            result = simulate(schedule, backend=backend, config=config.replace(routing=routing))
+            entries.append(
+                SweepEntry(
+                    topology=label,
+                    routing=routing,
+                    backend=result.backend,
+                    finish_time_ns=result.finish_time_ns,
+                    wall_clock_s=result.wall_clock_s,
+                    messages_delivered=result.stats.messages_delivered,
+                    packets_dropped=result.stats.packets_dropped,
+                    packets_ecn_marked=result.stats.packets_ecn_marked,
+                    max_queue_bytes=result.stats.max_queue_bytes,
+                )
+            )
+    return entries

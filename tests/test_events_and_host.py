@@ -64,6 +64,28 @@ class TestEventQueue:
         with pytest.raises(RuntimeError):
             q.run(max_events=100)
 
+    def test_max_events_executes_at_most_n(self):
+        # regression: the limit used to let the (N+1)th event run before raising
+        q = EventQueue()
+        executed = []
+
+        def rearm(t, p):
+            executed.append(t)
+            q.schedule_after(1, rearm)
+
+        q.schedule(0, rearm)
+        with pytest.raises(RuntimeError):
+            q.run(max_events=5)
+        assert len(executed) == 5
+
+    def test_max_events_not_raised_when_queue_drains_exactly(self):
+        q = EventQueue()
+        seen = []
+        for t in range(5):
+            q.schedule(t, lambda time, p: seen.append(time))
+        assert q.run(max_events=5) == 4
+        assert seen == [0, 1, 2, 3, 4]
+
     def test_events_scheduled_during_run_are_processed(self):
         q = EventQueue()
         seen = []

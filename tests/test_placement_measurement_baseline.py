@@ -68,6 +68,60 @@ class TestPlacement:
         res = simulate(merged, backend="htsim", config=cfg)
         assert res.ops_completed == merged.num_ops()
 
+    def test_locality_packs_whole_groups_on_torus(self):
+        from repro.network.topology import TorusTopology
+
+        topo = TorusTopology(16, dims=(2, 2), hosts_per_node=4)
+        # two 4-node jobs: each should land on exactly one torus router
+        jobs = [JobRequest(_job(4, name="a")), JobRequest(_job(4, name="b"))]
+        placement = place_jobs(jobs, 16, strategy="locality", topology=topo)
+        for i in range(2):
+            routers = {topo.node_of(n) for n in placement.nodes_of_job(i)}
+            assert len(routers) == 1
+        assert set(placement.nodes_of_job(0)).isdisjoint(placement.nodes_of_job(1))
+
+    def test_locality_prefers_single_group_over_spill(self):
+        from repro.network.topology import TorusTopology
+
+        topo = TorusTopology(16, dims=(2, 2), hosts_per_node=4)
+        # a 3-node job first, then a 4-node job: the 4-node job must skip the
+        # partially filled router and land whole on the next one
+        jobs = [JobRequest(_job(3, name="small")), JobRequest(_job(4, name="big"))]
+        placement = place_jobs(jobs, 16, strategy="locality", topology=topo)
+        big_routers = {topo.node_of(n) for n in placement.nodes_of_job(1)}
+        assert len(big_routers) == 1
+
+    def test_locality_spills_over_consecutive_groups(self):
+        jobs = [JobRequest(_job(6, name="wide"))]
+        placement = place_jobs(jobs, 16, strategy="locality", group_size=4)
+        assert placement.nodes_of_job(0) == [0, 1, 2, 3, 4, 5]
+
+    def test_locality_spill_uses_fewest_groups(self):
+        # a 3-node job leaves group 0 with one free slot; the following
+        # 8-node job must skip it and take two whole groups, not fragment
+        # itself across three switches
+        jobs = [JobRequest(_job(3, name="small")), JobRequest(_job(8, name="big"))]
+        placement = place_jobs(jobs, 16, strategy="locality", group_size=4)
+        big_groups = {n // 4 for n in placement.nodes_of_job(1)}
+        assert big_groups == {1, 2}
+
+    def test_locality_on_slimfly(self):
+        from repro.network.topology import SlimFlyTopology
+
+        topo = SlimFlyTopology(20, q=5, hosts_per_router=2)
+        jobs = [JobRequest(_job(2, name="a")), JobRequest(_job(2, name="b"))]
+        placement = place_jobs(jobs, 20, strategy="locality", topology=topo)
+        for i in range(2):
+            routers = {topo.router_of(n) for n in placement.nodes_of_job(i)}
+            assert len(routers) == 1
+
+    def test_locality_topology_size_mismatch_rejected(self):
+        from repro.network.topology import TorusTopology
+
+        topo = TorusTopology(8, dims=(2, 2), hosts_per_node=2)
+        with pytest.raises(ValueError):
+            place_jobs([JobRequest(_job(2))], 16, strategy="locality", topology=topo)
+
     def test_random_placement_not_slower_check(self):
         # random placement on an oversubscribed fabric must not be faster than packed
         jobs = [JobRequest(_job(8, size=1 << 19, name="a")), JobRequest(_job(8, size=1 << 19, name="b"))]

@@ -1,4 +1,5 @@
 """Tests for the network topologies and their routing."""
+import numpy as np
 import pytest
 
 from repro.network.config import SimulationConfig
@@ -6,7 +7,11 @@ from repro.network.topology import (
     DragonflyTopology,
     FatTreeTopology,
     SingleSwitchTopology,
+    SlimFlyTopology,
+    TorusTopology,
     build_topology,
+    register_topology,
+    topology_names,
 )
 
 
@@ -103,14 +108,116 @@ class TestDragonfly:
             DragonflyTopology(4, groups=1)
 
 
+class TestTorus:
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            TorusTopology(100, dims=(3, 3), hosts_per_node=1)
+
+    def test_dims_validated(self):
+        with pytest.raises(ValueError):
+            TorusTopology(4, dims=(4,))
+        with pytest.raises(ValueError):
+            TorusTopology(4, dims=(4, 1))
+        with pytest.raises(ValueError):
+            TorusTopology(4, dims=(2, 2, 2, 2))
+
+    def test_same_node_route(self):
+        topo = TorusTopology(8, dims=(2, 2), hosts_per_node=2)
+        assert topo.routes(0, 1) == ((topo._host_up[0], topo._host_down[1]),)
+
+    def test_dimension_order_hop_count(self):
+        # 4x4 torus, 1 host per node: host i sits on node i
+        topo = TorusTopology(16, dims=(4, 4))
+        # (0,0) -> (1,1): one hop per dimension + host links
+        routes = topo.routes(0, 5)
+        assert all(len(r) == 4 for r in routes)
+        # the two dimension orders give distinct minimal paths
+        assert len(routes) == 2
+
+    def test_wraparound_takes_short_direction(self):
+        topo = TorusTopology(16, dims=(4, 4))
+        # (0,0) -> (3,0) is one wrap hop, not three forward hops
+        routes = topo.routes(0, 3)
+        assert all(len(r) == 3 for r in routes)
+
+    def test_routes_valid_2d_and_3d(self):
+        TorusTopology(12, dims=(3, 2), hosts_per_node=2).check_routes()
+        TorusTopology(12, dims=(3, 2, 2)).check_routes()
+
+    def test_valiant_routes_are_contiguous_and_longer(self):
+        topo = TorusTopology(16, dims=(4, 4))
+        rng = np.random.default_rng(0)
+        minimal = min(len(r) for r in topo.routes(0, 5))
+        for route in topo.valiant_routes(0, 5, rng, count=4):
+            topo.validate_route(route, 0, 5)
+            assert len(route) >= minimal
+
+    def test_host_groups_follow_nodes(self):
+        topo = TorusTopology(8, dims=(2, 2), hosts_per_node=2)
+        assert topo.host_groups() == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_describe(self):
+        d = TorusTopology(8, dims=(2, 2, 2)).describe()
+        assert d["dims"] == (2, 2, 2) and d["num_nodes"] == 8
+
+
+class TestSlimFly:
+    def test_q_validated(self):
+        with pytest.raises(ValueError):
+            SlimFlyTopology(10, q=4)  # not prime
+        with pytest.raises(ValueError):
+            SlimFlyTopology(10, q=7)  # prime but 7 % 4 == 3
+        with pytest.raises(ValueError):
+            SlimFlyTopology(10_000, q=5)  # over capacity
+
+    def test_mms_graph_shape(self):
+        topo = SlimFlyTopology(50, q=5, hosts_per_router=1)
+        assert topo.num_routers == 50
+        assert topo.network_radix == 7
+        # every router has exactly (3q - 1) / 2 neighbours
+        assert all(len(adj) == 7 for adj in topo._adj)
+
+    def test_diameter_two(self):
+        topo = SlimFlyTopology(50, q=5, hosts_per_router=1)
+        for r1 in range(topo.num_routers):
+            for r2 in range(topo.num_routers):
+                if r1 == r2:
+                    continue
+                paths = topo._router_paths(r1, r2)
+                assert paths and all(len(p) <= 2 for p in paths)
+
+    def test_routes_valid(self):
+        SlimFlyTopology(20, q=5, hosts_per_router=2).check_routes()
+
+    def test_balanced_concentration_default(self):
+        topo = SlimFlyTopology(50, q=5)
+        assert topo.hosts_per_router == 4  # ceil(7 / 2)
+
+    def test_valiant_routes_are_contiguous(self):
+        topo = SlimFlyTopology(20, q=5, hosts_per_router=2)
+        rng = np.random.default_rng(1)
+        for route in topo.valiant_routes(0, 19, rng, count=4):
+            topo.validate_route(route, 0, 19)
+            # valiant never descends to an intermediate host
+            for link in route[1:-1]:
+                assert not topo.is_host(topo.links[link].src)
+                assert not topo.is_host(topo.links[link].dst)
+
+    def test_describe(self):
+        d = SlimFlyTopology(20, q=5).describe()
+        assert d["q"] == 5 and d["num_routers"] == 50 and d["network_radix"] == 7
+
+
 class TestBuildTopology:
     def test_build_each_kind(self):
         for kind, cls in (
             ("single_switch", SingleSwitchTopology),
             ("fat_tree", FatTreeTopology),
             ("dragonfly", DragonflyTopology),
+            ("torus", TorusTopology),
+            ("slimfly", SlimFlyTopology),
         ):
-            cfg = SimulationConfig(topology=kind, nodes_per_tor=8)
+            cfg = SimulationConfig(topology=kind, nodes_per_tor=8, torus_dims=(3, 3))
             topo = build_topology(cfg, 8)
             assert isinstance(topo, cls)
             assert topo.num_hosts == 8
@@ -118,3 +225,51 @@ class TestBuildTopology:
     def test_config_rejects_unknown_topology(self):
         with pytest.raises(ValueError):
             SimulationConfig(topology="hypercube")
+
+    def test_config_rejects_bad_shapes_eagerly(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(topology="torus", torus_dims=(1,))
+        with pytest.raises(ValueError):
+            SimulationConfig(topology="slimfly", slimfly_q=4)
+
+    def test_registry_lists_builtins(self):
+        names = topology_names()
+        for expected in ("single_switch", "fat_tree", "dragonfly", "torus", "slimfly"):
+            assert expected in names
+
+    def test_register_custom_topology(self):
+        from repro.network.topology import TOPOLOGY_BUILDERS, TOPOLOGY_DESCRIPTIONS, unregister_topology
+
+        register_topology("test_custom", lambda cfg, n: SingleSwitchTopology(n))
+        try:
+            cfg = SimulationConfig(topology="test_custom")
+            assert isinstance(build_topology(cfg, 4), SingleSwitchTopology)
+        finally:
+            unregister_topology("test_custom")
+        assert "test_custom" not in TOPOLOGY_BUILDERS
+        assert "test_custom" not in TOPOLOGY_DESCRIPTIONS
+
+
+class TestBaseQueries:
+    def test_attachment_and_groups_fat_tree(self):
+        topo = FatTreeTopology(8, nodes_per_tor=4)
+        assert topo.attachment(0) == topo.tor_switches[0]
+        assert topo.attachment(5) == topo.tor_switches[1]
+        assert topo.host_groups() == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_attachment_rejects_switch(self):
+        topo = SingleSwitchTopology(2)
+        with pytest.raises(ValueError):
+            topo.attachment(topo.switch)
+
+    def test_default_valiant_routes_via_host(self):
+        topo = FatTreeTopology(8, nodes_per_tor=4)
+        rng = np.random.default_rng(2)
+        routes = topo.valiant_routes(0, 7, rng, count=3)
+        assert len(routes) == 3
+        for route in routes:
+            topo.validate_route(route, 0, 7)
+
+    def test_valiant_routes_empty_when_no_intermediate(self):
+        topo = SingleSwitchTopology(2)
+        assert topo.valiant_routes(0, 1, np.random.default_rng(0)) == ()
