@@ -13,6 +13,8 @@ Run with::
 
     PYTHONPATH=src python examples/topology_comparison.py
 """
+import os
+
 from repro.apps.ai import LlmTrainer, ParallelismConfig, llama_7b
 from repro.network import SimulationConfig
 from repro.schedgen import nccl_trace_to_goal
@@ -33,8 +35,14 @@ def main() -> None:
 
     base = SimulationConfig(nodes_per_tor=4, oversubscription=4.0, buffer_size=1 << 17)
     configs = default_topology_configs(schedule.num_ranks, base)
+    # parallel=N farms the grid's cells out to worker processes; results
+    # are identical to the serial engine (cells are seeded up front)
     entries = topology_routing_sweep(
-        schedule, configs, routings=("minimal", "adaptive"), backend="htsim"
+        schedule,
+        configs,
+        routings=("minimal", "adaptive"),
+        backend="htsim",
+        parallel=os.cpu_count(),
     )
 
     header = f"{'topology':<11} {'routing':<9} {'runtime':>10} {'drops':>6} {'ECN marks':>10}"

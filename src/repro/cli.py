@@ -8,7 +8,9 @@ Subcommands mirror the main pipelines:
 * ``atlahs storage`` — generate a Financial-like workload and replay it
   against Direct Drive,
 * ``atlahs synthetic PATTERN`` — run one of the synthetic microbenchmarks,
-* ``atlahs topologies`` — list registered topologies and routing strategies.
+* ``atlahs topologies`` — list registered topologies and routing strategies,
+* ``atlahs bench`` — run the performance suite and track ``BENCH_*.json``
+  baselines (see ``docs/performance.md``).
 
 Every simulation subcommand accepts the shared network flags
 (``--backend``, ``--topology``, ``--routing``, topology shape parameters,
@@ -210,6 +212,46 @@ def _cmd_topologies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the benchmark suite, write BENCH_<rev>.json, compare to a baseline."""
+    from repro.perf import compare_to_baseline, load_bench, run_suite, write_bench
+
+    results = run_suite(quick=args.quick)
+    rows = []
+    for name, case in results["cases"].items():
+        eps = case["events_per_s"]
+        rows.append(
+            f"  {name:28s} {case['wall_clock_s']*1e3:9.1f} ms   "
+            f"{(str(eps) + ' ev/s') if eps else '-':>14s}   rss {case['peak_rss_kb']} KiB"
+        )
+    print(f"bench @ {results['revision']} (quick={results['quick']})")
+    print("\n".join(rows))
+
+    path = write_bench(results, args.output)
+    print(f"\nwrote {path}")
+
+    if args.baseline:
+        comparison = compare_to_baseline(
+            results, load_bench(args.baseline), max_regression=args.max_regression
+        )
+        for entry in comparison.entries:
+            marker = "REGRESSED" if entry.regressed else "ok"
+            print(
+                f"  vs baseline {entry.name:28s} {entry.speedup:5.2f}x "
+                f"({entry.baseline_wall_s*1e3:.1f} ms -> {entry.current_wall_s*1e3:.1f} ms)  {marker}"
+            )
+        for name in comparison.missing:
+            print(f"  vs baseline {name:28s} (present on one side only, skipped)")
+        if not comparison.ok:
+            print(
+                f"FAIL: {len(comparison.regressions)} case(s) regressed more than "
+                f"{args.max_regression}x vs {args.baseline}"
+            )
+            return 1
+        print(f"baseline check passed (threshold {args.max_regression}x)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="atlahs",
@@ -279,6 +321,22 @@ def build_parser() -> argparse.ArgumentParser:
         description=_first_doc_line(_cmd_topologies),
     )
     p.set_defaults(func=_cmd_topologies)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the performance suite and track BENCH_*.json baselines",
+        description=_first_doc_line(_cmd_bench),
+    )
+    p.add_argument("--quick", action="store_true", help="tiny workloads (CI smoke job)")
+    p.add_argument("--output", default=None, help="output path (default BENCH_<rev>.json)")
+    p.add_argument("--baseline", default=None, help="baseline BENCH_*.json to compare against")
+    p.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when a case's wall clock exceeds this multiple of the baseline",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     return parser
 

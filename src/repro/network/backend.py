@@ -26,7 +26,13 @@ from repro.network.config import SimulationConfig
 
 
 class OpCompletion(NamedTuple):
-    """A finished GOAL operation reported back to the scheduler (``eventOver``)."""
+    """A finished GOAL operation (``eventOver``) as a record.
+
+    The completion callback itself takes the three fields positionally
+    (``on_complete(time, rank, op_id)``) so the per-operation hot path
+    allocates nothing; this record type remains for code that wants to
+    store or pass completions around as one value.
+    """
 
     time: int
     rank: int
@@ -147,7 +153,8 @@ class SimulationResult:
         }
 
 
-CompletionCallback = Callable[[OpCompletion], None]
+#: ``eventOver``: called as ``on_complete(time, rank, op_id)``.
+CompletionCallback = Callable[[int, int, int], None]
 
 
 class NetworkBackend(abc.ABC):
@@ -179,7 +186,8 @@ class NetworkBackend(abc.ABC):
     def run(self, on_complete: CompletionCallback) -> int:
         """Run the event loop to completion; call ``on_complete`` for every op.
 
-        Returns the final simulation time in nanoseconds.
+        ``on_complete(time, rank, op_id)`` is invoked once per finished
+        operation.  Returns the final simulation time in nanoseconds.
         """
 
     @abc.abstractmethod

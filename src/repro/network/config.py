@@ -126,6 +126,12 @@ class SimulationConfig:
         LogGOPS parameters (used by the message-level backend).
     seed:
         Seed for any stochastic choice (ECMP hashing, jitter).
+    route_caching / packet_batching / loggops_batching:
+        Performance-engine toggles (see ``docs/performance.md``).  All three
+        default on and are *exact*: disabling one falls back to the slower
+        legacy code path but must produce bit-identical simulated results
+        for the same seed.  They exist for A/B determinism tests and for
+        bisecting perf regressions, not as accuracy knobs.
     """
 
     # topology
@@ -159,6 +165,13 @@ class SimulationConfig:
     initial_window_packets: int = 16
     min_retransmit_timeout: int = 100_000  # ns
     ack_size: int = 64
+
+    # performance engine toggles (all exact: flipping one must not change
+    # simulated results — the determinism tests in
+    # tests/test_perf_determinism.py run both settings and compare)
+    route_caching: bool = True
+    packet_batching: bool = True
+    loggops_batching: bool = True
 
     # misc
     seed: int = 0

@@ -1,14 +1,26 @@
 """Discrete-event machinery shared by both simulation backends.
 
-A minimal binary-heap event queue keyed on ``(time, sequence)``.  The
-sequence number breaks ties deterministically in insertion order, which makes
-whole simulations reproducible for a fixed seed — a requirement of the
-validation benchmarks.
+A minimal binary-heap event queue with a *canonical* ordering: entries are
+keyed on ``(time, klass, a, b)`` where same-time events sort by event class
+first and by a class-specific key within it:
 
-The queue stores ``(time, seq, callback, payload)`` tuples rather than event
-objects; in the hot per-packet path this avoids one attribute lookup and one
-allocation per event (see the hpc-parallel guides on keeping inner loops
-allocation-light).
+* klass 0 — ordinary handler events (completions, flow setup, timeouts,
+  pacer ticks, ...), ordered by insertion sequence,
+* klass 1 — packet deliveries, ordered by ``(departure time, link id)``,
+* klass 2 — legacy transmission-completion bookkeeping, ordered by link id.
+
+The class-specific keys are physical properties of the simulated network
+rather than artifacts of when an engine happened to push the event, which
+makes the order of same-timestamp events — and therefore whole simulations —
+*engine-invariant*: the batched link engine (one delivery event per packet,
+scheduled at enqueue time) and the legacy engine (per-transmission events,
+deliveries scheduled at departure time) pop the exact same event sequence.
+That invariance is what lets ``SimulationConfig.packet_batching`` be an
+exact A/B toggle (see ``tests/test_perf_determinism.py``).
+
+The queue stores flat tuples rather than event objects; in the hot
+per-packet path this avoids one attribute lookup and one allocation per
+event (see the hpc-parallel guides on keeping inner loops allocation-light).
 """
 from __future__ import annotations
 
@@ -17,16 +29,24 @@ from typing import Any, Callable, List, Optional, Tuple
 
 EventCallback = Callable[[int, Any], None]
 
+# entry layouts: handler/finish events are (time, klass, key, callback,
+# payload); deliveries carry their two-part key: (time, 1, depart, link_id,
+# callback, payload)
+_Entry = Tuple[int, ...]
+
 
 class EventQueue:
     """Deterministic discrete-event queue with integer-nanosecond timestamps."""
 
-    __slots__ = ("_heap", "_seq", "_now")
+    __slots__ = ("_heap", "_seq", "_now", "executed")
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[int, int, EventCallback, Any]] = []
+        self._heap: List[_Entry] = []
         self._seq = 0
         self._now = 0
+        #: Events executed so far (by :meth:`run` or a backend's own loop);
+        #: the bench harness reports this as events/sec.
+        self.executed = 0
 
     @property
     def now(self) -> int:
@@ -42,15 +62,39 @@ class EventQueue:
     def schedule(self, time: int, callback: EventCallback, payload: Any = None) -> None:
         """Schedule ``callback(time, payload)`` at simulation time ``time``.
 
-        Scheduling in the past (before the current time) is a logic error in
-        a discrete-event simulation and raises ``ValueError``.
+        Same-time handler events run in insertion order, before any
+        same-time delivery.  Scheduling in the past (before the current
+        time) is a logic error in a discrete-event simulation and raises
+        ``ValueError``.
         """
         if time < self._now:
             raise ValueError(
                 f"cannot schedule event at {time} ns before current time {self._now} ns"
             )
-        heapq.heappush(self._heap, (int(time), self._seq, callback, payload))
+        heapq.heappush(self._heap, (int(time), 0, self._seq, callback, payload))
         self._seq += 1
+
+    def schedule_delivery(
+        self, time: int, depart: int, link_id: int, callback: EventCallback, payload: Any
+    ) -> None:
+        """Schedule a packet delivery, canonically keyed by ``(depart, link_id)``.
+
+        ``depart`` is the instant the packet left its link's transmitter;
+        per link departures are strictly increasing, so the key is unique
+        and identical no matter which engine computed it.
+        """
+        heapq.heappush(self._heap, (int(time), 1, depart, link_id, callback, payload))
+
+    def schedule_finish(
+        self, time: int, link_id: int, callback: EventCallback, payload: Any
+    ) -> None:
+        """Schedule a transmission-completion (legacy engine bookkeeping).
+
+        Runs after every same-time handler and delivery event, which is
+        exactly when the batched engine's lazy occupancy ledger retires a
+        departed packet — keeping both engines' occupancy views aligned.
+        """
+        heapq.heappush(self._heap, (int(time), 2, link_id, callback, payload))
 
     def schedule_after(self, delay: int, callback: EventCallback, payload: Any = None) -> None:
         """Schedule an event ``delay`` ns after the current time."""
@@ -62,9 +106,9 @@ class EventQueue:
 
     def pop(self) -> Tuple[int, EventCallback, Any]:
         """Pop and return the next ``(time, callback, payload)``; advances the clock."""
-        time, _, callback, payload = heapq.heappop(self._heap)
-        self._now = time
-        return time, callback, payload
+        entry = heapq.heappop(self._heap)
+        self._now = entry[0]
+        return entry[0], entry[-2], entry[-1]
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue drains (or a limit is hit).
@@ -83,16 +127,31 @@ class EventQueue:
             The simulation time after the last executed event.
         """
         executed = 0
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        heap = self._heap
+        pop = heapq.heappop
+        if until is None and max_events is None:
+            # hot path: no limit checks inside the loop
+            while heap:
+                entry = pop(heap)
+                time = entry[0]
+                self._now = time
+                entry[-2](time, entry[-1])
+                executed += 1
+            self.executed += executed
+            return self._now
+        while heap:
+            if until is not None and heap[0][0] > until:
                 break
             if max_events is not None and executed >= max_events:
+                self.executed += executed
                 raise RuntimeError(
                     f"event limit exceeded ({max_events} events); "
                     "simulation is likely livelocked"
                 )
-            time, _, callback, payload = heapq.heappop(self._heap)
+            entry = pop(heap)
+            time = entry[0]
             self._now = time
-            callback(time, payload)
+            entry[-2](time, entry[-1])
             executed += 1
+        self.executed += executed
         return self._now

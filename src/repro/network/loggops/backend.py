@@ -32,6 +32,26 @@ receive to be posted and pay one extra ``L`` for the handshake before the
 transfer starts; the send op completes at message arrival rather than
 locally.
 
+Hot path
+--------
+Two exact optimizations keep the per-message cost low
+(``SimulationConfig.loggops_batching``, on by default):
+
+* runs of ``send`` events with the same timestamp — the shape every
+  collective produces — are popped together and their eager timing
+  recurrence is evaluated with numpy across the whole batch whenever the
+  batch is *dependency-free* (each sender rank and each destination appears
+  at most once, so no ``max``-chain couples two members); coupled or
+  rendezvous batches fall back to the per-message path, member by member,
+  in the exact event order,
+* arrivals are scheduled as a method plus a tuple payload instead of a
+  closure per message, and the per-message CPU cost short-circuits to the
+  integer ``o`` when ``O == 0``.
+
+Disabling the flag replays every send through the per-message path;
+simulated results are bit-identical either way (see
+``tests/test_perf_determinism.py``).
+
 Topology-aware latency
 ----------------------
 When :meth:`SimulationConfig.loggops_topology_enabled` is true (the default
@@ -45,6 +65,7 @@ links that earlier messages loaded even though this backend has no queues.
 """
 from __future__ import annotations
 
+import heapq
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -54,7 +75,6 @@ from repro.network.backend import (
     MessageRecord,
     NetworkBackend,
     NetworkStats,
-    OpCompletion,
 )
 from repro.network.config import SimulationConfig
 from repro.network.events import EventQueue
@@ -125,15 +145,29 @@ class LogGOPSBackend(NetworkBackend):
         self.matcher = MessageMatcher()
         self._send_nic_free: List[int] = [0] * num_ranks
         self._recv_nic_free: List[int] = [0] * num_ranks
+        self._batching = config.loggops_batching
+        # one stable bound-method object for send events: accessing
+        # self._start_send creates a fresh bound method each time, so the
+        # batch loop's identity check must compare against this single
+        # reference (tests assert batching actually engages)
+        self._start_send_cb = self._start_send
+        # CPU cost fast path: with O == 0 the per-message cost is just o
+        self._o_int = int(round(self.params.o))
         # topology-aware wire latency (hop-count model); see module docstring
         self.topology = None
         self.routing = None
-        self._link_bytes: Dict[int, int] = {}
+        self._link_bytes: Optional[np.ndarray] = None
         if config.loggops_topology_enabled():
             self.topology = build_topology(config, num_ranks)
             self.routing = create_routing(
-                config.routing, self.topology, np.random.default_rng(config.seed)
+                config.routing,
+                self.topology,
+                np.random.default_rng(config.seed),
+                use_cache=config.route_caching,
             )
+            # cumulative bytes routed per link, indexed by link id — the
+            # load signal handed to the routing strategy as an array view
+            self._link_bytes = np.zeros(len(self.topology.links), dtype=np.int64)
         # channel -> list of rendezvous sends awaiting a receive (FIFO)
         self._pending_rndv: Dict[Tuple[int, int, int], List[_PendingRendezvous]] = {}
         # channel -> list of receive post times available for rendezvous matching
@@ -150,25 +184,52 @@ class LogGOPSBackend(NetworkBackend):
 
     # ----------------------------------------------------------------- issuing
     def issue_calc(self, rank: int, stream: int, duration_ns: int, op_id: int, ready_time: int) -> None:
-        self._require_setup()
-        start, end = self.host.reserve(rank, stream, ready_time, duration_ns)
-        self.events.schedule(end, self._complete_op, (rank, op_id))
+        # inlined HostCompute.reserve — one call frame and one tuple less on
+        # the single hottest path of calc-dominated workloads
+        if duration_ns < 0:
+            raise ValueError("duration must be non-negative")
+        host = self.host
+        free = host._free_at
+        key = (rank, stream)
+        start = free.get(key, 0)
+        if start < ready_time:
+            start = ready_time
+        end = start + duration_ns
+        free[key] = end
+        if duration_ns:
+            busy = host.busy_ns
+            busy[rank] = busy.get(rank, 0) + duration_ns
+        # inlined EventQueue.schedule (end >= ready_time >= now by
+        # construction, so the past-check cannot fire)
+        events = self.events
+        heapq.heappush(events._heap, (end, 0, events._seq, self._complete_op, (rank, op_id)))
+        events._seq += 1
 
     def issue_send(
         self, rank: int, dst: int, size: int, tag: int, stream: int, op_id: int, ready_time: int
     ) -> None:
-        self._require_setup()
-        self.events.schedule(ready_time, self._start_send, (rank, dst, size, tag, stream, op_id))
+        events = self.events
+        heapq.heappush(
+            events._heap,
+            (ready_time, 0, events._seq, self._start_send_cb, (rank, dst, size, tag, stream, op_id)),
+        )
+        events._seq += 1
 
     def issue_recv(
         self, rank: int, src: int, size: int, tag: int, stream: int, op_id: int, ready_time: int
     ) -> None:
-        self._require_setup()
-        self.events.schedule(ready_time, self._post_recv, (rank, src, size, tag, stream, op_id))
+        events = self.events
+        heapq.heappush(
+            events._heap,
+            (ready_time, 0, events._seq, self._post_recv, (rank, src, size, tag, stream, op_id)),
+        )
+        events._seq += 1
 
     # --------------------------------------------------------------- internals
     def _cpu_cost(self, size: int) -> int:
         p = self.params
+        if p.O == 0.0:
+            return self._o_int
         return int(round(p.o + size * p.O))
 
     def _start_send(self, time: int, payload: Any) -> None:
@@ -180,7 +241,7 @@ class LogGOPSBackend(NetworkBackend):
             # Eager protocol: transfer proceeds regardless of the receive.
             arrival = self._transfer(rank, dst, size, cpu_end)
             self.events.schedule(cpu_end, self._complete_op, (rank, op_id))
-            self._deliver(rank, dst, size, tag, post_time=cpu_start, arrival=arrival)
+            self.events.schedule(arrival, self._on_arrival, (rank, dst, size, tag, cpu_start))
         else:
             # Rendezvous: wait for the matching receive before transferring.
             channel = (rank, dst, tag)
@@ -202,14 +263,11 @@ class LogGOPSBackend(NetworkBackend):
         propagation delay when topology-aware latency is enabled."""
         if self.routing is None:
             return self.params.L
-        route = self.routing.select_route(
-            src, dst, size, lambda link: self._link_bytes.get(link, 0)
-        )
-        latency = 0
+        loads = self._link_bytes
+        route = self.routing.select_route(src, dst, size, loads)
         for link in route:
-            self._link_bytes[link] = self._link_bytes.get(link, 0) + size
-            latency += self.topology.links[link].latency
-        return latency
+            loads[link] += size
+        return self.topology.route_latency(route)
 
     def _transfer(self, src: int, dst: int, size: int, sender_ready: int) -> int:
         """Charge NIC resources for one message and return its arrival time."""
@@ -222,19 +280,17 @@ class LogGOPSBackend(NetworkBackend):
         self._recv_nic_free[dst] = arrival + p.g
         return arrival
 
-    def _deliver(self, src: int, dst: int, size: int, tag: int, post_time: int, arrival: int) -> None:
-        """Schedule the arrival of an eager message and run matching at that time."""
-
-        def on_arrival(time: int, _payload: Any) -> None:
-            self.stats.messages_delivered += 1
-            self.stats.bytes_delivered += size
-            if self.config.collect_message_records:
-                self.records.append(MessageRecord(src, dst, size, tag, post_time, time))
-            matched = self.matcher.post_arrival(src, dst, tag, _Arrival(time, size))
-            if matched is not None:
-                self._complete_recv(matched, time)
-
-        self.events.schedule(arrival, on_arrival, None)
+    def _on_arrival(self, time: int, payload: Tuple[int, int, int, int, int]) -> None:
+        """An eager message fully arrived; record it and run matching."""
+        src, dst, size, tag, post_time = payload
+        stats = self.stats
+        stats.messages_delivered += 1
+        stats.bytes_delivered += size
+        if self.config.collect_message_records:
+            self.records.append(MessageRecord(src, dst, size, tag, post_time, time))
+        matched = self.matcher.post_arrival(src, dst, tag, _Arrival(time, size))
+        if matched is not None:
+            self._complete_recv(matched, time)
 
     def _post_recv(self, time: int, payload: Any) -> None:
         rank, src, size, tag, stream, op_id = payload
@@ -301,15 +357,127 @@ class LogGOPSBackend(NetworkBackend):
         rank, op_id = payload
         if time > self.rank_finish[rank]:
             self.rank_finish[rank] = time
-        if self._on_complete is not None:
-            self._on_complete(OpCompletion(time, rank, op_id))
+        on_complete = self._on_complete
+        if on_complete is not None:
+            on_complete(time, rank, op_id)
 
     # -------------------------------------------------------------------- run
     def run(self, on_complete: CompletionCallback) -> int:
         self._require_setup()
         self._on_complete = on_complete
-        final = self.events.run()
-        return final
+        if not self._batching:
+            return self.events.run()
+        return self._run_batched()
+
+    def _run_batched(self) -> int:
+        """Event loop that pops same-time runs of sends as one batch.
+
+        Collectives issue whole fronts of sends with identical ready times;
+        popping the run in one go lets :meth:`_start_send_batch` evaluate
+        the eager LogGOPS recurrence with numpy across the batch.  Only
+        *consecutive* same-time send events are grouped, so the global
+        event order — and therefore every timing — is exactly that of the
+        one-event-at-a-time loop.
+        """
+        events = self.events
+        heap = events._heap
+        pop = heapq.heappop
+        start_send = self._start_send_cb
+        executed = 0
+        while heap:
+            entry = pop(heap)
+            time = entry[0]
+            events._now = time
+            callback = entry[3]
+            if (
+                callback is start_send
+                and heap
+                and heap[0][0] == time
+                and heap[0][3] is start_send
+            ):
+                batch = [entry[4]]
+                append = batch.append
+                while heap and heap[0][0] == time and heap[0][3] is start_send:
+                    append(pop(heap)[4])
+                executed += len(batch)
+                self._start_send_batch(time, batch)
+                continue
+            callback(time, entry[4])
+            executed += 1
+        events.executed += executed
+        return events._now
+
+    def _start_send_batch(self, time: int, payloads: List[Any]) -> None:
+        """Process a same-time run of sends, vectorizing when dependency-free.
+
+        The numpy path requires flat-``L`` mode (no per-message routing), a
+        purely eager batch, and no intra-batch coupling: each sender rank
+        and each destination at most once, so none of the ``max``-chains
+        (CPU stream, sender NIC, receiver NIC) links two members.  Anything
+        else replays the exact per-message path in event order.
+        """
+        p = self.params
+        n = len(payloads)
+        if (
+            n >= 4
+            and self.routing is None
+            and (p.S == 0 or all(pl[2] <= p.S for pl in payloads))
+        ):
+            ranks = [pl[0] for pl in payloads]
+            dsts = [pl[1] for pl in payloads]
+            if len(set(ranks)) == n and len(set(dsts)) == n:
+                self._eager_batch_vectorized(time, payloads)
+                return
+        start_send = self._start_send
+        for payload in payloads:
+            start_send(time, payload)
+
+    def _eager_batch_vectorized(self, time: int, payloads: List[Any]) -> None:
+        """Numpy evaluation of the eager recurrence for a decoupled batch.
+
+        Mirrors ``_start_send`` + ``_transfer`` element-wise: identical
+        float operations (``round`` and ``np.rint`` both round half-even)
+        and identical state write-back, so results are bit-equal to the
+        scalar path.
+        """
+        p = self.params
+        host_free = self.host._free_at
+        busy = self.host.busy_ns
+        send_free = self._send_nic_free
+        recv_free = self._recv_nic_free
+
+        sizes = np.array([pl[2] for pl in payloads], dtype=np.int64)
+        if p.O != 0.0:
+            costs = np.rint(p.o + sizes * p.O).astype(np.int64)
+        else:
+            costs = np.full(len(payloads), self._o_int, dtype=np.int64)
+        wire = np.rint(sizes * p.G).astype(np.int64)
+        cpu_free = np.array(
+            [host_free.get((pl[0], pl[4]), 0) for pl in payloads], dtype=np.int64
+        )
+        cpu_start = np.maximum(cpu_free, time)
+        cpu_end = cpu_start + costs
+        snd = np.array([send_free[pl[0]] for pl in payloads], dtype=np.int64)
+        inj = np.maximum(cpu_end, snd)
+        new_snd = inj + p.g + wire
+        rcv = np.array([recv_free[pl[1]] for pl in payloads], dtype=np.int64)
+        recv_start = np.maximum(inj + p.L, rcv)
+        arrival = recv_start + wire
+        new_rcv = arrival + p.g
+
+        schedule = self.events.schedule
+        complete = self._complete_op
+        on_arrival = self._on_arrival
+        for i, (rank, dst, size, tag, stream, op_id) in enumerate(payloads):
+            end = int(cpu_end[i])
+            host_free[(rank, stream)] = end
+            cost = int(costs[i])
+            if cost:
+                busy[rank] = busy.get(rank, 0) + cost
+            send_free[rank] = int(new_snd[i])
+            recv_free[dst] = int(new_rcv[i])
+            schedule(end, complete, (rank, op_id))
+            schedule(int(arrival[i]), on_arrival, (rank, dst, size, tag, int(cpu_start[i])))
 
     def now(self) -> int:
         self._require_setup()
@@ -329,8 +497,9 @@ class LogGOPSBackend(NetworkBackend):
         if self.topology is None:
             return {}
         return {
-            self.topology.links[link].name: load
-            for link, load in sorted(self._link_bytes.items())
+            self.topology.links[link].name: int(load)
+            for link, load in enumerate(self._link_bytes)
+            if load
         }
 
     def unmatched_state(self) -> Dict[str, int]:

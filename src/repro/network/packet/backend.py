@@ -2,11 +2,16 @@
 
 The backend owns
 
-* the topology and one :class:`~repro.network.packet.linkqueue.LinkQueue`
-  per directed link,
+* the topology and one link queue per directed link — by default the
+  :class:`~repro.network.packet.linkqueue.BurstLinkQueue`, which serialises
+  a burst of packets arithmetically and fires exactly one event per packet
+  (its delivery); ``SimulationConfig.packet_batching=False`` selects the
+  legacy event-per-transmission :class:`~repro.network.packet.linkqueue.
+  LinkQueue` used by the A/B determinism tests,
 * a :class:`~repro.network.routing.RoutingStrategy` that picks each flow's
-  route at injection time from the topology's candidates (minimal/ECMP,
-  Valiant, or UGAL-style adaptive fed by live queue occupancy),
+  route at injection time from the topology's memoized route tables
+  (minimal/ECMP, Valiant, or UGAL-style adaptive fed by live queue
+  occupancy exposed as a numpy array view),
 * one :class:`~repro.network.packet.flow.Flow` per GOAL send,
 * per-flow congestion control (sender-based MPRDMA / Swift / DCTCP /
   fixed-window, or receiver-driven NDP with trimming and pull pacing),
@@ -20,10 +25,19 @@ uplink (so chained chunk sends pipeline rather than serialise on round
 trips), while the message itself counts as delivered when the last data
 packet reaches the destination host — that instant feeds both the matching
 ``recv`` and the MCT statistics.
+
+Hot path
+--------
+One scheduler event (a window opening on an ACK, a flow becoming ready)
+advances a flow's whole contiguous packet train: the injection loop enqueues
+every packet the window allows, and the burst queue turns each into a single
+delivery event with an arithmetically computed timestamp.  Packet objects
+are pooled (``__slots__`` records reused through a free list), per-pair
+routes and RTTs are cached, and per-size serialisation times are memoized —
+see ``docs/performance.md`` for measurements.
 """
 from __future__ import annotations
 
-import time as _time
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
@@ -34,7 +48,6 @@ from repro.network.backend import (
     MessageRecord,
     NetworkBackend,
     NetworkStats,
-    OpCompletion,
 )
 from repro.network.config import SimulationConfig
 from repro.network.congestion import create_congestion_control
@@ -42,7 +55,7 @@ from repro.network.events import EventQueue
 from repro.network.host import HostCompute
 from repro.network.matching import MessageMatcher
 from repro.network.packet.flow import Flow
-from repro.network.packet.linkqueue import LinkQueue
+from repro.network.packet.linkqueue import BurstLinkQueue, LinkQueue
 from repro.network.packet.packet import ACK, DATA, NACK, PULL, Packet
 from repro.network.routing import create_routing
 from repro.network.topology import build_topology
@@ -61,13 +74,24 @@ class _PendingRecv:
 
 
 class _PullPacer:
-    """Per-host pacer that emits NDP pull credits at the host's link rate."""
+    """Per-host pacer that emits NDP pull credits at the host's link rate.
 
-    __slots__ = ("queue", "active")
+    Pacing is tracked in cumulative byte-time from the pacer's activation
+    (``epoch``): the k-th pull of an active burst is emitted at
+    ``epoch + round(k * mtu / bandwidth)``, the same integer-ns byte-time
+    arithmetic the link queues use.  The legacy per-gap formula
+    ``max(1, round(mtu / bandwidth))`` accumulated up to one nanosecond of
+    error per pull at high link bandwidths (and clamped sub-ns gaps to a
+    full nanosecond); the cumulative form keeps the long-run pull rate exact.
+    """
+
+    __slots__ = ("queue", "active", "epoch", "emitted")
 
     def __init__(self) -> None:
         self.queue: Deque[Flow] = deque()
         self.active = False
+        self.epoch = 0
+        self.emitted = 0
 
 
 class PacketBackend(NetworkBackend):
@@ -89,29 +113,60 @@ class PacketBackend(NetworkBackend):
         self.matcher = MessageMatcher()
         self.rng = np.random.default_rng(config.seed)
         self.topology = build_topology(config, num_ranks)
-        self.routing = create_routing(config.routing, self.topology, self.rng)
+        self.routing = create_routing(
+            config.routing, self.topology, self.rng, use_cache=config.route_caching
+        )
         self.stats = NetworkStats()
+        self._batching = config.packet_batching
         kmin = int(config.ecn_kmin_frac * config.buffer_size)
         kmax = int(config.ecn_kmax_frac * config.buffer_size)
-        self.queues: List[LinkQueue] = [
-            LinkQueue(
-                link,
-                self.events,
-                self.stats,
-                self._on_link_delivery,
-                capacity=config.buffer_size,
-                kmin=kmin,
-                kmax=kmax,
-                rng=self.rng,
-            )
-            for link in self.topology.links
-        ]
+        self._stream_heads: List[Tuple[int, int, int]] = []
+        if self._batching:
+            self.queues = [
+                BurstLinkQueue(
+                    link,
+                    self.events,
+                    self.stats,
+                    capacity=config.buffer_size,
+                    kmin=kmin,
+                    kmax=kmax,
+                    rng=self.rng,
+                )
+                for link in self.topology.links
+            ]
+            for q in self.queues:
+                q._streams = self._stream_heads
+        else:
+            self.queues = [
+                LinkQueue(
+                    link,
+                    self.events,
+                    self.stats,
+                    self._on_link_delivery,
+                    capacity=config.buffer_size,
+                    kmin=kmin,
+                    kmax=kmax,
+                    rng=self.rng,
+                )
+                for link in self.topology.links
+            ]
         self.flows: List[Flow] = []
         self.records: List[MessageRecord] = []
         self.rank_finish: List[int] = [0] * num_ranks
         self.pull_pacers: Dict[int, _PullPacer] = {}
-        self._pull_spacing = max(1, int(round(config.mtu / config.link_bandwidth)))
+        self._pull_bytes = config.mtu
+        self._pull_bandwidth = config.link_bandwidth
         self._pull_credits: Dict[int, int] = {}
+        self._needs_load = self.routing.needs_link_load
+        self._load_view = (
+            np.zeros(len(self.topology.links), dtype=np.int64) if self._needs_load else None
+        )
+        self._rtt_cache: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], int] = {}
+        self._packet_free: List[Packet] = []
+        # hot counters kept as plain ints and folded into stats on collect
+        self._n_sent = 0
+        self._n_delivered = 0
+        self._n_acks = 0
         self._on_complete: Optional[CompletionCallback] = None
         self._configured = True
 
@@ -121,41 +176,80 @@ class PacketBackend(NetworkBackend):
 
     # ----------------------------------------------------------------- issuing
     def issue_calc(self, rank: int, stream: int, duration_ns: int, op_id: int, ready_time: int) -> None:
-        self._require_setup()
-        _, end = self.host.reserve(rank, stream, ready_time, duration_ns)
+        # inlined HostCompute.reserve (see the LogGOPS backend's issue_calc)
+        if duration_ns < 0:
+            raise ValueError("duration must be non-negative")
+        host = self.host
+        free = host._free_at
+        key = (rank, stream)
+        start = free.get(key, 0)
+        if start < ready_time:
+            start = ready_time
+        end = start + duration_ns
+        free[key] = end
+        if duration_ns:
+            busy = host.busy_ns
+            busy[rank] = busy.get(rank, 0) + duration_ns
         self.events.schedule(end, self._complete_op, (rank, op_id))
 
     def issue_send(
         self, rank: int, dst: int, size: int, tag: int, stream: int, op_id: int, ready_time: int
     ) -> None:
-        self._require_setup()
         self.events.schedule(ready_time, self._start_flow, (rank, dst, size, tag, stream, op_id))
 
     def issue_recv(
         self, rank: int, src: int, size: int, tag: int, stream: int, op_id: int, ready_time: int
     ) -> None:
-        self._require_setup()
         self.events.schedule(ready_time, self._post_recv, (rank, src, size, tag, stream, op_id))
 
     # ------------------------------------------------------------------- flows
     def _link_load(self, link_id: int) -> int:
-        """Live queue occupancy of a link (the adaptive strategy's signal)."""
+        """Live queue occupancy of a link (legacy callable form)."""
         return self.queues[link_id].queued_bytes
 
+    def _link_load_view(self) -> "np.ndarray":
+        """Queue occupancy of every link as an array indexed by link id.
+
+        Queues with no departure earlier than ``now`` need no drain, so the
+        common idle/fresh case is a slot read instead of a method call.
+        """
+        now = self.events.now
+        view = self._load_view
+        for i, q in enumerate(self.queues):
+            view[i] = q.occupancy(now) if q.head_depart < now else q.queued_bytes
+        return view
+
     def _pick_route(self, src: int, dst: int, size: int = 0) -> Tuple[int, ...]:
+        if not self._needs_load:
+            return self.routing.select_route(src, dst, size, None)
+        if self._batching:
+            return self.routing.select_route(src, dst, size, self._link_load_view())
         return self.routing.select_route(src, dst, size, self._link_load)
 
     def _base_rtt(self, route: Tuple[int, ...], ack_route: Tuple[int, ...]) -> int:
+        key = (route, ack_route)
+        rtt = self._rtt_cache.get(key)
+        if rtt is not None:
+            return rtt
         cfg = self.config
-        prop = sum(self.topology.links[l].latency for l in route)
-        prop_back = sum(self.topology.links[l].latency for l in ack_route)
-        ser = sum(
-            max(1, int(round(cfg.mtu / self.topology.links[l].bandwidth))) for l in route
-        )
+        links = self.topology.links
+        prop = self.topology.route_latency(route)
+        prop_back = self.topology.route_latency(ack_route)
+        ser = sum(max(1, int(round(cfg.mtu / links[l].bandwidth))) for l in route)
         ser_back = sum(
-            max(1, int(round(cfg.ack_size / self.topology.links[l].bandwidth))) for l in ack_route
+            max(1, int(round(cfg.ack_size / links[l].bandwidth))) for l in ack_route
         )
-        return prop + prop_back + ser + ser_back
+        rtt = prop + prop_back + ser + ser_back
+        self._rtt_cache[key] = rtt
+        return rtt
+
+    def _alloc_packet(
+        self, flow: Flow, kind: int, seq: int, size: int, route: Tuple[int, ...], sent_time: int
+    ) -> Packet:
+        free = self._packet_free
+        if free:
+            return free.pop().reset(flow, kind, seq, size, route, sent_time)
+        return Packet(flow, kind, seq, size, route, sent_time=sent_time)
 
     def _start_flow(self, time: int, payload: Any) -> None:
         rank, dst, size, tag, stream, op_id = payload
@@ -183,6 +277,8 @@ class PacketBackend(NetworkBackend):
             route=route,
             ack_route=ack_route,
         )
+        flow.route_q0 = self.queues[route[0]]
+        flow.ack_q0 = self.queues[ack_route[0]]
         self.flows.append(flow)
         self.events.schedule(overhead_end, self._flow_ready, flow)
 
@@ -199,11 +295,23 @@ class PacketBackend(NetworkBackend):
             self._try_send(flow, time)
 
     def _try_send(self, flow: Flow, now: int) -> None:
-        """Inject as many packets as the congestion window currently allows."""
-        if flow.cc.receiver_driven:
+        """Advance the flow's packet train as far as the window allows.
+
+        With the burst queue this whole loop costs one heap operation per
+        injected packet — the train is serialised arithmetically, so a
+        single ACK event can open the window and launch a contiguous burst
+        without any per-packet transmission events.
+        """
+        cc = flow.cc
+        if cc.receiver_driven:
             return
+        # the window cannot change inside the loop (no feedback is processed
+        # here), so hoist the byte budget out of the per-packet check
+        window = cc.window_bytes()
+        mtu = cc.mtu
         while flow.has_retransmissions() or flow.has_unsent_data():
-            if not flow.cc.can_send(flow.inflight_bytes):
+            inflight = flow.inflight_bytes
+            if inflight + mtu > window and inflight != 0:
                 return
             seq = flow.next_seq_to_send()
             if seq is None:
@@ -211,17 +319,25 @@ class PacketBackend(NetworkBackend):
             self._send_data_packet(flow, seq, now)
 
     def _send_data_packet(self, flow: Flow, seq: int, now: int, retransmission: bool = False) -> None:
-        size = flow.packet_size(seq)
-        pkt = Packet(flow, DATA, seq, size, flow.route, sent_time=now)
+        size = flow.mtu if seq != flow.num_packets - 1 else flow.last_packet_size
+        free = self._packet_free
+        if free:
+            pkt = free.pop().reset(flow, DATA, seq, size, flow.route, now)
+        else:
+            pkt = Packet(flow, DATA, seq, size, flow.route, sent_time=now)
         flow.inflight_bytes += size
-        flow.sent_times[seq] = now
-        self.stats.packets_sent += 1
+        if flow.trimmable:
+            # only the NDP pull path reads per-seq send times; skip the dict
+            # write for sender-driven transports (the packet carries its own)
+            flow.sent_times[seq] = now
+        self._n_sent += 1
         if retransmission:
             self.stats.retransmissions += 1
-        first_link = self.queues[flow.route[0]]
-        accepted = first_link.enqueue(pkt, now)
+        accepted = flow.route_q0.enqueue(pkt, now)
         if not accepted:
             self._handle_data_drop(pkt, now)
+            if self._batching:
+                self._packet_free.append(pkt)
         if (
             not flow.send_op_completed
             and flow.all_injected()
@@ -232,7 +348,7 @@ class PacketBackend(NetworkBackend):
 
     # --------------------------------------------------------------- forwarding
     def _on_link_delivery(self, packet: Packet, now: int) -> None:
-        """A packet finished traversing ``route[hop]``; forward or consume it."""
+        """Legacy-mode delivery; forward or consume ``packet`` (no pooling)."""
         packet.hop += 1
         if packet.hop < len(packet.route):
             next_queue = self.queues[packet.route[packet.hop]]
@@ -240,7 +356,6 @@ class PacketBackend(NetworkBackend):
             if not accepted:
                 self._handle_data_drop(packet, now)
             return
-        # final hop: the packet reached a host NIC
         if packet.kind == DATA:
             self._handle_data_arrival(packet, now)
         elif packet.kind == ACK:
@@ -282,13 +397,17 @@ class PacketBackend(NetworkBackend):
             self._request_pull(flow, now)
             return
 
-        self.stats.packets_delivered += 1
+        self._n_delivered += 1
         new = flow.on_data_received(packet.seq, packet.size)
         # acknowledge (echo ECN mark and the original send time for RTT)
-        ack = Packet(flow, ACK, packet.seq, cfg.ack_size, flow.ack_route, sent_time=packet.sent_time)
+        free = self._packet_free
+        if free:
+            ack = free.pop().reset(flow, ACK, packet.seq, cfg.ack_size, flow.ack_route, packet.sent_time)
+        else:
+            ack = Packet(flow, ACK, packet.seq, cfg.ack_size, flow.ack_route, sent_time=packet.sent_time)
         ack.ecn = packet.ecn
-        self.stats.acks_sent += 1
-        self.queues[flow.ack_route[0]].enqueue(ack, now)
+        self._n_acks += 1
+        flow.ack_q0.enqueue(ack, now)
 
         if flow.cc.receiver_driven and not flow.fully_received():
             self._request_pull(flow, now)
@@ -322,8 +441,8 @@ class PacketBackend(NetworkBackend):
         flow = packet.flow
         freed = flow.on_ack(packet.seq)
         if freed:
-            rtt = max(1, now - packet.sent_time)
-            flow.cc.on_ack(freed, packet.ecn, rtt)
+            rtt = now - packet.sent_time
+            flow.cc.on_ack(freed, packet.ecn, rtt if rtt > 0 else 1)
             self._try_send(flow, now)
 
     def _handle_nack(self, packet: Packet, now: int) -> None:
@@ -358,6 +477,8 @@ class PacketBackend(NetworkBackend):
         pacer.queue.append(flow)
         if not pacer.active:
             pacer.active = True
+            pacer.epoch = now
+            pacer.emitted = 0
             self.events.schedule(now, self._emit_pull, flow.dst)
 
     def _emit_pull(self, now: int, host: int) -> None:
@@ -367,13 +488,19 @@ class PacketBackend(NetworkBackend):
             return
         flow = pacer.queue.popleft()
         self._send_control(flow, PULL, 0, flow.ack_route, now)
+        pacer.emitted += 1
         if pacer.queue:
-            self.events.schedule(now + self._pull_spacing, self._emit_pull, host)
+            # cumulative byte-time pacing: pull k of this burst goes out at
+            # epoch + round(k * mtu / bandwidth), never drifting off rate
+            next_t = pacer.epoch + int(
+                round(pacer.emitted * self._pull_bytes / self._pull_bandwidth)
+            )
+            self.events.schedule(next_t if next_t > now else now, self._emit_pull, host)
         else:
             pacer.active = False
 
     def _send_control(self, flow: Flow, kind: int, seq: int, route: Tuple[int, ...], now: int) -> None:
-        pkt = Packet(flow, kind, seq, self.config.ack_size, route, sent_time=now)
+        pkt = self._alloc_packet(flow, kind, seq, self.config.ack_size, route, now)
         self.queues[route[0]].enqueue(pkt, now)
 
     # ------------------------------------------------------------- completions
@@ -381,14 +508,113 @@ class PacketBackend(NetworkBackend):
         rank, op_id = payload
         if time > self.rank_finish[rank]:
             self.rank_finish[rank] = time
-        if self._on_complete is not None:
-            self._on_complete(OpCompletion(time, rank, op_id))
+        on_complete = self._on_complete
+        if on_complete is not None:
+            on_complete(time, rank, op_id)
 
     # -------------------------------------------------------------------- run
     def run(self, on_complete: CompletionCallback) -> int:
         self._require_setup()
         self._on_complete = on_complete
-        return self.events.run()
+        if not self._batching:
+            return self.events.run()
+        return self._run_merged()
+
+    def _run_merged(self) -> int:
+        """Specialized event loop for the burst engine.
+
+        Per-queue deliveries are already time-sorted FIFOs, so instead of
+        funnelling every delivery through the global heap the loop merges
+        the per-queue streams with a heap of at most one head entry per
+        link, and drains consecutive same-queue deliveries with no heap
+        traffic at all.  Handler events stay on the (now tiny) EventQueue
+        heap.  The interleaving realised here is exactly the canonical
+        ``(time, klass, depart, link)`` order of
+        :class:`~repro.network.events.EventQueue`, which the A/B
+        determinism tests verify against the legacy engine.
+        """
+        from heapq import heappop, heappush
+
+        events = self.events
+        heap = events._heap
+        streams = self._stream_heads
+        queues = self.queues
+        free_append = self._packet_free.append
+        handle_arrival = self._handle_data_arrival
+        handle_nack = self._handle_nack
+        handle_pull = self._handle_pull
+        handle_drop = self._handle_data_drop
+        try_send = self._try_send
+        executed = 0
+        while True:
+            st = streams[0][0] if streams else None
+            if heap and (st is None or heap[0][0] <= st):
+                # handler events run first on timestamp ties (klass 0 < 1)
+                entry = heappop(heap)
+                t = entry[0]
+                events._now = t
+                entry[3](t, entry[4])
+                executed += 1
+                continue
+            if st is None:
+                break
+            t, depart, link = heappop(streams)
+            q = queues[link]
+            out = q.out
+            lat = q.latency
+            while True:
+                pkt = out.popleft()
+                events._now = t
+                executed += 1
+                hop = pkt.hop + 1
+                pkt.hop = hop
+                if hop < pkt.hops:
+                    if not queues[pkt.route[hop]].enqueue(pkt, t):
+                        handle_drop(pkt, t)
+                        free_append(pkt)
+                else:
+                    kind = pkt.kind
+                    if kind == DATA:
+                        handle_arrival(pkt, t)
+                    elif kind == ACK:
+                        # inlined _handle_ack / Flow.on_ack (hot: one per
+                        # delivered data packet)
+                        flow = pkt.flow
+                        seq = pkt.seq
+                        acked = flow.acked
+                        if seq not in acked:
+                            acked.add(seq)
+                            freed = (
+                                flow.mtu
+                                if seq != flow.num_packets - 1
+                                else flow.last_packet_size
+                            )
+                            ib = flow.inflight_bytes - freed
+                            flow.inflight_bytes = ib if ib > 0 else 0
+                            rtt = t - pkt.sent_time
+                            flow.cc.on_ack(freed, pkt.ecn, rtt if rtt > 0 else 1)
+                            try_send(flow, t)
+                    elif kind == NACK:
+                        handle_nack(pkt, t)
+                    else:
+                        handle_pull(pkt, t)
+                    free_append(pkt)
+                if not out:
+                    q.live = False
+                    break
+                nd = out[0].depart
+                nt = nd + lat
+                # keep draining this stream only while its next delivery
+                # precedes every other pending event (handlers win ties)
+                if heap and heap[0][0] <= nt:
+                    heappush(streams, (nt, nd, link))
+                    break
+                if streams and (nt, nd, link) >= streams[0]:
+                    heappush(streams, (nt, nd, link))
+                    break
+                t = nt
+        events.executed += executed
+        return events._now
 
     def now(self) -> int:
         self._require_setup()
@@ -396,6 +622,11 @@ class PacketBackend(NetworkBackend):
 
     def collect_stats(self) -> NetworkStats:
         self._require_setup()
+        # fold the hot plain-int counters back in (assignment, so repeated
+        # collect_stats calls stay idempotent)
+        self.stats.packets_sent = self._n_sent
+        self.stats.packets_delivered = self._n_delivered
+        self.stats.acks_sent = self._n_acks
         drops = {
             q.link.name: q.drops for q in self.queues if q.drops
         }

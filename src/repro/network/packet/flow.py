@@ -32,6 +32,8 @@ class Flow:
         "cc",
         "route",
         "ack_route",
+        "route_q0",
+        "ack_q0",
         "next_new_seq",
         "inflight_bytes",
         "acked",
@@ -78,6 +80,10 @@ class Flow:
         self.cc = cc
         self.route = route
         self.ack_route = ack_route
+        # first-hop queue objects, cached by the backend at flow creation so
+        # the per-packet injection path skips two list lookups
+        self.route_q0 = None
+        self.ack_q0 = None
 
         # sender-side state
         self.next_new_seq = 0

@@ -1,4 +1,4 @@
-"""Output-queued link model for the packet backend.
+"""Output-queued link models for the packet backend.
 
 Each directed link owns one FIFO output queue with
 
@@ -10,14 +10,32 @@ Each directed link owns one FIFO output queue with
 * store-and-forward serialisation at the link bandwidth followed by the
   link's propagation latency.
 
-The queue schedules its own transmission-completion events on the backend's
-shared :class:`~repro.network.events.EventQueue` and hands arriving packets
-back to the backend via the ``deliver`` callback.
+Two implementations share this model:
+
+:class:`BurstLinkQueue` (the default, ``SimulationConfig.packet_batching``)
+    Serialises *arithmetically*: because the queue is FIFO and
+    work-conserving, the departure time of a packet is fully determined at
+    enqueue time (``depart = max(free_at, now) + tx``), so the queue
+    schedules exactly **one** event per packet — its delivery at the far
+    end — and keeps occupancy as a lazily-drained ledger of
+    ``(depart, size)`` records.  A whole congestion window enqueued in one
+    burst therefore advances with one heap operation per packet instead of
+    the legacy three (enqueue bookkeeping + transmission completion +
+    propagation arrival), with identical departure timestamps, drop/trim
+    decisions, and ECN draws.
+
+:class:`LinkQueue` (legacy, ``packet_batching=False``)
+    The original event-per-transmission implementation: it schedules its own
+    transmission-completion events on the backend's shared
+    :class:`~repro.network.events.EventQueue` and hands arriving packets
+    back to the backend via the ``deliver`` callback.  Kept as the reference
+    for the A/B determinism tests (``tests/test_perf_determinism.py``).
 """
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional
+from heapq import heappush
+from typing import Callable, Deque, Optional, Tuple
 
 import numpy as np
 
@@ -28,9 +46,191 @@ from repro.network.topology.base import Link
 
 DeliverCallback = Callable[[Packet, int], None]
 
+_NEVER = (1 << 62)  # "no pending departure" sentinel for the drain fast path
+
+
+class BurstLinkQueue:
+    """Arithmetic FIFO serialiser of one directed link (one event per packet).
+
+    Accepted packets are appended to the ``out`` stream with their computed
+    departure times; the backend's merge loop
+    (:meth:`~repro.network.packet.backend.PacketBackend._run_merged`)
+    consumes the per-queue streams in canonical order and performs the
+    deliveries — the queue itself never fires transmission-completion
+    events.
+
+    Occupancy semantics match the legacy queue under its dominant
+    event-ordering: a packet occupies the buffer from its enqueue until
+    *strictly after* its departure instant, i.e. an enqueue happening at
+    exactly another packet's departure time still sees that packet queued
+    (in the legacy engine the arrival event at such a tie was inserted
+    before the transmission-completion event whenever propagation latency
+    exceeds serialisation time, which holds for every shipped
+    configuration).
+    """
+
+    __slots__ = (
+        "link",
+        "events",
+        "stats",
+        "capacity",
+        "kmin",
+        "kmax",
+        "rng",
+        "pending",
+        "queued_bytes",
+        "free_at",
+        "latency",
+        "drops",
+        "trims",
+        "ecn_marks",
+        "max_queued_bytes",
+        "busy_ns",
+        "_tx_cache",
+        "_bandwidth",
+        "_link_id",
+        "head_depart",
+        "out",
+        "live",
+        "_streams",
+    )
+
+    def __init__(
+        self,
+        link: Link,
+        events: EventQueue,
+        stats: NetworkStats,
+        capacity: int,
+        kmin: int,
+        kmax: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self.link = link
+        self.events = events
+        self.stats = stats
+        self.capacity = capacity
+        self.kmin = kmin
+        self.kmax = kmax
+        self.rng = rng
+        # (departure time, size) of every accepted, not-yet-departed packet
+        self.pending: Deque[Tuple[int, int]] = deque()
+        self.queued_bytes = 0
+        self.free_at = 0
+        self.latency = link.latency
+        self.drops = 0
+        self.trims = 0
+        self.ecn_marks = 0
+        self.max_queued_bytes = 0
+        self.busy_ns = 0
+        self._tx_cache: dict = {}
+        self._bandwidth = link.bandwidth
+        self._link_id = link.link_id
+        # departure time of the oldest pending packet (sys.maxsize when the
+        # ledger is empty): one int compare short-circuits the drain loop
+        self.head_depart = _NEVER
+        # outgoing deliveries as packets in departure order (each packet's
+        # ``depart`` slot holds its departure from this link) — a plain
+        # FIFO, already time-sorted because departures are monotone.  The
+        # backend's merge loop interleaves the per-queue streams in the
+        # canonical (time, depart, link) order; ``live`` records whether the
+        # stream's head is currently represented in the merge heap.
+        self.out: Deque[Packet] = deque()
+        self.live = False
+        self._streams: list = []  # reassigned by the backend (shared heap)
+
+    # ------------------------------------------------------------------ enqueue
+    def tx_time(self, size: int) -> int:
+        """Serialisation time of ``size`` bytes (integer ns, cached per size)."""
+        tx = self._tx_cache.get(size)
+        if tx is None:
+            tx = max(1, int(round(size / self._bandwidth)))
+            self._tx_cache[size] = tx
+        return tx
+
+    def occupancy(self, now: int) -> int:
+        """Queued bytes at ``now``, draining departures strictly before it."""
+        if self.head_depart < now:
+            pending = self.pending
+            qb = self.queued_bytes
+            while pending and pending[0][0] < now:
+                qb -= pending.popleft()[1]
+            self.queued_bytes = qb
+            self.head_depart = pending[0][0] if pending else _NEVER
+        return self.queued_bytes
+
+    def enqueue(self, packet: Packet, now: int) -> bool:
+        """Offer ``packet`` to the queue at time ``now``.
+
+        Returns ``True`` when the packet was accepted (possibly trimmed) and
+        ``False`` when it was dropped.  Control packets (ACK/NACK/PULL) and
+        already-trimmed headers are never dropped.
+        """
+        qb = self.queued_bytes
+        if self.head_depart < now:
+            pending = self.pending
+            while pending and pending[0][0] < now:
+                qb -= pending.popleft()[1]
+            self.head_depart = pending[0][0] if pending else _NEVER
+        size = packet.size
+        if packet.kind == 0 and not packet.trimmed:  # DATA
+            if qb + size > self.capacity:
+                if packet.flow.trimmable:
+                    # NDP: trim the payload, keep the header.
+                    packet.trimmed = True
+                    packet.size = size = packet.flow.header_size
+                    self.trims += 1
+                    self.stats.packets_trimmed += 1
+                else:
+                    self.drops += 1
+                    self.stats.packets_dropped += 1
+                    self.queued_bytes = qb
+                    return False
+            elif qb > self.kmin:
+                # RED-style ECN on the instantaneous pre-enqueue depth
+                if qb >= self.kmax:
+                    mark = True
+                else:
+                    prob = (qb - self.kmin) / max(1, (self.kmax - self.kmin))
+                    mark = self.rng.random() < prob
+                if mark and not packet.ecn:
+                    packet.ecn = True
+                    self.ecn_marks += 1
+                    self.stats.packets_ecn_marked += 1
+
+        tx = self._tx_cache.get(size)
+        if tx is None:
+            tx = max(1, int(round(size / self._bandwidth)))
+            self._tx_cache[size] = tx
+        free = self.free_at
+        depart = (free if free > now else now) + tx
+        self.free_at = depart
+        self.busy_ns += tx
+        qb += size
+        self.queued_bytes = qb
+        if qb > self.max_queued_bytes:
+            self.max_queued_bytes = qb
+            if qb > self.stats.max_queue_bytes:
+                self.stats.max_queue_bytes = qb
+        if self.head_depart == _NEVER:
+            self.head_depart = depart
+        self.pending.append((depart, size))
+        packet.depart = depart
+        self.out.append(packet)
+        if not self.live:
+            self.live = True
+            heappush(self._streams, (depart + self.latency, depart, self._link_id))
+        return True
+
+    # ---------------------------------------------------------------- queries
+    def utilization(self, elapsed_ns: int) -> float:
+        """Fraction of ``elapsed_ns`` this link spent transmitting."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / elapsed_ns)
+
 
 class LinkQueue:
-    """FIFO output queue + transmitter of one directed link."""
+    """FIFO output queue + transmitter of one directed link (legacy engine)."""
 
     __slots__ = (
         "link",
@@ -135,14 +335,17 @@ class LinkQueue:
         self.busy = True
         tx_ns = max(1, int(round(packet.size / self.link.bandwidth)))
         self.busy_ns += tx_ns
-        self.events.schedule(now + tx_ns, self._finish_transmission, packet)
+        self.events.schedule_finish(now + tx_ns, self.link.link_id, self._finish_transmission, packet)
 
     def _finish_transmission(self, now: int, packet: Packet) -> None:
         popped = self.queue.popleft()
         assert popped is packet, "link queue transmitted out of order"
         self.queued_bytes -= packet.size
-        # propagation to the other end of the link
-        self.events.schedule(now + self.link.latency, self._arrive, packet)
+        # propagation to the other end of the link (delivery keyed by the
+        # canonical (departure, link) pair — see EventQueue.schedule_delivery)
+        self.events.schedule_delivery(
+            now + self.link.latency, now, self.link.link_id, self._arrive, packet
+        )
         if self.queue:
             self._start_transmission(now)
         else:
@@ -152,6 +355,10 @@ class LinkQueue:
         self.deliver(packet, now)
 
     # ---------------------------------------------------------------- queries
+    def occupancy(self, now: int) -> int:
+        """Queued bytes at ``now`` (uniform query API with the burst queue)."""
+        return self.queued_bytes
+
     def utilization(self, elapsed_ns: int) -> float:
         """Fraction of ``elapsed_ns`` this link spent transmitting."""
         if elapsed_ns <= 0:

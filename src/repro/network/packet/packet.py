@@ -49,7 +49,19 @@ class Packet:
         for RTT measurement).
     """
 
-    __slots__ = ("flow", "kind", "seq", "size", "route", "hop", "ecn", "trimmed", "sent_time")
+    __slots__ = (
+        "flow",
+        "kind",
+        "seq",
+        "size",
+        "route",
+        "hop",
+        "hops",
+        "ecn",
+        "trimmed",
+        "sent_time",
+        "depart",
+    )
 
     def __init__(
         self,
@@ -66,9 +78,39 @@ class Packet:
         self.size = size
         self.route = route
         self.hop = 0
+        self.hops = len(route)
         self.ecn = False
         self.trimmed = False
         self.sent_time = sent_time
+        # departure instant from the link currently transmitting this packet;
+        # maintained by the burst engine as part of the canonical event key
+        self.depart = 0
+
+    def reset(
+        self,
+        flow,
+        kind: int,
+        seq: int,
+        size: int,
+        route: Tuple[int, ...],
+        sent_time: int = 0,
+    ) -> "Packet":
+        """Re-initialise a pooled packet in place (see the backend's pool).
+
+        Equivalent to ``__init__``; returns ``self`` so allocation sites can
+        write ``pool.pop().reset(...)``.
+        """
+        self.flow = flow
+        self.kind = kind
+        self.seq = seq
+        self.size = size
+        self.route = route
+        self.hop = 0
+        self.hops = len(route)
+        self.ecn = False
+        self.trimmed = False
+        self.sent_time = sent_time
+        return self
 
     @property
     def is_data(self) -> bool:

@@ -20,20 +20,35 @@ Three strategies ship with the toolchain:
 
 Strategies are registered in :data:`ROUTING_STRATEGIES` and constructed via
 :func:`create_routing`; ``SimulationConfig.routing`` selects one by name.
-Link load is supplied by the backend as a callable ``link_id -> queued
-bytes`` (the packet backend reports live queue occupancy; the LogGOPS
-backend reports cumulative bytes routed over each link).
+
+Link load is supplied by the backend either as a numpy array indexed by link
+id (the fast path: the packet backend exposes queue occupancy as an array
+view, the LogGOPS backend an array of cumulative bytes routed) or, for
+backward compatibility, as a callable ``link_id -> queued bytes``.
+
+Hot path
+--------
+Strategies read the topology's memoized
+:class:`~repro.network.topology.base.RouteTable` instead of rebuilding the
+candidate tuples per message, and the UGAL cost of all candidates is
+evaluated in one numpy gather + ``reduceat`` instead of one Python call per
+link per candidate.  Both optimizations are exact: candidate order and RNG
+consumption are unchanged, so results are bit-identical to the legacy
+scalar path (``SimulationConfig.route_caching=False``), which the
+determinism tests verify.
 """
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence, Tuple, Type
+from typing import Callable, Dict, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
 from repro.network.topology.base import Topology, pick_route
 
 Route = Tuple[int, ...]
-LinkLoadFn = Callable[[int], int]
+#: Link load as a numpy array indexed by link id, or a ``link_id -> bytes``
+#: callable (legacy form).
+LinkLoad = Union["np.ndarray", Callable[[int], int]]
 
 
 class RoutingStrategy:
@@ -45,32 +60,54 @@ class RoutingStrategy:
         The :class:`~repro.network.topology.base.Topology` to route on.
     rng:
         Shared ``numpy`` generator (tie-breaking and random intermediates).
+    use_cache:
+        Read candidates through the topology's memoized route tables
+        (default).  ``False`` re-derives candidates per call — the legacy
+        behaviour, kept for A/B determinism tests.
     """
 
     name = "base"
 
-    def __init__(self, topology: Topology, rng: np.random.Generator) -> None:
+    #: Whether :meth:`select_route` consults ``link_load``; backends skip
+    #: building the load view for strategies that never read it.
+    needs_link_load = False
+
+    def __init__(
+        self, topology: Topology, rng: np.random.Generator, use_cache: bool = True
+    ) -> None:
         self.topology = topology
         self.rng = rng
+        self.use_cache = use_cache
 
     def select_route(
-        self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoadFn] = None
+        self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoad] = None
     ) -> Route:
         """Return the route (tuple of link ids) a ``size``-byte message takes.
 
-        ``link_load`` maps a link id to its current load in bytes; strategies
-        that ignore congestion may disregard it.
+        ``link_load`` maps a link id to its current load in bytes (array or
+        callable); strategies that ignore congestion may disregard it.
         """
         raise NotImplementedError
 
     # -- helpers shared by subclasses ---------------------------------------
+    def _candidates(self, src: int, dst: int) -> Sequence[Route]:
+        """Minimal candidates of the pair (cached unless ``use_cache=False``)."""
+        if self.use_cache:
+            return self.topology.route_table(src, dst).candidates
+        return self.topology.routes(src, dst)
+
     def _pick(self, candidates: Sequence[Route]) -> Route:
         """Uniform random choice, consuming randomness only on real choices."""
         return pick_route(candidates, self.rng)
 
-    def _route_cost(self, route: Route, link_load: Optional[LinkLoadFn]) -> int:
+    def _route_cost(self, route: Route, link_load: Optional[LinkLoad]) -> int:
         """UGAL cost of a candidate: (1 + queued bytes along it) x hops."""
-        load = 0 if link_load is None else sum(link_load(l) for l in route)
+        if link_load is None:
+            load = 0
+        elif callable(link_load):
+            load = sum(link_load(l) for l in route)
+        else:
+            load = sum(int(link_load[l]) for l in route)
         return (1 + load) * len(route)
 
 
@@ -80,9 +117,9 @@ class MinimalRouting(RoutingStrategy):
     name = "minimal"
 
     def select_route(
-        self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoadFn] = None
+        self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoad] = None
     ) -> Route:
-        return self._pick(self.topology.routes(src, dst))
+        return self._pick(self._candidates(src, dst))
 
 
 class ValiantRouting(RoutingStrategy):
@@ -97,16 +134,22 @@ class ValiantRouting(RoutingStrategy):
 
     name = "valiant"
 
-    def __init__(self, topology: Topology, rng: np.random.Generator, count: int = 4) -> None:
-        super().__init__(topology, rng)
+    def __init__(
+        self,
+        topology: Topology,
+        rng: np.random.Generator,
+        count: int = 4,
+        use_cache: bool = True,
+    ) -> None:
+        super().__init__(topology, rng, use_cache=use_cache)
         self.count = count
 
     def select_route(
-        self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoadFn] = None
+        self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoad] = None
     ) -> Route:
         candidates = self.topology.valiant_routes(src, dst, self.rng, count=self.count)
         if not candidates:
-            return self._pick(self.topology.routes(src, dst))
+            return self._pick(self._candidates(src, dst))
         return self._pick(candidates)
 
 
@@ -118,18 +161,38 @@ class AdaptiveRouting(RoutingStrategy):
     and takes the minimal route on ties — so an idle network routes
     minimally and a congested one spills onto non-minimal paths exactly when
     the detour is cheaper than the queueing.
+
+    With an array ``link_load`` and route caching enabled, the cost of every
+    minimal candidate is evaluated in a single numpy gather over the route
+    table's CSR link index — one ``reduceat`` per decision instead of one
+    ``link_load`` call per link per candidate per message.
     """
 
     name = "adaptive"
+    needs_link_load = True
 
-    def __init__(self, topology: Topology, rng: np.random.Generator, count: int = 2) -> None:
-        super().__init__(topology, rng)
+    def __init__(
+        self,
+        topology: Topology,
+        rng: np.random.Generator,
+        count: int = 2,
+        use_cache: bool = True,
+    ) -> None:
+        super().__init__(topology, rng, use_cache=use_cache)
         self.count = count
 
     def select_route(
-        self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoadFn] = None
+        self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoad] = None
     ) -> Route:
-        minimal = self.topology.routes(src, dst)
+        if self.use_cache and not callable(link_load):
+            return self._select_vectorized(src, dst, link_load)
+        return self._select_scalar(src, dst, link_load)
+
+    # -- legacy scalar path (use_cache=False, or callable link loads) --------
+    def _select_scalar(
+        self, src: int, dst: int, link_load: Optional[LinkLoad]
+    ) -> Route:
+        minimal = self._candidates(src, dst)
         # random choice among cost-tied minimal candidates keeps ECMP
         # spreading alive when loads are equal (e.g. at an idle start)
         costs = [self._route_cost(r, link_load) for r in minimal]
@@ -143,6 +206,34 @@ class AdaptiveRouting(RoutingStrategy):
         best_val = min(valiant, key=lambda r: self._route_cost(r, link_load))
         if self._route_cost(best_val, link_load) < min_cost:
             return best_val
+        return best_min
+
+    # -- vectorized path (route table + array loads) -------------------------
+    def _select_vectorized(
+        self, src: int, dst: int, loads: Optional["np.ndarray"]
+    ) -> Route:
+        table = self.topology.route_table(src, dst)
+        candidates = table.candidates
+        if loads is None:
+            route_loads = np.zeros(len(candidates), dtype=np.int64)
+        else:
+            route_loads = np.add.reduceat(loads[table.links_flat], table.offsets[:-1])
+        costs = (1 + route_loads) * table.hops
+        min_cost = int(costs.min())
+        tied = [candidates[i] for i in np.nonzero(costs == min_cost)[0]]
+        best_min = self._pick(tied)
+        if loads is None:
+            return best_min
+        valiant = self.topology.valiant_routes(src, dst, self.rng, count=self.count)
+        if not valiant:
+            return best_min
+        # first minimum, matching the scalar path's min(..., key=...)
+        val_costs = [
+            (1 + sum(int(loads[l]) for l in r)) * len(r) for r in valiant
+        ]
+        best_i = min(range(len(valiant)), key=val_costs.__getitem__)
+        if val_costs[best_i] < min_cost:
+            return valiant[best_i]
         return best_min
 
 

@@ -11,7 +11,7 @@ attaches one queue per link.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # avoid a hard numpy dependency at import time
     import numpy as np
@@ -26,6 +26,41 @@ def pick_route(candidates: Sequence[Tuple[int, ...]], rng: "np.random.Generator"
     if len(candidates) == 1:
         return candidates[0]
     return candidates[int(rng.integers(len(candidates)))]
+
+
+class RouteTable:
+    """Precomputed candidate-route table for one ``(src, dst)`` host pair.
+
+    Built lazily by :meth:`Topology.route_table` and memoized, so routing
+    strategies stop re-deriving candidate tuples (and their per-link sums)
+    once per message.  Besides the candidate tuples themselves the table
+    carries flat numpy views used by the vectorized UGAL cost:
+
+    * ``hops`` — path length per candidate,
+    * ``latency`` — summed propagation latency per candidate (ns),
+    * ``links_flat`` / ``offsets`` — CSR layout of the candidates' link ids,
+      so per-candidate queued-bytes sums are one gather + ``reduceat``.
+    """
+
+    __slots__ = ("candidates", "hops", "latency", "links_flat", "offsets")
+
+    def __init__(self, candidates: Tuple[Tuple[int, ...], ...], links: Sequence[Link]) -> None:
+        import numpy as np
+
+        self.candidates = candidates
+        self.hops = np.array([len(r) for r in candidates], dtype=np.int64)
+        self.latency = np.array(
+            [sum(links[l].latency for l in r) for r in candidates], dtype=np.int64
+        )
+        self.links_flat = np.array(
+            [l for r in candidates for l in r], dtype=np.intp
+        )
+        offsets = np.zeros(len(candidates) + 1, dtype=np.intp)
+        np.cumsum(self.hops, out=offsets[1:])
+        self.offsets = offsets
+
+    def __len__(self) -> int:
+        return len(self.candidates)
 
 
 @dataclass(frozen=True)
@@ -64,6 +99,9 @@ class Topology:
         self.links: List[Link] = []
         self._out_links: Dict[int, List[int]] = {}
         self.num_devices = num_hosts
+        # lazily built per-pair candidate tables and per-route latency sums
+        self._route_tables: Dict[Tuple[int, int], RouteTable] = {}
+        self._route_latency: Dict[Tuple[int, ...], int] = {}
 
     # -- construction helpers (used by subclasses) ---------------------------
     def _new_device(self) -> int:
@@ -102,6 +140,31 @@ class Topology:
         validation rejects self-messages before they reach the backend.
         """
         raise NotImplementedError
+
+    def route_table(self, src_host: int, dst_host: int) -> RouteTable:
+        """Memoized :class:`RouteTable` of the pair's minimal candidates.
+
+        The table is built from :meth:`routes` on first use and cached for
+        the lifetime of the topology; candidate order is preserved exactly,
+        so strategies that tie-break with a shared RNG consume the same
+        random stream whether they read the cache or call :meth:`routes`
+        directly.
+        """
+        key = (src_host, dst_host)
+        table = self._route_tables.get(key)
+        if table is None:
+            table = RouteTable(tuple(self.routes(src_host, dst_host)), self.links)
+            self._route_tables[key] = table
+        return table
+
+    def route_latency(self, route: Tuple[int, ...]) -> int:
+        """Memoized propagation latency (ns) summed along ``route``."""
+        latency = self._route_latency.get(route)
+        if latency is None:
+            links = self.links
+            latency = sum(links[l].latency for l in route)
+            self._route_latency[route] = latency
+        return latency
 
     def valiant_routes(
         self, src_host: int, dst_host: int, rng: "np.random.Generator", count: int = 4
@@ -186,9 +249,8 @@ class Topology:
 
     def min_path_latency(self, src_host: int, dst_host: int) -> int:
         """Propagation latency along the first candidate route (ns)."""
-        routes = self.routes(src_host, dst_host)
-        first = routes[0]
-        return sum(self.links[l].latency for l in first)
+        table = self.route_table(src_host, dst_host)
+        return int(table.latency[0])
 
     def describe(self) -> Dict[str, object]:
         """Summary of the topology (device/link counts) for reports."""

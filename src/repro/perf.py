@@ -1,0 +1,254 @@
+"""Benchmark harness behind ``atlahs bench``: the repo's perf trajectory.
+
+Runs a standard workload suite on both backends, measures wall-clock
+seconds (best of ``repeats`` runs), executed events per second and peak
+RSS, and writes the results to ``BENCH_<rev>.json``.  Committing one such
+file per perf-relevant change gives the project a tracked baseline: every
+future optimization (or regression) is judged against the recorded
+numbers by :func:`compare_to_baseline`, and CI runs the quick variant of
+the suite with a tolerant regression gate (see ``.github/workflows/
+ci.yml``).
+
+The suite:
+
+* ``fig8_ai_lgs`` / ``fig8_ai_htsim`` — the paper's §5.2 simulator-runtime
+  workload (Llama-7B data-parallel training trace) on each backend,
+* ``alltoall_lgs`` — a send-dense collective front, the shape the LogGOPS
+  batched/vectorized eager path targets,
+* ``alltoall_htsim_adaptive`` — the packet backend under adaptive (UGAL)
+  routing, exercising the cached route tables and the vectorized route
+  costs.
+
+``--quick`` shrinks every case (used by the CI smoke job); quick numbers
+are only comparable to other quick numbers.
+
+Use with a profiler (see ``docs/performance.md`` for the recipe)::
+
+    PYTHONPATH=src python -m cProfile -s cumulative -m repro.cli bench --quick
+"""
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.network.config import LogGOPSParams, SimulationConfig
+from repro.scheduler import GoalScheduler
+
+#: Format version of the BENCH json files.
+BENCH_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark case: a schedule factory plus a backend configuration."""
+
+    name: str
+    backend: str
+    make_schedule: Callable[[], object]
+    config: SimulationConfig
+    repeats: int = 3
+
+
+def _fig8_schedule(quick: bool):
+    """The paper's Fig. 8 simulator-runtime workload (Llama-7B DP training)."""
+    from repro.apps.ai import LlmTrainer, ParallelismConfig, llama_7b
+    from repro.schedgen import nccl_trace_to_goal
+
+    if quick:
+        model = llama_7b().scaled(0.05)
+        par = ParallelismConfig(tp=1, pp=1, dp=8, microbatches=2, global_batch=16)
+    else:
+        model = llama_7b().scaled(0.05)
+        par = ParallelismConfig(tp=1, pp=1, dp=16, microbatches=2, global_batch=32)
+    report = LlmTrainer(model, par, gpus_per_node=4, iterations=1).trace()
+    return nccl_trace_to_goal(report, gpus_per_node=4)
+
+
+def _alltoall_schedule(quick: bool):
+    from repro.schedgen import all_to_all
+
+    return all_to_all(8 if quick else 16, 1 << 14)
+
+
+def default_suite(quick: bool = False) -> List[BenchCase]:
+    """The standard bench suite (shrunk sizes when ``quick``)."""
+    lgs_cfg = SimulationConfig(loggops=LogGOPSParams.ai_cluster())
+    pkt_cfg = SimulationConfig(topology="fat_tree", nodes_per_tor=4)
+    return [
+        BenchCase(
+            "fig8_ai_lgs", "lgs", lambda: _fig8_schedule(quick), lgs_cfg, repeats=5
+        ),
+        BenchCase(
+            "fig8_ai_htsim", "htsim", lambda: _fig8_schedule(quick), pkt_cfg, repeats=3
+        ),
+        BenchCase(
+            "alltoall_lgs", "lgs", lambda: _alltoall_schedule(quick), lgs_cfg, repeats=5
+        ),
+        BenchCase(
+            "alltoall_htsim_adaptive",
+            "htsim",
+            lambda: _alltoall_schedule(quick),
+            pkt_cfg.replace(routing="adaptive"),
+            repeats=3,
+        ),
+    ]
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Process peak RSS in KiB (monotone high-water mark since process start)."""
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def run_case(case: BenchCase) -> Dict[str, object]:
+    """Run one case ``case.repeats`` times; report the best wall clock."""
+    schedule = case.make_schedule()
+    best_wall = None
+    events = 0
+    finish_ns = 0
+    for _ in range(case.repeats):
+        scheduler = GoalScheduler(
+            schedule, backend=case.backend, config=case.config, validate=False
+        )
+        t0 = time.perf_counter()
+        result = scheduler.run()
+        wall = time.perf_counter() - t0
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+        events = getattr(scheduler.backend.events, "executed", 0)
+        finish_ns = result.finish_time_ns
+    return {
+        "backend": case.backend,
+        "wall_clock_s": round(best_wall, 6),
+        "events": events,
+        "events_per_s": round(events / best_wall) if events and best_wall else None,
+        "finish_time_ns": finish_ns,
+        "peak_rss_kb": _peak_rss_kb(),
+        "repeats": case.repeats,
+    }
+
+
+def git_revision() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+        rev = out.stdout.strip()
+        return rev if out.returncode == 0 and rev else "unknown"
+    except Exception:  # pragma: no cover - git absent
+        return "unknown"
+
+
+def run_suite(
+    quick: bool = False, cases: Optional[List[BenchCase]] = None
+) -> Dict[str, object]:
+    """Run the bench suite and return the full result document."""
+    suite = cases if cases is not None else default_suite(quick)
+    results = {case.name: run_case(case) for case in suite}
+    return {
+        "format": BENCH_FORMAT,
+        "revision": git_revision(),
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "cases": results,
+    }
+
+
+def write_bench(results: Dict[str, object], output: Optional[str] = None) -> Path:
+    """Write ``results`` to ``output`` (default ``BENCH_<rev>.json``)."""
+    if output is None:
+        suffix = "_quick" if results.get("quick") else ""
+        output = f"BENCH_{results.get('revision', 'unknown')}{suffix}.json"
+    path = Path(output)
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: str) -> Dict[str, object]:
+    """Load a ``BENCH_*.json`` document."""
+    return json.loads(Path(path).read_text())
+
+
+@dataclass
+class CaseComparison:
+    """Wall-clock comparison of one case against a baseline run."""
+
+    name: str
+    baseline_wall_s: float
+    current_wall_s: float
+    regressed: bool
+
+    @property
+    def speedup(self) -> float:
+        """How much faster the current run is (>1 means faster than baseline)."""
+        if self.current_wall_s <= 0:
+            return float("inf")
+        return self.baseline_wall_s / self.current_wall_s
+
+
+@dataclass
+class BaselineComparison:
+    """Result of comparing a bench run against a baseline document."""
+
+    entries: List[CaseComparison] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[CaseComparison]:
+        return [e for e in self.entries if e.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare_to_baseline(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    max_regression: float = 2.0,
+) -> BaselineComparison:
+    """Compare wall clocks case-by-case against a baseline document.
+
+    A case *regresses* when its wall clock exceeds ``max_regression`` times
+    the baseline's.  The default threshold of 2.0 is deliberately tolerant:
+    it is meant to catch accidental algorithmic regressions in CI without
+    flaking on machine noise, not to police single-digit percentages.
+    Cases present on only one side are reported in ``missing`` and do not
+    fail the comparison.
+    """
+    if max_regression <= 0:
+        raise ValueError("max_regression must be positive")
+    comparison = BaselineComparison()
+    base_cases = baseline.get("cases", {})
+    cur_cases = current.get("cases", {})
+    for name in sorted(set(base_cases) | set(cur_cases)):
+        if name not in base_cases or name not in cur_cases:
+            comparison.missing.append(name)
+            continue
+        base_wall = float(base_cases[name]["wall_clock_s"])
+        cur_wall = float(cur_cases[name]["wall_clock_s"])
+        comparison.entries.append(
+            CaseComparison(
+                name=name,
+                baseline_wall_s=base_wall,
+                current_wall_s=cur_wall,
+                regressed=cur_wall > max_regression * base_wall,
+            )
+        )
+    return comparison

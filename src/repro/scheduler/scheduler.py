@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 from repro.goal.ops import OpType
 from repro.goal.schedule import GoalSchedule
 from repro.goal.validate import validate_schedule
-from repro.network.backend import NetworkBackend, OpCompletion, SimulationResult, create_backend
+from repro.network.backend import NetworkBackend, SimulationResult, create_backend
 from repro.network.config import SimulationConfig
 
 
@@ -75,6 +75,11 @@ class GoalScheduler:
 
         self._indegree: List[List[int]] = [rank.in_degrees() for rank in schedule.ranks]
         self._successors: List[List[List[int]]] = [rank.successors() for rank in schedule.ranks]
+        self._ops = [rank.ops for rank in schedule.ranks]
+        # bound issue methods, resolved once instead of twice per operation
+        self._issue_calc = self.backend.issue_calc
+        self._issue_send = self.backend.issue_send
+        self._issue_recv = self.backend.issue_recv
         self._completed = 0
         self._issued: List[List[bool]] = [[False] * len(rank) for rank in schedule.ranks]
         self._finish_time = 0
@@ -118,29 +123,32 @@ class GoalScheduler:
 
     # ---------------------------------------------------------------- internals
     def _issue(self, rank: int, vertex: int, ready_time: int) -> None:
-        if self._issued[rank][vertex]:
+        issued = self._issued[rank]
+        if issued[vertex]:
             raise RuntimeError(f"vertex {vertex} of rank {rank} issued twice")
-        self._issued[rank][vertex] = True
-        op = self.schedule.ranks[rank].ops[vertex]
+        issued[vertex] = True
+        op = self._ops[rank][vertex]
         op_id = self._offsets[rank] + vertex
-        if op.kind == OpType.CALC:
-            self.backend.issue_calc(rank, op.cpu, op.size, op_id, ready_time)
-        elif op.kind == OpType.SEND:
-            self.backend.issue_send(rank, op.peer, op.size, op.tag, op.cpu, op_id, ready_time)
+        kind = op.kind
+        if kind is OpType.CALC:
+            self._issue_calc(rank, op.cpu, op.size, op_id, ready_time)
+        elif kind is OpType.SEND:
+            self._issue_send(rank, op.peer, op.size, op.tag, op.cpu, op_id, ready_time)
         else:
-            self.backend.issue_recv(rank, op.peer, op.size, op.tag, op.cpu, op_id, ready_time)
+            self._issue_recv(rank, op.peer, op.size, op.tag, op.cpu, op_id, ready_time)
 
-    def _on_complete(self, completion: OpCompletion) -> None:
-        rank = completion.rank
-        vertex = completion.op_id - self._offsets[rank]
+    def _on_complete(self, time: int, rank: int, op_id: int) -> None:
+        """``eventOver``: unlock and issue successors of a finished vertex."""
+        vertex = op_id - self._offsets[rank]
         self._completed += 1
-        if completion.time > self._finish_time:
-            self._finish_time = completion.time
+        if time > self._finish_time:
+            self._finish_time = time
         indegree = self._indegree[rank]
         for succ in self._successors[rank][vertex]:
-            indegree[succ] -= 1
-            if indegree[succ] == 0:
-                self._issue(rank, succ, ready_time=completion.time)
+            left = indegree[succ] - 1
+            indegree[succ] = left
+            if left == 0:
+                self._issue(rank, succ, ready_time=time)
 
     def _stuck_per_rank(self) -> Dict[int, int]:
         stuck: Dict[int, int] = {}

@@ -12,9 +12,22 @@ Typical use::
     configs = default_topology_configs(schedule.num_ranks)
     entries = topology_routing_sweep(schedule, configs,
                                      routings=("minimal", "valiant", "adaptive"),
-                                     backend="htsim")
+                                     backend="htsim", parallel=4)
     for e in entries:
         print(e.topology, e.routing, e.finish_time_ns, e.packets_dropped)
+
+Parallel execution
+------------------
+``parallel=N`` runs the grid's cells on a :class:`concurrent.futures.
+ProcessPoolExecutor` with ``N`` workers.  Results are *identical* to the
+serial engine: every cell's configuration — including its seed — is
+derived deterministically before any worker starts, each simulation owns
+its private RNG seeded only from that configuration, and entries are
+returned in grid order regardless of which worker finished first.
+``tests/test_perf_determinism.py`` asserts the parallel/serial equality.
+When worker processes cannot be spawned (restricted sandboxes, missing
+``fork`` support), the sweep falls back to the serial engine with a
+warning rather than failing.
 
 ``examples/topology_comparison.py`` demonstrates the API on a small LLM
 training workload; ``benchmarks/test_topology_routing_sweep.py`` uses it for
@@ -23,8 +36,9 @@ the oversubscription comparison.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.goal.schedule import GoalSchedule
 from repro.network.config import SimulationConfig
@@ -94,11 +108,29 @@ def default_topology_configs(
     }
 
 
+def _run_cell(args: Tuple[GoalSchedule, str, str, SimulationConfig, str]) -> SweepEntry:
+    """Simulate one sweep cell (module-level so worker processes can pickle it)."""
+    schedule, label, routing, config, backend = args
+    result = simulate(schedule, backend=backend, config=config)
+    return SweepEntry(
+        topology=label,
+        routing=routing,
+        backend=result.backend,
+        finish_time_ns=result.finish_time_ns,
+        wall_clock_s=result.wall_clock_s,
+        messages_delivered=result.stats.messages_delivered,
+        packets_dropped=result.stats.packets_dropped,
+        packets_ecn_marked=result.stats.packets_ecn_marked,
+        max_queue_bytes=result.stats.max_queue_bytes,
+    )
+
+
 def topology_routing_sweep(
     schedule: GoalSchedule,
     configs: Dict[str, SimulationConfig],
     routings: Sequence[str] = ("minimal", "valiant", "adaptive"),
     backend: str = "htsim",
+    parallel: Optional[int] = None,
 ) -> List[SweepEntry]:
     """Simulate ``schedule`` for every (topology config) x (routing) cell.
 
@@ -119,22 +151,40 @@ def topology_routing_sweep(
         see :meth:`SimulationConfig.loggops_topology_enabled`) — flat-``L``
         cells return identical rows for every routing.  Pass configs with
         ``loggops_use_topology=True`` to compare routing on any topology.
+    parallel:
+        Number of worker processes; ``None``, ``0`` or ``1`` runs serially
+        in-process.  Cells are independent simulations with per-cell seeds
+        fixed up front, so the parallel engine returns entries identical to
+        the serial one, in the same grid order.
     """
-    entries: List[SweepEntry] = []
-    for label, config in configs.items():
-        for routing in routings:
-            result = simulate(schedule, backend=backend, config=config.replace(routing=routing))
-            entries.append(
-                SweepEntry(
-                    topology=label,
-                    routing=routing,
-                    backend=result.backend,
-                    finish_time_ns=result.finish_time_ns,
-                    wall_clock_s=result.wall_clock_s,
-                    messages_delivered=result.stats.messages_delivered,
-                    packets_dropped=result.stats.packets_dropped,
-                    packets_ecn_marked=result.stats.packets_ecn_marked,
-                    max_queue_bytes=result.stats.max_queue_bytes,
-                )
-            )
-    return entries
+    cells = [
+        (schedule, label, routing, config.replace(routing=routing), backend)
+        for label, config in configs.items()
+        for routing in routings
+    ]
+    if parallel is not None and parallel > 1 and len(cells) > 1:
+        import pickle
+
+        exc: Optional[BaseException] = None
+        try:
+            from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+        except (ImportError, NotImplementedError) as imp_exc:
+            exc = imp_exc
+        else:
+            try:
+                with ProcessPoolExecutor(max_workers=min(parallel, len(cells))) as pool:
+                    return list(pool.map(_run_cell, cells))
+            except (
+                NotImplementedError,
+                OSError,
+                PermissionError,
+                BrokenExecutor,  # workers died (sandboxed spawn, OOM-killed, ...)
+                pickle.PicklingError,
+            ) as pool_exc:
+                exc = pool_exc
+        warnings.warn(
+            f"parallel sweep unavailable ({exc!r}); falling back to serial",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return [_run_cell(cell) for cell in cells]

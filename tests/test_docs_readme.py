@@ -12,7 +12,11 @@ from pathlib import Path
 import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DOCS = [REPO_ROOT / "README.md", REPO_ROOT / "docs" / "architecture.md"]
+DOCS = [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "docs" / "architecture.md",
+    REPO_ROOT / "docs" / "performance.md",
+]
 
 _FENCE = re.compile(r"[ \t]*```python\n(.*?)[ \t]*```", re.DOTALL)
 

@@ -89,10 +89,20 @@ class TestFullPipelines:
 
     def test_oversubscription_gap_lgs_blind_packet_aware(self):
         # paper Fig. 12: LGS cannot see reduced core bandwidth, the packet
-        # backend can — the gap must widen under oversubscription.
-        from repro.schedgen import incast
+        # backend can — the gap must widen under oversubscription.  Eight
+        # concurrent cross-ToR pair flows keep every host link lightly
+        # loaded, so the shared ToR uplinks are the only possible
+        # bottleneck: with 8:1 oversubscription the aggregate must
+        # serialise ~8x (an incast would be receiver-downlink-bound and
+        # tell the two fabrics apart only by sub-percent queueing noise).
+        from repro.goal.builder import GoalBuilder
 
-        sched = incast(16, 1 << 20, receiver=0, senders=list(range(8, 16)))
+        builder = GoalBuilder(16, name="cross-tor-pairs")
+        for s in range(8, 16):
+            dst = s - 8
+            builder.rank(s).send(1 << 20, dst=dst, tag=s)
+            builder.rank(dst).recv(1 << 20, src=s, tag=s)
+        sched = builder.build()
         lgs_cfg = SimulationConfig(loggops=LogGOPSParams(L=1500, o=200, g=5, G=0.04, S=0))
         t_lgs = simulate(sched, backend="lgs", config=lgs_cfg).finish_time_ns
 
@@ -103,5 +113,5 @@ class TestFullPipelines:
 
         gap_full = abs(t_lgs - t_full) / t_full
         gap_over = abs(t_lgs - t_over) / t_over
-        assert t_over > t_full
+        assert t_over > t_full * 2
         assert gap_over > gap_full

@@ -1,0 +1,117 @@
+"""Tests for the benchmark harness (``repro.perf`` / ``atlahs bench``)."""
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.network.config import SimulationConfig
+from repro.perf import (
+    BenchCase,
+    compare_to_baseline,
+    default_suite,
+    load_bench,
+    run_case,
+    run_suite,
+    write_bench,
+)
+from repro.schedgen import all_to_all
+
+
+def _tiny_case(name="tiny", backend="lgs"):
+    return BenchCase(
+        name,
+        backend,
+        lambda: all_to_all(4, 1 << 10),
+        SimulationConfig(),
+        repeats=2,
+    )
+
+
+class TestRunCase:
+    def test_reports_wall_clock_and_events(self):
+        result = run_case(_tiny_case())
+        assert result["wall_clock_s"] > 0
+        assert result["events"] > 0
+        assert result["events_per_s"] > 0
+        assert result["finish_time_ns"] > 0
+        assert result["backend"] == "lgs"
+
+    def test_packet_backend_case(self):
+        result = run_case(_tiny_case(backend="htsim"))
+        assert result["events"] > 0 and result["finish_time_ns"] > 0
+
+
+class TestSuite:
+    def test_default_suite_covers_both_backends(self):
+        suite = default_suite(quick=True)
+        backends = {case.backend for case in suite}
+        assert backends == {"lgs", "htsim"}
+        assert any("fig8" in case.name for case in suite)
+
+    def test_run_suite_and_roundtrip(self, tmp_path):
+        doc = run_suite(quick=True, cases=[_tiny_case()])
+        assert doc["cases"]["tiny"]["wall_clock_s"] > 0
+        path = write_bench(doc, str(tmp_path / "BENCH_test.json"))
+        assert load_bench(str(path)) == json.loads(path.read_text())
+
+
+class TestBaselineComparison:
+    def _doc(self, wall):
+        return {"cases": {"a": {"wall_clock_s": wall}}}
+
+    def test_speedup_reported(self):
+        cmp_ = compare_to_baseline(self._doc(1.0), self._doc(2.0))
+        assert cmp_.ok
+        assert cmp_.entries[0].speedup == pytest.approx(2.0)
+
+    def test_regression_detected(self):
+        cmp_ = compare_to_baseline(self._doc(5.0), self._doc(1.0), max_regression=2.0)
+        assert not cmp_.ok
+        assert cmp_.regressions[0].name == "a"
+
+    def test_tolerance_below_threshold_passes(self):
+        cmp_ = compare_to_baseline(self._doc(1.9), self._doc(1.0), max_regression=2.0)
+        assert cmp_.ok
+
+    def test_missing_cases_skipped(self):
+        current = {"cases": {"a": {"wall_clock_s": 1.0}, "b": {"wall_clock_s": 1.0}}}
+        cmp_ = compare_to_baseline(current, self._doc(1.0))
+        assert cmp_.missing == ["b"]
+        assert cmp_.ok
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_to_baseline(self._doc(1.0), self._doc(1.0), max_regression=0)
+
+
+class TestCommittedBaseline:
+    def test_committed_baselines_parse(self):
+        from pathlib import Path
+
+        base_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+        files = sorted(base_dir.glob("BENCH_*.json"))
+        assert files, "no committed BENCH baselines found"
+        for path in files:
+            doc = load_bench(str(path))
+            assert doc["cases"], path
+            for case in doc["cases"].values():
+                assert case["wall_clock_s"] > 0
+
+
+class TestCli:
+    def test_bench_cli_quick(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.perf import BenchCase  # noqa: F401  (import sanity)
+
+        out = tmp_path / "BENCH_cli.json"
+        # run against itself as baseline: speedup ~1x, never a regression
+        code = main(["bench", "--quick", "--output", str(out)])
+        assert code == 0
+        assert out.exists()
+        code = main(
+            ["bench", "--quick", "--output", str(out), "--baseline", str(out)]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "baseline check passed" in captured

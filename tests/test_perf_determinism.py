@@ -1,0 +1,233 @@
+"""Determinism of the performance engines.
+
+The hot-path optimizations — cached route tables with vectorized UGAL
+costs (``route_caching``), the arithmetic burst link engine
+(``packet_batching``) and the batched/vectorized LogGOPS eager path
+(``loggops_batching``) — are required to be *exact*: for a fixed seed,
+the optimized and legacy code paths must produce bit-identical simulated
+results (finish times, per-rank finish times, message records, drop/trim/
+ECN counts).  These tests run both settings across backends, routing
+strategies and congestion regimes (including drops, ECN marking and NDP
+trimming) and compare everything.
+
+The parallel sweep engine gets the same treatment: worker processes must
+return entries identical to the serial engine.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.network.config import LogGOPSParams, SimulationConfig
+from repro.scheduler import simulate
+from repro.schedgen import all_to_all, incast, permutation, ring_allreduce_microbenchmark
+
+
+def _run(schedule, backend, config):
+    result = simulate(schedule, backend=backend, config=config, validate=False)
+    stats = result.stats
+    return {
+        "finish": result.finish_time_ns,
+        "rank_finish": tuple(result.rank_finish_times_ns),
+        "records": tuple(result.message_records),
+        "messages": stats.messages_delivered,
+        "bytes": stats.bytes_delivered,
+        "drops": stats.packets_dropped,
+        "trims": stats.packets_trimmed,
+        "ecn": stats.packets_ecn_marked,
+        "retransmissions": stats.retransmissions,
+        "max_queue": stats.max_queue_bytes,
+    }
+
+
+def _assert_exact(schedule, backend, config):
+    legacy = _run(
+        schedule,
+        backend,
+        config.replace(route_caching=False, packet_batching=False, loggops_batching=False),
+    )
+    optimized = _run(
+        schedule,
+        backend,
+        config.replace(route_caching=True, packet_batching=True, loggops_batching=True),
+    )
+    assert legacy == optimized
+
+
+class TestPacketBackendExactness:
+    @pytest.mark.parametrize("routing", ["minimal", "valiant", "adaptive"])
+    def test_alltoall_all_routings(self, routing):
+        _assert_exact(
+            all_to_all(8, 1 << 14),
+            "htsim",
+            SimulationConfig(nodes_per_tor=4, routing=routing, seed=3),
+        )
+
+    @pytest.mark.parametrize("cc", ["mprdma", "dctcp", "swift", "fixed"])
+    def test_contended_incast_with_drops_and_ecn(self, cc):
+        # small buffers force drops and ECN marks; all must match exactly
+        config = SimulationConfig(nodes_per_tor=4, buffer_size=1 << 16, cc_algorithm=cc)
+        results = _run(incast(12, 1 << 19), "htsim", config)
+        assert results["drops"] > 0 or results["ecn"] > 0  # regime sanity
+        _assert_exact(incast(12, 1 << 19), "htsim", config)
+
+    def test_ndp_trimming_and_pull_pacing(self):
+        config = SimulationConfig(nodes_per_tor=4, buffer_size=1 << 16, cc_algorithm="ndp")
+        results = _run(incast(12, 1 << 19), "htsim", config)
+        assert results["trims"] > 0  # trimming regime actually exercised
+        _assert_exact(incast(12, 1 << 19), "htsim", config)
+
+    @pytest.mark.parametrize(
+        "topology,extra",
+        [
+            ("torus", {"torus_dims": (4, 4), "torus_hosts_per_node": 1}),
+            ("slimfly", {"slimfly_q": 5, "slimfly_hosts_per_router": 1}),
+        ],
+    )
+    def test_adaptive_on_path_diverse_topologies(self, topology, extra):
+        _assert_exact(
+            permutation(16, 1 << 16, seed=5),
+            "htsim",
+            SimulationConfig(topology=topology, routing="adaptive", **extra),
+        )
+
+    def test_same_seed_same_results_repeated(self):
+        config = SimulationConfig(nodes_per_tor=4, routing="adaptive", seed=11)
+        a = _run(all_to_all(8, 1 << 15), "htsim", config)
+        b = _run(all_to_all(8, 1 << 15), "htsim", config)
+        assert a == b
+
+
+class TestLogGOPSExactness:
+    def test_eager_flat_latency(self):
+        _assert_exact(all_to_all(16, 1 << 16), "lgs", SimulationConfig())
+
+    def test_rendezvous_protocol(self):
+        _assert_exact(
+            all_to_all(16, 1 << 16),
+            "lgs",
+            SimulationConfig(loggops=LogGOPSParams.hpc_cluster()),
+        )
+
+    def test_coupled_batches_incast(self):
+        # every batch member shares the destination: the vector path must
+        # bail out to the scalar chain and still match exactly
+        _assert_exact(incast(16, 1 << 18), "lgs", SimulationConfig())
+
+    @pytest.mark.parametrize("routing", ["minimal", "valiant", "adaptive"])
+    def test_topology_aware_latency(self, routing):
+        _assert_exact(
+            all_to_all(8, 1 << 14),
+            "lgs",
+            SimulationConfig(
+                topology="torus", torus_dims=(2, 2), torus_hosts_per_node=2, routing=routing
+            ),
+        )
+
+    def test_ring_allreduce(self):
+        _assert_exact(ring_allreduce_microbenchmark(8, 1 << 20), "lgs", SimulationConfig())
+
+    def test_vectorized_batch_path_actually_engages(self):
+        # guards against the A/B test passing vacuously because the batch
+        # loop never groups anything (e.g. a broken callback identity
+        # check).  Chained permutation rounds unlock one send per rank at
+        # the same completion instant, producing 16-wide consecutive runs
+        # (first-round fronts do not batch: their send events interleave
+        # with same-time recv posts, which share CPU streams and therefore
+        # may not be reordered past).
+        from repro.network.loggops.backend import LogGOPSBackend
+        from repro.scheduler import GoalScheduler
+
+        backend = LogGOPSBackend()
+        scheduler = GoalScheduler(
+            permutation(16, 1 << 12, seed=1, messages_per_rank=3),
+            backend=backend,
+            config=SimulationConfig(),
+        )
+        calls = []
+        original = backend._eager_batch_vectorized
+        backend._eager_batch_vectorized = lambda time, payloads: (
+            calls.append(len(payloads)),
+            original(time, payloads),
+        )[1]
+        scheduler.run()
+        assert calls, "no send batch ever took the vectorized path"
+        assert max(calls) >= 8
+
+
+def _sweep_key(entry):
+    """Every SweepEntry field except host wall-clock (which is not simulated)."""
+    d = dict(entry.__dict__)
+    d.pop("wall_clock_s")
+    return d
+
+
+class TestParallelSweep:
+    def test_parallel_equals_serial(self):
+        from repro.sweep import default_topology_configs, topology_routing_sweep
+
+        schedule = all_to_all(8, 1 << 13)
+        configs = default_topology_configs(8)
+        serial = topology_routing_sweep(
+            schedule, configs, routings=("minimal", "adaptive"), backend="htsim"
+        )
+        parallel = topology_routing_sweep(
+            schedule, configs, routings=("minimal", "adaptive"), backend="htsim", parallel=2
+        )
+        assert [_sweep_key(e) for e in serial] == [_sweep_key(e) for e in parallel]
+
+    def test_parallel_lgs_sweep(self):
+        from repro.sweep import default_topology_configs, topology_routing_sweep
+
+        schedule = all_to_all(8, 1 << 13)
+        configs = default_topology_configs(8)
+        serial = topology_routing_sweep(schedule, configs, routings=("minimal",), backend="lgs")
+        parallel = topology_routing_sweep(
+            schedule, configs, routings=("minimal",), backend="lgs", parallel=3
+        )
+        assert [_sweep_key(e) for e in serial] == [_sweep_key(e) for e in parallel]
+
+
+class TestPullPacing:
+    """The cumulative byte-time pull pacer (sub-ns precision satellite)."""
+
+    def _emission_times(self, bandwidth, pulls=50):
+        """Drive a packet backend's pull pacer directly and record emissions."""
+        from repro.network.packet.backend import PacketBackend
+
+        backend = PacketBackend()
+        backend.setup(
+            4,
+            SimulationConfig(
+                nodes_per_tor=4, cc_algorithm="ndp", link_bandwidth=bandwidth
+            ),
+        )
+        times = []
+        backend._send_control = lambda flow, kind, seq, route, now: times.append(now)
+
+        class _FakeFlow:
+            dst = 0
+            ack_route = (0,)
+
+        for _ in range(pulls):
+            backend._request_pull(_FakeFlow(), 0)
+        backend.events.run()
+        return times
+
+    def test_long_run_rate_is_exact(self):
+        # mtu=4096 at 25 B/ns: exact spacing is 163.84 ns; the legacy
+        # per-gap formula emitted every 164 ns, drifting 8 ns over 50 pulls
+        times = self._emission_times(bandwidth=25.0)
+        assert times[0] == 0
+        assert times[-1] == round(49 * 4096 / 25.0)  # == 8028, not 49*164 == 8036
+
+    def test_sub_ns_gaps_not_clamped(self):
+        # at 8192 B/ns an MTU takes 0.5 ns; the legacy formula clamped the
+        # gap to 1 ns and halved the pull rate
+        times = self._emission_times(bandwidth=8192.0)
+        assert times[-1] == round(49 * 4096 / 8192.0)  # 24.5 -> 24 (half-even)
+        # several pulls share a nanosecond instead of being spread out
+        assert len(set(times)) < len(times)
+
+    def test_monotone_emissions(self):
+        times = self._emission_times(bandwidth=25.0)
+        assert all(b >= a for a, b in zip(times, times[1:]))
