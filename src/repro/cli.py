@@ -8,6 +8,9 @@ Subcommands mirror the main pipelines:
 * ``atlahs storage`` — generate a Financial-like workload and replay it
   against Direct Drive,
 * ``atlahs synthetic PATTERN`` — run one of the synthetic microbenchmarks,
+* ``atlahs cotenant JOB [JOB ...]`` — run several jobs concurrently on one
+  fabric and attribute runtime/slowdown/contention per job (a job is a GOAL
+  file or a ``pattern:ranks:size`` synthetic spec),
 * ``atlahs topologies`` — list registered topologies and routing strategies,
 * ``atlahs bench`` — run the performance suite and track ``BENCH_*.json``
   baselines (see ``docs/performance.md``).
@@ -112,13 +115,16 @@ def _print_result(name: str, result, extra: Optional[dict] = None) -> None:
     print(json.dumps(payload, indent=2))
 
 
+def _read_goal_any(path: str):
+    """Read a GOAL file, textual (.goal) or binary (.bin/.goalbin) by extension."""
+    if path.endswith(".bin") or path.endswith(".goalbin"):
+        return read_goal_binary(path)
+    return parse_goal_file(path)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     """Replay a GOAL file (textual .goal or binary .bin/.goalbin) on a backend."""
-    path = args.goal_file
-    if path.endswith(".bin") or path.endswith(".goalbin"):
-        schedule = read_goal_binary(path)
-    else:
-        schedule = parse_goal_file(path)
+    schedule = _read_goal_any(args.goal_file)
     atlahs = Atlahs(_config_from_args(args))
     result = atlahs.simulate_goal(schedule, backend=args.backend)
     _print_result(schedule.name, result)
@@ -189,6 +195,128 @@ def _cmd_synthetic(args: argparse.Namespace) -> int:
         schedule = ring_allreduce_microbenchmark(args.ranks, size)
     result = atlahs.simulate_goal(schedule, backend=args.backend)
     _print_result(f"{args.pattern}-{args.ranks}", result)
+    return 0
+
+
+def _load_job_schedule(spec: str):
+    """Load one co-tenant job: a GOAL file path or a ``pattern:ranks:size`` spec.
+
+    Synthetic specs (``incast:16:65536``, ``alltoall:8:4096``,
+    ``permutation:8:1048576``, ``allreduce:8:1048576``) let multi-job runs be
+    assembled without trace files on disk.
+    """
+    import os
+
+    patterns = {
+        "incast": incast,
+        "permutation": permutation,
+        "alltoall": all_to_all,
+        "allreduce": ring_allreduce_microbenchmark,
+    }
+    if not os.path.exists(spec) and spec.count(":") == 2:
+        pattern, ranks, size = spec.split(":")
+        if pattern not in patterns:
+            raise SystemExit(
+                f"unknown synthetic pattern {pattern!r} in job spec {spec!r}; "
+                f"expected one of {sorted(patterns)}"
+            )
+        try:
+            schedule = patterns[pattern](int(ranks), int(size))
+        except ValueError as exc:
+            raise SystemExit(f"bad job spec {spec!r}: {exc}") from None
+        schedule.name = spec
+        return schedule
+    return _read_goal_any(spec)
+
+
+def _cmd_cotenant(args: argparse.Namespace) -> int:
+    """Run several jobs concurrently on one shared fabric with per-job attribution."""
+    from repro.cluster import ClusterJob, run_cotenant
+    from repro.placement import PLACEMENT_STRATEGIES, filter_strategy_kwargs
+
+    schedules = [_load_job_schedule(spec) for spec in args.jobs]
+    arrivals = [0] * len(schedules)
+    if args.arrivals:
+        try:
+            parts = [int(a) for a in args.arrivals.split(",")]
+        except ValueError:
+            raise SystemExit(
+                f"--arrivals must be comma-separated integers (ns), got {args.arrivals!r}"
+            ) from None
+        if len(parts) != len(schedules):
+            raise SystemExit(
+                f"--arrivals lists {len(parts)} times for {len(schedules)} jobs"
+            )
+        arrivals = parts
+    try:
+        jobs = [
+            ClusterJob(schedule, arrival_ns=arrival)
+            for schedule, arrival in zip(schedules, arrivals)
+        ]
+    except ValueError as exc:
+        raise SystemExit(f"bad --arrivals: {exc}") from None
+
+    strategies = [s.strip() for s in args.placement.split(",") if s.strip()]
+    unknown = [s for s in strategies if s not in PLACEMENT_STRATEGIES]
+    if unknown:
+        raise SystemExit(
+            f"unknown placement strategies {unknown}; "
+            f"registered: {', '.join(sorted(PLACEMENT_STRATEGIES))}"
+        )
+
+    config = _config_from_args(args)
+    strategy_kwargs = {}
+    if args.group_size:
+        strategy_kwargs["group_size"] = args.group_size
+    strategy_kwargs["seed"] = args.seed
+    payload = {
+        "workload": f"cotenant-{len(jobs)}job",
+        "backend": args.backend,
+        "cluster_nodes": args.cluster_nodes or sum(j.num_nodes for j in jobs),
+        "strategies": {},
+    }
+    for strategy in strategies:
+        kwargs = filter_strategy_kwargs(strategy, strategy_kwargs)
+        res = run_cotenant(
+            jobs,
+            cluster_nodes=args.cluster_nodes,
+            strategy=strategy,
+            backend=args.backend,
+            config=config,
+            baseline=not args.no_baseline,
+            shared=args.shared,
+            **kwargs,
+        )
+        contended = res.contended_links()
+        top_links = sorted(
+            contended.items(), key=lambda kv: -sum(kv[1].values())
+        )[:5]
+        payload["strategies"][strategy] = {
+            "finish_time_ms": res.result.finish_time_ns / 1e6,
+            "wall_clock_s": round(res.result.wall_clock_s, 3),
+            "contended_links": len(contended),
+            "top_contended_links": [
+                {"link": link, "per_job_bytes": jobs_bytes}
+                for link, jobs_bytes in top_links
+            ],
+            "jobs": [
+                {
+                    "job": out.name,
+                    "arrival_ms": out.arrival_ns / 1e6,
+                    "runtime_ms": out.runtime_ns / 1e6,
+                    "isolated_runtime_ms": (
+                        None
+                        if out.isolated_runtime_ns is None
+                        else out.isolated_runtime_ns / 1e6
+                    ),
+                    "slowdown": out.slowdown,
+                    "messages": out.messages_delivered,
+                    "bytes": out.bytes_delivered,
+                }
+                for out in res.outcomes
+            ],
+        }
+    print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -314,6 +442,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--message-size", type=int, default=1 << 20)
     _add_network_args(p)
     p.set_defaults(func=_cmd_synthetic)
+
+    p = sub.add_parser(
+        "cotenant",
+        help="run several jobs concurrently on one fabric (per-job attribution)",
+        description=_first_doc_line(_cmd_cotenant),
+    )
+    p.add_argument(
+        "jobs",
+        nargs="+",
+        metavar="JOB",
+        help="GOAL file (.goal/.bin) or synthetic spec pattern:ranks:size "
+        "(e.g. alltoall:8:65536)",
+    )
+    p.add_argument(
+        "--arrivals",
+        default=None,
+        metavar="NS[,NS...]",
+        help="per-job arrival times in ns (default: all 0)",
+    )
+    p.add_argument(
+        "--cluster-nodes",
+        type=int,
+        default=None,
+        help="cluster size (default: sum of the jobs' rank counts)",
+    )
+    p.add_argument(
+        "--placement",
+        default="packed",
+        metavar="STRATEGY[,STRATEGY...]",
+        help="placement strategies to run and compare (packed, fragmented, "
+        "random, random_interleaved, round_robin, strided, locality)",
+    )
+    p.add_argument(
+        "--group-size", type=int, default=0, help="locality/fragmented group width"
+    )
+    p.add_argument(
+        "--shared",
+        action="store_true",
+        help="fuse tenants onto shared nodes (multi-tenant DAGs) instead of disjoint nodes",
+    )
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the per-job isolated baseline runs (no slowdown column)",
+    )
+    _add_network_args(p)
+    p.set_defaults(func=_cmd_cotenant)
 
     p = sub.add_parser(
         "topologies",

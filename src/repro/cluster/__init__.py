@@ -1,0 +1,27 @@
+"""Multi-job co-tenancy: arrival schedules, shared-fabric simulation, per-job attribution.
+
+:func:`~repro.cluster.engine.run_cotenant` is the main entry point; the
+:class:`~repro.cluster.engine.ClusterJob` record describes one job (schedule
+plus arrival time), and :func:`~repro.cluster.engine.build_cotenant_schedule`
+exposes the merge step on its own.  The interference sweep over placement
+strategies and topologies lives in :func:`repro.sweep.interference_sweep`.
+"""
+from repro.cluster.engine import (
+    TAG_STRIDE,
+    ClusterJob,
+    CoTenancyResult,
+    CoTenantPlan,
+    JobOutcome,
+    build_cotenant_schedule,
+    run_cotenant,
+)
+
+__all__ = [
+    "TAG_STRIDE",
+    "ClusterJob",
+    "CoTenancyResult",
+    "CoTenantPlan",
+    "JobOutcome",
+    "build_cotenant_schedule",
+    "run_cotenant",
+]

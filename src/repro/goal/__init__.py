@@ -36,6 +36,7 @@ from repro.goal.merge import (
     concatenate_schedules,
     merge_onto_shared_nodes,
     relabel_tags,
+    delay_schedule,
 )
 
 __all__ = [
@@ -60,4 +61,5 @@ __all__ = [
     "concatenate_schedules",
     "merge_onto_shared_nodes",
     "relabel_tags",
+    "delay_schedule",
 ]

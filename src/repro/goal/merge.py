@@ -10,6 +10,15 @@ The paper (§3.2) models two scenarios on top of GOAL:
   are fused into a single DAG per shared node, with each tenant's ops placed
   on distinct compute streams separated by dummy vertices so they can overlap
   (:func:`merge_onto_shared_nodes`).
+
+On top of the rank-offset composition both merge entry points accept
+*arrival offsets*: real clusters do not start every job at t=0, so each
+application may carry an arrival time (ns).  :func:`delay_schedule` realises
+an arrival inside the GOAL model itself — a single ``calc arrival`` root is
+prepended to every non-empty rank and every former root is made to depend on
+it, so no op of the job can issue before its arrival regardless of backend.
+An arrival of zero is the identity (the schedule is reused untouched), which
+keeps single-job co-tenant runs bit-identical to the plain simulation path.
 """
 from __future__ import annotations
 
@@ -82,12 +91,62 @@ def relabel_tags(schedule: GoalSchedule, tag_offset: int) -> GoalSchedule:
     return out
 
 
+def delay_schedule(schedule: GoalSchedule, delay_ns: int) -> GoalSchedule:
+    """Return a copy of ``schedule`` whose every op starts at least ``delay_ns`` late.
+
+    Models a job *arriving* at ``delay_ns``: each non-empty rank gets one
+    ``calc delay_ns`` vertex prepended, and every former root is made to
+    depend on it.  Since every vertex of a DAG transitively depends on some
+    root, nothing of the job can issue before its arrival on any backend.
+
+    ``delay_ns == 0`` returns ``schedule`` itself (identity — no extra
+    vertices), so zero-arrival co-tenant composition stays bit-identical to
+    the undelayed schedule.
+    """
+    if delay_ns < 0:
+        raise ValueError(f"delay_ns must be non-negative, got {delay_ns}")
+    if delay_ns == 0:
+        return schedule
+    out = GoalSchedule(schedule.num_ranks, name=schedule.name)
+    for rank in schedule.ranks:
+        new_rank = out.ranks[rank.rank]
+        if not rank.ops:
+            continue
+        roots = set(rank.roots())
+        new_rank.add_op(Op.calc(delay_ns))
+        for idx, op in enumerate(rank.ops):
+            # labels survive (only the unlabeled delay vertex is new); the
+            # multi-job merges strip labels themselves when composing
+            new_op = op.copy()
+            # all original indices shift by one past the delay vertex
+            deps = [d + 1 for d in rank.preds[idx]]
+            if idx in roots:
+                deps.append(0)
+            new_rank.add_op(new_op, deps)
+    return out
+
+
+def _apply_arrivals(
+    schedules: Sequence[GoalSchedule], arrivals: Optional[Sequence[int]]
+) -> Sequence[GoalSchedule]:
+    """Delay each schedule by its arrival offset (``None`` = all at t=0)."""
+    if arrivals is None:
+        return schedules
+    if len(arrivals) != len(schedules):
+        raise ValueError(
+            f"need exactly one arrival per schedule "
+            f"({len(arrivals)} arrivals for {len(schedules)} schedules)"
+        )
+    return [delay_schedule(sched, arr) for sched, arr in zip(schedules, arrivals)]
+
+
 def concatenate_schedules(
     schedules: Sequence[GoalSchedule],
     placements: Optional[Sequence[Mapping[int, int]]] = None,
     num_ranks: Optional[int] = None,
     name: str = "multi-job",
     tag_stride: int = 1 << 20,
+    arrivals: Optional[Sequence[int]] = None,
 ) -> GoalSchedule:
     """Combine several applications into one multi-job schedule.
 
@@ -108,9 +167,13 @@ def concatenate_schedules(
     tag_stride:
         Tag offset applied per application to keep their message spaces
         disjoint.  Must exceed the largest tag used by any application.
+    arrivals:
+        Optional arrival time (ns) per application; each is applied via
+        :func:`delay_schedule` before merging.  Zero is the identity.
     """
     if not schedules:
         raise ValueError("need at least one schedule")
+    schedules = _apply_arrivals(schedules, arrivals)
     if placements is None:
         placements = []
         base = 0
@@ -157,6 +220,7 @@ def merge_onto_shared_nodes(
     name: str = "multi-tenant",
     tag_stride: int = 1 << 20,
     stream_stride: int = 64,
+    arrivals: Optional[Sequence[int]] = None,
 ) -> GoalSchedule:
     """Fuse several applications that may *share* nodes (multi-tenancy).
 
@@ -174,9 +238,13 @@ def merge_onto_shared_nodes(
     stream_stride:
         Compute-stream offset between tenants on a shared node; must exceed
         the number of streams any single tenant uses on one rank.
+    arrivals:
+        Optional arrival time (ns) per tenant, applied via
+        :func:`delay_schedule` before fusing.
     """
     if not schedules:
         raise ValueError("need at least one schedule")
+    schedules = _apply_arrivals(schedules, arrivals)
     if len(placements) != len(schedules):
         raise ValueError("need exactly one placement per schedule")
 

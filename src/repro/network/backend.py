@@ -98,6 +98,66 @@ class NetworkStats:
 
 
 @dataclass
+class JobStats:
+    """Per-job traffic attribution collected during a multi-job simulation.
+
+    Populated only when :attr:`SimulationConfig.job_tag_stride` is non-zero:
+    the job id of a message is its ``tag // job_tag_stride`` (the co-tenancy
+    merge gives each job a disjoint tag window).  Attribution is purely
+    observational — it never alters simulated timing.
+
+    Attributes
+    ----------
+    job:
+        Job index (tag window) this record belongs to.
+    messages_delivered / bytes_delivered:
+        Messages of this job fully delivered, and their payload bytes.
+    link_bytes:
+        Bytes of this job's traffic attributed per link name.  The packet
+        backend charges every injected DATA packet (including
+        retransmissions) to each link of its route; the message-level
+        backend attributes routed bytes in topology-aware mode and is empty
+        in flat-``L`` mode (there are no modelled links to attribute to).
+    """
+
+    job: int
+    messages_delivered: int = 0
+    bytes_delivered: int = 0
+    link_bytes: Dict[str, int] = field(default_factory=dict)
+
+
+def assemble_job_stats(
+    job_msgs: Dict[int, List[int]],
+    job_link_bytes: Dict[int, "object"],
+    links,
+) -> Dict[int, "JobStats"]:
+    """Build the ``per_job_stats`` mapping from a backend's raw counters.
+
+    ``job_msgs`` maps job id to ``[messages, bytes]``; ``job_link_bytes``
+    maps job id to a per-link byte array indexed by link id (may be empty
+    when the backend collects no link attribution); ``links`` is the
+    topology's link list providing names.  Shared by both backends so their
+    attribution output cannot diverge.
+    """
+    out: Dict[int, JobStats] = {}
+    for job in sorted(set(job_msgs) | set(job_link_bytes)):
+        msgs, byts = job_msgs.get(job, (0, 0))
+        arr = job_link_bytes.get(job)
+        link_bytes = (
+            {}
+            if arr is None
+            else {links[i].name: int(b) for i, b in enumerate(arr) if b}
+        )
+        out[job] = JobStats(
+            job=job,
+            messages_delivered=msgs,
+            bytes_delivered=byts,
+            link_bytes=link_bytes,
+        )
+    return out
+
+
+@dataclass
 class SimulationResult:
     """Result of replaying a GOAL schedule on a backend.
 
@@ -120,6 +180,12 @@ class SimulationResult:
     wall_clock_s:
         Host wall-clock seconds spent simulating (for the simulator
         runtime-comparison experiments).
+    job_stats:
+        Per-job :class:`JobStats` keyed by job id (empty unless
+        :attr:`SimulationConfig.job_tag_stride` was set).
+    group_finish_times_ns:
+        Per-group completion times when the scheduler was given an op→group
+        mapping (the co-tenancy engine maps groups to jobs); empty otherwise.
     """
 
     finish_time_ns: int
@@ -129,6 +195,8 @@ class SimulationResult:
     ops_completed: int = 0
     backend: str = ""
     wall_clock_s: float = 0.0
+    job_stats: Dict[int, JobStats] = field(default_factory=dict)
+    group_finish_times_ns: Dict[int, int] = field(default_factory=dict)
 
     @property
     def finish_time_s(self) -> float:
@@ -201,6 +269,14 @@ class NetworkBackend(abc.ABC):
     def collect_message_records(self) -> List[MessageRecord]:
         """Return per-message records (backends may return an empty list)."""
         return []
+
+    def per_job_stats(self) -> Dict[int, JobStats]:
+        """Per-job attribution keyed by job id.
+
+        Empty unless the backend was configured with a non-zero
+        ``job_tag_stride`` (see :class:`JobStats`).
+        """
+        return {}
 
 
 def create_backend(name: str) -> NetworkBackend:

@@ -173,6 +173,14 @@ class SimulationConfig:
     packet_batching: bool = True
     loggops_batching: bool = True
 
+    # multi-job attribution: when > 0, every message's job id is derived as
+    # ``tag // job_tag_stride`` (the co-tenancy merge assigns each job a
+    # disjoint tag window of this stride) and both backends collect per-job
+    # delivery counts plus per-link byte attribution.  0 disables collection
+    # entirely (no hot-path cost).  Attribution is observational only: it
+    # never changes simulated timing, drops, marks or message order.
+    job_tag_stride: int = 0
+
     # misc
     seed: int = 0
     collect_message_records: bool = True
@@ -225,6 +233,8 @@ class SimulationConfig:
             raise ValueError("latencies must be non-negative")
         if self.initial_window_packets <= 0:
             raise ValueError("initial_window_packets must be positive")
+        if self.job_tag_stride < 0:
+            raise ValueError("job_tag_stride must be non-negative (0 disables attribution)")
 
     def loggops_topology_enabled(self) -> bool:
         """Whether the LogGOPS backend should route through the topology.

@@ -72,9 +72,11 @@ import numpy as np
 
 from repro.network.backend import (
     CompletionCallback,
+    JobStats,
     MessageRecord,
     NetworkBackend,
     NetworkStats,
+    assemble_job_stats,
 )
 from repro.network.config import SimulationConfig
 from repro.network.events import EventQueue
@@ -168,6 +170,12 @@ class LogGOPSBackend(NetworkBackend):
             # cumulative bytes routed per link, indexed by link id — the
             # load signal handed to the routing strategy as an array view
             self._link_bytes = np.zeros(len(self.topology.links), dtype=np.int64)
+        # multi-job attribution (observational only; see SimulationConfig).
+        # Per-link attribution needs routed paths, so it is collected only in
+        # topology-aware mode; message counts are collected in either mode.
+        self._job_stride = config.job_tag_stride
+        self._job_msgs: Dict[int, List[int]] = {}
+        self._job_link_bytes: Dict[int, np.ndarray] = {}
         # channel -> list of rendezvous sends awaiting a receive (FIFO)
         self._pending_rndv: Dict[Tuple[int, int, int], List[_PendingRendezvous]] = {}
         # channel -> list of receive post times available for rendezvous matching
@@ -239,7 +247,7 @@ class LogGOPSBackend(NetworkBackend):
 
         if size <= p.S or p.S == 0:
             # Eager protocol: transfer proceeds regardless of the receive.
-            arrival = self._transfer(rank, dst, size, cpu_end)
+            arrival = self._transfer(rank, dst, size, cpu_end, tag)
             self.events.schedule(cpu_end, self._complete_op, (rank, op_id))
             self.events.schedule(arrival, self._on_arrival, (rank, dst, size, tag, cpu_start))
         else:
@@ -258,7 +266,7 @@ class LogGOPSBackend(NetworkBackend):
                     _PendingRendezvous(op_id, rank, dst, tag, stream, size, cpu_end, cpu_start)
                 )
 
-    def _wire_latency(self, src: int, dst: int, size: int) -> int:
+    def _wire_latency(self, src: int, dst: int, size: int, tag: int = 0) -> int:
         """Wire latency for one message: flat ``L``, or the routed path's
         propagation delay when topology-aware latency is enabled."""
         if self.routing is None:
@@ -267,15 +275,23 @@ class LogGOPSBackend(NetworkBackend):
         route = self.routing.select_route(src, dst, size, loads)
         for link in route:
             loads[link] += size
+        if self._job_stride:
+            jlb = self._job_link_bytes
+            job = tag // self._job_stride
+            arr = jlb.get(job)
+            if arr is None:
+                arr = jlb[job] = np.zeros(len(self.topology.links), dtype=np.int64)
+            for link in route:
+                arr[link] += size
         return self.topology.route_latency(route)
 
-    def _transfer(self, src: int, dst: int, size: int, sender_ready: int) -> int:
+    def _transfer(self, src: int, dst: int, size: int, sender_ready: int, tag: int = 0) -> int:
         """Charge NIC resources for one message and return its arrival time."""
         p = self.params
         wire_bytes_ns = int(round(size * p.G))
         inj_start = max(sender_ready, self._send_nic_free[src])
         self._send_nic_free[src] = inj_start + p.g + wire_bytes_ns
-        recv_start = max(inj_start + self._wire_latency(src, dst, size), self._recv_nic_free[dst])
+        recv_start = max(inj_start + self._wire_latency(src, dst, size, tag), self._recv_nic_free[dst])
         arrival = recv_start + wire_bytes_ns
         self._recv_nic_free[dst] = arrival + p.g
         return arrival
@@ -286,6 +302,10 @@ class LogGOPSBackend(NetworkBackend):
         stats = self.stats
         stats.messages_delivered += 1
         stats.bytes_delivered += size
+        if self._job_stride:
+            per_job = self._job_msgs.setdefault(tag // self._job_stride, [0, 0])
+            per_job[0] += 1
+            per_job[1] += size
         if self.config.collect_message_records:
             self.records.append(MessageRecord(src, dst, size, tag, post_time, time))
         matched = self.matcher.post_arrival(src, dst, tag, _Arrival(time, size))
@@ -338,9 +358,13 @@ class LogGOPSBackend(NetworkBackend):
         else:
             handshake_latency = self.params.L
         handshake_done = max(sender_ready, recv.post_time + handshake_latency)
-        arrival = self._transfer(src, dst, size, handshake_done)
+        arrival = self._transfer(src, dst, size, handshake_done, tag)
         self.stats.messages_delivered += 1
         self.stats.bytes_delivered += size
+        if self._job_stride:
+            per_job = self._job_msgs.setdefault(tag // self._job_stride, [0, 0])
+            per_job[0] += 1
+            per_job[1] += size
         if self.config.collect_message_records:
             self.records.append(MessageRecord(src, dst, size, tag, sender_post_time, arrival))
         # The send op completes when the transfer completes (sender blocks).
@@ -490,6 +514,13 @@ class LogGOPSBackend(NetworkBackend):
     def collect_message_records(self) -> List[MessageRecord]:
         self._require_setup()
         return self.records
+
+    def per_job_stats(self) -> Dict[int, JobStats]:
+        self._require_setup()
+        if not self._job_stride:
+            return {}
+        links = self.topology.links if self.topology is not None else []
+        return assemble_job_stats(self._job_msgs, self._job_link_bytes, links)
 
     # ---------------------------------------------------------------- queries
     def link_loads(self) -> Dict[str, int]:

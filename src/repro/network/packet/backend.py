@@ -45,9 +45,11 @@ import numpy as np
 
 from repro.network.backend import (
     CompletionCallback,
+    JobStats,
     MessageRecord,
     NetworkBackend,
     NetworkStats,
+    assemble_job_stats,
 )
 from repro.network.config import SimulationConfig
 from repro.network.congestion import create_congestion_control
@@ -163,6 +165,15 @@ class PacketBackend(NetworkBackend):
         )
         self._rtt_cache: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], int] = {}
         self._packet_free: List[Packet] = []
+        # multi-job attribution (observational only; see SimulationConfig)
+        self._job_stride = config.job_tag_stride
+        # job id -> [messages_delivered, bytes_delivered]
+        self._job_msgs: Dict[int, List[int]] = {}
+        # job id -> per-link bytes array (None when attribution is off, so
+        # the per-packet hot path pays a single predicate)
+        self._job_link_bytes: Optional[Dict[int, "np.ndarray"]] = (
+            {} if self._job_stride else None
+        )
         # hot counters kept as plain ints and folded into stats on collect
         self._n_sent = 0
         self._n_delivered = 0
@@ -279,6 +290,8 @@ class PacketBackend(NetworkBackend):
         )
         flow.route_q0 = self.queues[route[0]]
         flow.ack_q0 = self.queues[ack_route[0]]
+        if self._job_stride:
+            flow.job = tag // self._job_stride
         self.flows.append(flow)
         self.events.schedule(overhead_end, self._flow_ready, flow)
 
@@ -333,6 +346,13 @@ class PacketBackend(NetworkBackend):
         self._n_sent += 1
         if retransmission:
             self.stats.retransmissions += 1
+        jlb = self._job_link_bytes
+        if jlb is not None:
+            arr = jlb.get(flow.job)
+            if arr is None:
+                arr = jlb[flow.job] = np.zeros(len(self.queues), dtype=np.int64)
+            for link in flow.route:
+                arr[link] += size
         accepted = flow.route_q0.enqueue(pkt, now)
         if not accepted:
             self._handle_data_drop(pkt, now)
@@ -416,6 +436,10 @@ class PacketBackend(NetworkBackend):
             flow.message_delivered = True
             self.stats.messages_delivered += 1
             self.stats.bytes_delivered += flow.size
+            if self._job_stride:
+                per_job = self._job_msgs.setdefault(flow.job, [0, 0])
+                per_job[0] += 1
+                per_job[1] += flow.size
             if cfg.collect_message_records:
                 self.records.append(
                     MessageRecord(flow.src, flow.dst, flow.size, flow.tag, flow.post_time, now)
@@ -636,6 +660,14 @@ class PacketBackend(NetworkBackend):
     def collect_message_records(self) -> List[MessageRecord]:
         self._require_setup()
         return self.records
+
+    def per_job_stats(self) -> Dict[int, JobStats]:
+        self._require_setup()
+        if not self._job_stride:
+            return {}
+        return assemble_job_stats(
+            self._job_msgs, self._job_link_bytes, self.topology.links
+        )
 
     # ---------------------------------------------------------------- queries
     def queue_statistics(self) -> List[Dict[str, object]]:

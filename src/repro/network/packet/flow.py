@@ -47,6 +47,7 @@ class Flow:
         "trimmable",
         "header_size",
         "pulls_outstanding",
+        "job",
     )
 
     def __init__(
@@ -103,6 +104,10 @@ class Flow:
         self.trimmable = cc.receiver_driven
         self.header_size = getattr(cc, "header_size", 64)
         self.pulls_outstanding = 0
+
+        # multi-job attribution: tag window this flow belongs to (set by the
+        # backend when job_tag_stride is configured; 0 otherwise)
+        self.job = 0
 
     # -------------------------------------------------------------- sender side
     def packet_size(self, seq: int) -> int:

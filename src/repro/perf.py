@@ -17,7 +17,11 @@ The suite:
   batched/vectorized eager path targets,
 * ``alltoall_htsim_adaptive`` — the packet backend under adaptive (UGAL)
   routing, exercising the cached route tables and the vectorized route
-  costs.
+  costs,
+* ``cotenant_2job_htsim`` — two all-to-all jobs merged by the co-tenancy
+  engine onto a fragmented placement of an oversubscribed fat tree, with
+  per-job attribution enabled (measures the multi-job merge plus the
+  job-tagged stats path).
 
 ``--quick`` shrinks every case (used by the CI smoke job); quick numbers
 are only comparable to other quick numbers.
@@ -75,6 +79,22 @@ def _alltoall_schedule(quick: bool):
     return all_to_all(8 if quick else 16, 1 << 14)
 
 
+def _cotenant_schedule(quick: bool):
+    """Two all-to-all jobs fragmented across an oversubscribed fat tree."""
+    from repro.cluster import ClusterJob, build_cotenant_schedule
+    from repro.schedgen import all_to_all
+
+    ranks = 4 if quick else 8
+    jobs = [
+        ClusterJob(all_to_all(ranks, 1 << 16), name="jobA"),
+        ClusterJob(all_to_all(ranks, 1 << 16), arrival_ns=10_000, name="jobB"),
+    ]
+    plan = build_cotenant_schedule(
+        jobs, cluster_nodes=2 * ranks, strategy="fragmented", group_size=4
+    )
+    return plan.schedule
+
+
 def default_suite(quick: bool = False) -> List[BenchCase]:
     """The standard bench suite (shrunk sizes when ``quick``)."""
     lgs_cfg = SimulationConfig(loggops=LogGOPSParams.ai_cluster())
@@ -94,6 +114,13 @@ def default_suite(quick: bool = False) -> List[BenchCase]:
             "htsim",
             lambda: _alltoall_schedule(quick),
             pkt_cfg.replace(routing="adaptive"),
+            repeats=3,
+        ),
+        BenchCase(
+            "cotenant_2job_htsim",
+            "htsim",
+            lambda: _cotenant_schedule(quick),
+            pkt_cfg.replace(oversubscription=4.0, job_tag_stride=1 << 32),
             repeats=3,
         ),
     ]

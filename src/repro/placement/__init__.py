@@ -7,7 +7,10 @@ from repro.placement.strategies import (
     round_robin_placement,
     strided_placement,
     locality_placement,
+    fragmented_placement,
+    random_interleaved_placement,
     place_jobs,
+    filter_strategy_kwargs,
     PLACEMENT_STRATEGIES,
 )
 
@@ -19,6 +22,9 @@ __all__ = [
     "round_robin_placement",
     "strided_placement",
     "locality_placement",
+    "fragmented_placement",
+    "random_interleaved_placement",
     "place_jobs",
+    "filter_strategy_kwargs",
     "PLACEMENT_STRATEGIES",
 ]

@@ -8,7 +8,9 @@ The paper contrasts two strategies on an oversubscribed fat tree:
 * **Random allocation** — nodes are assigned without locality, spreading
   every job across the cluster and loading the oversubscribed core.
 
-Additional strategies (round-robin across ToRs, strided) are provided for
+Additional strategies (round-robin across ToRs, strided,
+:func:`fragmented_placement` — deliberate anti-locality for interference
+studies — and :func:`random_interleaved_placement`) are provided for
 ablations, and :func:`locality_placement` generalises packed allocation to
 any topology: it packs each job into whole switch-attachment groups (ToRs on
 a fat tree, routers on a dragonfly/torus/Slim Fly) using
@@ -172,20 +174,7 @@ def locality_placement(
     concentration allows.
     """
     _require_capacity(jobs, cluster_nodes)
-    if topology is not None:
-        if topology.num_hosts != cluster_nodes:
-            raise ValueError(
-                f"topology has {topology.num_hosts} hosts but cluster_nodes is {cluster_nodes}"
-            )
-        groups = topology.host_groups()
-    else:
-        if group_size <= 0:
-            raise ValueError("group_size must be positive")
-        groups = [
-            list(range(start, min(start + group_size, cluster_nodes)))
-            for start in range(0, cluster_nodes, group_size)
-        ]
-    free: List[List[int]] = [list(g) for g in groups]
+    free: List[List[int]] = _build_groups(cluster_nodes, topology, group_size)
     mappings: List[Dict[int, int]] = []
     for job in jobs:
         nodes: List[int] = []
@@ -221,12 +210,90 @@ def locality_placement(
     return PlacementResult(mappings, cluster_nodes, "locality")
 
 
+def _build_groups(cluster_nodes: int, topology, group_size: int) -> List[List[int]]:
+    """Host groups from the topology, or contiguous ``group_size`` blocks."""
+    if topology is not None:
+        if topology.num_hosts != cluster_nodes:
+            raise ValueError(
+                f"topology has {topology.num_hosts} hosts but cluster_nodes is {cluster_nodes}"
+            )
+        return [list(g) for g in topology.host_groups()]
+    if group_size <= 0:
+        raise ValueError("group_size must be positive")
+    return [
+        list(range(start, min(start + group_size, cluster_nodes)))
+        for start in range(0, cluster_nodes, group_size)
+    ]
+
+
+def fragmented_placement(
+    jobs: Sequence[JobRequest],
+    cluster_nodes: int,
+    topology=None,
+    group_size: int = 16,
+) -> PlacementResult:
+    """Deliberate anti-locality: scatter each job across as many groups as possible.
+
+    The dual of :func:`locality_placement` — every job's ranks are dealt one
+    node per switch-attachment group, cycling over all groups, so intra-job
+    traffic crosses first-hop switches (and the oversubscribed core, on a fat
+    tree) as much as the cluster shape allows.  Deterministic, which makes it
+    the clean "worst-case placement" arm of interference sweeps.
+    """
+    _require_capacity(jobs, cluster_nodes)
+    free = _build_groups(cluster_nodes, topology, group_size)
+    mappings: List[Dict[int, int]] = []
+    for job in jobs:
+        nodes: List[int] = []
+        cursor = 0
+        while len(nodes) < job.num_nodes:
+            group = free[cursor % len(free)]
+            if group:
+                nodes.append(group.pop(0))
+            cursor += 1
+            if len(nodes) < job.num_nodes and not any(free):
+                raise ValueError(
+                    f"job {job.label!r} needs {job.num_nodes} nodes but the cluster ran out"
+                )
+        mappings.append({r: nodes[r] for r in range(job.num_nodes)})
+    return PlacementResult(mappings, cluster_nodes, "fragmented")
+
+
+def random_interleaved_placement(
+    jobs: Sequence[JobRequest], cluster_nodes: int, seed: int = 0
+) -> PlacementResult:
+    """Shuffle the cluster and deal nodes to jobs round-robin.
+
+    Unlike :func:`random_placement` (each job draws a contiguous slice of one
+    permutation), the shuffled nodes are dealt to the jobs one at a time, so
+    the jobs are interleaved through the whole permutation — every job is
+    spread across the entire cluster and through every other job's nodes.
+    """
+    _require_capacity(jobs, cluster_nodes)
+    rng = np.random.default_rng(seed)
+    order = [int(n) for n in rng.permutation(cluster_nodes)]
+    assigned: List[List[int]] = [[] for _ in jobs]
+    cursor = 0
+    while any(len(nodes) < job.num_nodes for nodes, job in zip(assigned, jobs)):
+        for idx, job in enumerate(jobs):
+            if len(assigned[idx]) < job.num_nodes:
+                assigned[idx].append(order[cursor])
+                cursor += 1
+    mappings = [
+        {r: nodes[r] for r in range(job.num_nodes)}
+        for nodes, job in zip(assigned, jobs)
+    ]
+    return PlacementResult(mappings, cluster_nodes, "random_interleaved")
+
+
 PLACEMENT_STRATEGIES: Dict[str, Callable[..., PlacementResult]] = {
     "packed": packed_placement,
     "random": random_placement,
     "round_robin": round_robin_placement,
     "strided": strided_placement,
     "locality": locality_placement,
+    "fragmented": fragmented_placement,
+    "random_interleaved": random_interleaved_placement,
 }
 
 
@@ -242,3 +309,20 @@ def place_jobs(
     except KeyError:
         raise ValueError(f"unknown placement strategy {strategy!r}") from None
     return fn(jobs, cluster_nodes, **kwargs)
+
+
+def filter_strategy_kwargs(strategy: str, kwargs: Dict[str, object]) -> Dict[str, object]:
+    """Keep only the kwargs the named strategy's signature accepts.
+
+    Grids and CLIs share one kwargs dict across heterogeneous strategies
+    (``seed`` for the random ones, ``group_size``/``topology`` for the
+    group-aware ones); this gives each strategy its slice.
+    """
+    import inspect
+
+    try:
+        fn = PLACEMENT_STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(f"unknown placement strategy {strategy!r}") from None
+    accepted = inspect.signature(fn).parameters
+    return {k: v for k, v in kwargs.items() if k in accepted}

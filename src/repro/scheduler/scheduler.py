@@ -50,6 +50,13 @@ class GoalScheduler:
         :class:`SimulationConfig` is used when omitted.
     validate:
         Run :func:`repro.goal.validate.validate_schedule` before simulating.
+    op_groups:
+        Optional vertex→group mapping, one list of group ids per rank (same
+        shape as the rank's op list; ``-1`` = ungrouped).  When given, the
+        result carries the completion time of each group — the co-tenancy
+        engine uses groups to attribute per-job completion even when several
+        jobs share a rank.  Completion tracking adds one dict update per
+        finished op, so the hot path is untouched when the mapping is absent.
     """
 
     def __init__(
@@ -58,6 +65,7 @@ class GoalScheduler:
         backend: "NetworkBackend | str" = "lgs",
         config: Optional[SimulationConfig] = None,
         validate: bool = True,
+        op_groups: Optional[List[List[int]]] = None,
     ) -> None:
         self.schedule = schedule
         self.config = config if config is not None else SimulationConfig()
@@ -84,6 +92,17 @@ class GoalScheduler:
         self._issued: List[List[bool]] = [[False] * len(rank) for rank in schedule.ranks]
         self._finish_time = 0
 
+        self._op_groups = op_groups
+        self._group_finish: Dict[int, int] = {}
+        if op_groups is not None:
+            if len(op_groups) != schedule.num_ranks or any(
+                len(groups) != len(rank)
+                for groups, rank in zip(op_groups, schedule.ranks)
+            ):
+                raise ValueError(
+                    "op_groups must provide one group id per op of every rank"
+                )
+
     # ------------------------------------------------------------------ public
     def run(self) -> SimulationResult:
         """Simulate the schedule to completion and return the result."""
@@ -94,7 +113,10 @@ class GoalScheduler:
             for vertex in rank.roots():
                 self._issue(rank.rank, vertex, ready_time=0)
 
-        self.backend.run(self._on_complete)
+        on_complete = (
+            self._on_complete if self._op_groups is None else self._on_complete_grouped
+        )
+        self.backend.run(on_complete)
         wall_elapsed = _time.perf_counter() - wall_start
 
         if self._completed != self._total_ops:
@@ -119,6 +141,8 @@ class GoalScheduler:
             ops_completed=self._completed,
             backend=self.backend.name,
             wall_clock_s=wall_elapsed,
+            job_stats=self.backend.per_job_stats(),
+            group_finish_times_ns=dict(self._group_finish),
         )
 
     # ---------------------------------------------------------------- internals
@@ -150,6 +174,13 @@ class GoalScheduler:
             if left == 0:
                 self._issue(rank, succ, ready_time=time)
 
+    def _on_complete_grouped(self, time: int, rank: int, op_id: int) -> None:
+        """``eventOver`` variant that additionally tracks per-group finish times."""
+        group = self._op_groups[rank][op_id - self._offsets[rank]]
+        if group >= 0 and time > self._group_finish.get(group, -1):
+            self._group_finish[group] = time
+        self._on_complete(time, rank, op_id)
+
     def _stuck_per_rank(self) -> Dict[int, int]:
         stuck: Dict[int, int] = {}
         for rank in self.schedule.ranks:
@@ -164,6 +195,9 @@ def simulate(
     backend: "NetworkBackend | str" = "lgs",
     config: Optional[SimulationConfig] = None,
     validate: bool = True,
+    op_groups: Optional[List[List[int]]] = None,
 ) -> SimulationResult:
     """Convenience wrapper: construct a :class:`GoalScheduler` and run it."""
-    return GoalScheduler(schedule, backend=backend, config=config, validate=validate).run()
+    return GoalScheduler(
+        schedule, backend=backend, config=config, validate=validate, op_groups=op_groups
+    ).run()

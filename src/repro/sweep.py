@@ -1,9 +1,16 @@
-"""Topology x routing sweep API.
+"""Sweep APIs: topology x routing grids and co-tenancy interference grids.
 
-Runs one GOAL schedule across a grid of topologies and routing strategies
-and collects runtime plus congestion signals for each combination — the
-programmatic form of the paper's "same workload, different interconnect"
-experiments, extended over the pluggable routing subsystem.
+:func:`topology_routing_sweep` runs one GOAL schedule across a grid of
+topologies and routing strategies and collects runtime plus congestion
+signals for each combination — the programmatic form of the paper's "same
+workload, different interconnect" experiments, extended over the pluggable
+routing subsystem.
+
+:func:`interference_sweep` runs a *set of concurrent jobs* across a grid of
+placement strategies and topology configurations through the co-tenancy
+engine (:mod:`repro.cluster`), and reports per-job runtime, slowdown versus
+an isolated run, and contention shares — the generalised form of the
+paper's Fig. 13 placement case study.
 
 Typical use::
 
@@ -27,18 +34,19 @@ returned in grid order regardless of which worker finished first.
 ``tests/test_perf_determinism.py`` asserts the parallel/serial equality.
 When worker processes cannot be spawned (restricted sandboxes, missing
 ``fork`` support), the sweep falls back to the serial engine with a
-warning rather than failing.
+warning rather than failing.  Both sweeps share the same executor.
 
 ``examples/topology_comparison.py`` demonstrates the API on a small LLM
 training workload; ``benchmarks/test_topology_routing_sweep.py`` uses it for
-the oversubscription comparison.
+the oversubscription comparison, and
+``benchmarks/test_cotenancy_interference.py`` drives the interference grid.
 """
 from __future__ import annotations
 
 import math
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.goal.schedule import GoalSchedule
 from repro.network.config import SimulationConfig
@@ -108,6 +116,41 @@ def default_topology_configs(
     }
 
 
+def _execute_cells(fn: Callable, cells: List, parallel: Optional[int]) -> List:
+    """Map ``fn`` over ``cells``, optionally on a process pool.
+
+    The shared sweep executor: grid-order results, per-cell deterministic
+    inputs, graceful serial fallback when worker processes cannot be spawned.
+    ``fn`` must be a module-level callable (workers pickle it by name).
+    """
+    if parallel is not None and parallel > 1 and len(cells) > 1:
+        import pickle
+
+        exc: Optional[BaseException] = None
+        try:
+            from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+        except (ImportError, NotImplementedError) as imp_exc:
+            exc = imp_exc
+        else:
+            try:
+                with ProcessPoolExecutor(max_workers=min(parallel, len(cells))) as pool:
+                    return list(pool.map(fn, cells))
+            except (
+                NotImplementedError,
+                OSError,
+                PermissionError,
+                BrokenExecutor,  # workers died (sandboxed spawn, OOM-killed, ...)
+                pickle.PicklingError,
+            ) as pool_exc:
+                exc = pool_exc
+        warnings.warn(
+            f"parallel sweep unavailable ({exc!r}); falling back to serial",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return [fn(cell) for cell in cells]
+
+
 def _run_cell(args: Tuple[GoalSchedule, str, str, SimulationConfig, str]) -> SweepEntry:
     """Simulate one sweep cell (module-level so worker processes can pickle it)."""
     schedule, label, routing, config, backend = args
@@ -162,29 +205,117 @@ def topology_routing_sweep(
         for label, config in configs.items()
         for routing in routings
     ]
-    if parallel is not None and parallel > 1 and len(cells) > 1:
-        import pickle
+    return _execute_cells(_run_cell, cells, parallel)
 
-        exc: Optional[BaseException] = None
-        try:
-            from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-        except (ImportError, NotImplementedError) as imp_exc:
-            exc = imp_exc
-        else:
-            try:
-                with ProcessPoolExecutor(max_workers=min(parallel, len(cells))) as pool:
-                    return list(pool.map(_run_cell, cells))
-            except (
-                NotImplementedError,
-                OSError,
-                PermissionError,
-                BrokenExecutor,  # workers died (sandboxed spawn, OOM-killed, ...)
-                pickle.PicklingError,
-            ) as pool_exc:
-                exc = pool_exc
-        warnings.warn(
-            f"parallel sweep unavailable ({exc!r}); falling back to serial",
-            RuntimeWarning,
-            stacklevel=2,
+
+@dataclass(frozen=True)
+class InterferenceEntry:
+    """Per-job result of one (topology config, placement strategy) cell."""
+
+    topology: str
+    strategy: str
+    backend: str
+    job: str
+    arrival_ns: int
+    finish_time_ns: int
+    runtime_ns: int
+    isolated_runtime_ns: int
+    messages_delivered: int
+    bytes_delivered: int
+    contended_link_count: int
+
+    @property
+    def slowdown(self) -> float:
+        """Co-tenant runtime over isolated runtime (>1 = interference)."""
+        if not self.isolated_runtime_ns:
+            return float("nan")
+        return self.runtime_ns / self.isolated_runtime_ns
+
+    @property
+    def runtime_ms(self) -> float:
+        return self.runtime_ns / 1e6
+
+
+def _run_interference_cell(args) -> List[InterferenceEntry]:
+    """Simulate one (config, strategy) cell of an interference sweep."""
+    from repro.cluster import run_cotenant
+    from repro.placement import filter_strategy_kwargs
+
+    jobs, label, strategy, config, backend, cluster_nodes, strategy_kwargs = args
+    kwargs = filter_strategy_kwargs(strategy, strategy_kwargs)
+    res = run_cotenant(
+        jobs,
+        cluster_nodes=cluster_nodes,
+        strategy=strategy,
+        backend=backend,
+        config=config,
+        **kwargs,
+    )
+    contended = res.contended_links()
+    entries = []
+    for out in res.outcomes:
+        entries.append(
+            InterferenceEntry(
+                topology=label,
+                strategy=strategy,
+                backend=backend,
+                job=out.name,
+                arrival_ns=out.arrival_ns,
+                finish_time_ns=out.finish_ns,
+                runtime_ns=out.runtime_ns,
+                isolated_runtime_ns=out.isolated_runtime_ns or 0,
+                messages_delivered=out.messages_delivered,
+                bytes_delivered=out.bytes_delivered,
+                contended_link_count=sum(
+                    1 for links in contended.values() if out.name in links
+                ),
+            )
         )
-    return [_run_cell(cell) for cell in cells]
+    return entries
+
+
+def interference_sweep(
+    jobs: Sequence,
+    cluster_nodes: int,
+    strategies: Sequence[str] = ("packed", "fragmented", "random"),
+    configs: Optional[Dict[str, SimulationConfig]] = None,
+    backend: str = "htsim",
+    parallel: Optional[int] = None,
+    **strategy_kwargs,
+) -> List[InterferenceEntry]:
+    """Run a jobs x placement x topology interference grid.
+
+    Every cell simulates all ``jobs`` *concurrently* on one fabric through
+    :func:`repro.cluster.run_cotenant` (including each job's isolated
+    baseline under the same placement, so slowdowns are comparable across
+    strategies), and yields one :class:`InterferenceEntry` per job.  Entries
+    come back flattened in grid order: configs (insertion order) x
+    strategies x jobs.
+
+    Parameters
+    ----------
+    jobs:
+        :class:`repro.cluster.ClusterJob` records (schedule + arrival time).
+    cluster_nodes:
+        Cluster size shared by every cell.
+    strategies:
+        Placement strategy names to compare.
+    configs:
+        Mapping of label to :class:`SimulationConfig` (one cell group per
+        entry); defaults to a single ``{"fat_tree": SimulationConfig()}``.
+    backend / parallel:
+        As for :func:`topology_routing_sweep`.
+    strategy_kwargs:
+        Extra placement-strategy arguments applied to every cell (``seed``,
+        ``group_size``, ...).
+    """
+    if configs is None:
+        configs = {"fat_tree": SimulationConfig()}
+    jobs = list(jobs)
+    cells = [
+        (jobs, label, strategy, config, backend, cluster_nodes, strategy_kwargs)
+        for label, config in configs.items()
+        for strategy in strategies
+    ]
+    nested = _execute_cells(_run_interference_cell, cells, parallel)
+    return [entry for cell_entries in nested for entry in cell_entries]

@@ -4,6 +4,8 @@ import pytest
 from repro.goal import (
     GoalBuilder,
     concatenate_schedules,
+    delay_schedule,
+    encode_goal,
     merge_onto_shared_nodes,
     relabel_tags,
     remap_ranks,
@@ -150,3 +152,129 @@ class TestMultiTenant:
     def test_placement_must_cover_all_ranks(self):
         with pytest.raises(ValueError):
             merge_onto_shared_nodes([_pingpong()], placements=[{0: 0}])
+
+
+class TestErrorPaths:
+    """Error paths of the merge entry points (satellite of the co-tenancy PR)."""
+
+    def test_rank_collision_within_one_job(self):
+        # one job mapping two of its own ranks onto the same node
+        with pytest.raises(ValueError, match="overlap"):
+            concatenate_schedules([_pingpong()], placements=[{0: 3, 1: 3}])
+
+    def test_rank_collision_across_jobs_names_the_fix(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            concatenate_schedules(
+                [_pingpong("a"), _pingpong("b")],
+                placements=[{0: 0, 1: 1}, {0: 1, 1: 2}],
+            )
+
+    def test_empty_schedule_list_rejected_everywhere(self):
+        with pytest.raises(ValueError, match="at least one"):
+            concatenate_schedules([])
+        with pytest.raises(ValueError, match="at least one"):
+            merge_onto_shared_nodes([], placements=[])
+
+    def test_mismatched_placement_count(self):
+        with pytest.raises(ValueError, match="one placement per schedule"):
+            concatenate_schedules(
+                [_pingpong("a"), _pingpong("b")], placements=[{0: 0, 1: 1}]
+            )
+        with pytest.raises(ValueError, match="one placement per schedule"):
+            merge_onto_shared_nodes(
+                [_pingpong("a"), _pingpong("b")], placements=[{0: 0, 1: 1}]
+            )
+
+    def test_mismatched_arrival_count(self):
+        with pytest.raises(ValueError, match="one arrival per schedule"):
+            concatenate_schedules([_pingpong("a"), _pingpong("b")], arrivals=[0])
+        with pytest.raises(ValueError, match="one arrival per schedule"):
+            merge_onto_shared_nodes(
+                [_pingpong("a")], placements=[{0: 0, 1: 1}], arrivals=[0, 5]
+            )
+
+    def test_placement_missing_a_rank(self):
+        with pytest.raises(ValueError, match="missing rank 1"):
+            concatenate_schedules([_pingpong("a")], placements=[{0: 0}])
+
+    def test_num_ranks_too_small_for_placement(self):
+        with pytest.raises(IndexError):
+            concatenate_schedules(
+                [_pingpong("a")], placements=[{0: 0, 1: 5}], num_ranks=3
+            )
+
+
+class TestArrivals:
+    def test_arrival_prepends_delay_roots(self):
+        merged = concatenate_schedules(
+            [_pingpong("a"), _pingpong("b")], arrivals=[0, 700]
+        )
+        # job a untouched (arrival 0), job b's ranks gated by a calc 700 root
+        assert len(merged.ranks[0]) == 2
+        assert len(merged.ranks[2]) == 3
+        assert merged.ranks[2].ops[0].is_calc and merged.ranks[2].ops[0].size == 700
+        validate_schedule(merged)
+
+    def test_arrivals_match_manual_delay_composition(self):
+        auto = concatenate_schedules([_pingpong("a"), _pingpong("b")], arrivals=[0, 999])
+        manual = concatenate_schedules(
+            [_pingpong("a"), delay_schedule(_pingpong("b"), 999)]
+        )
+        assert encode_goal(auto) == encode_goal(manual)
+
+    def test_delayed_job_finishes_later(self):
+        base = simulate(concatenate_schedules([_pingpong("a"), _pingpong("b")]), backend="lgs")
+        delayed = simulate(
+            concatenate_schedules([_pingpong("a"), _pingpong("b")], arrivals=[0, 4321]),
+            backend="lgs",
+        )
+        assert delayed.finish_time_ns == base.finish_time_ns + 4321
+
+    def test_shared_nodes_accept_arrivals(self):
+        merged = merge_onto_shared_nodes(
+            [_pingpong("a"), _pingpong("b")],
+            placements=[{0: 0, 1: 1}, {0: 0, 1: 1}],
+            arrivals=[0, 250],
+        )
+        result = simulate(merged, backend="lgs")
+        assert result.ops_completed == merged.num_ops()
+
+
+class TestMergeDeterminism:
+    """Multi-job merging is a pure function of its inputs, in job order."""
+
+    def _jobs(self):
+        return [_pingpong("a", size=512), _pingpong("b", size=1024), _pingpong("c", size=2048)]
+
+    def test_same_inputs_same_bytes(self):
+        one = concatenate_schedules(self._jobs(), arrivals=[0, 10, 20])
+        two = concatenate_schedules(self._jobs(), arrivals=[0, 10, 20])
+        assert encode_goal(one) == encode_goal(two)
+
+    def test_shared_merge_same_inputs_same_bytes(self):
+        placements = [{0: 0, 1: 1}] * 3
+        one = merge_onto_shared_nodes(self._jobs(), placements=placements)
+        two = merge_onto_shared_nodes(self._jobs(), placements=placements)
+        assert encode_goal(one) == encode_goal(two)
+
+    def test_job_order_defines_tag_windows(self):
+        stride = 1 << 20
+        merged = concatenate_schedules(self._jobs(), tag_stride=stride)
+        for job_idx, base_rank in enumerate((0, 2, 4)):
+            tags = {op.tag for op in merged.ranks[base_rank].ops if op.is_comm}
+            assert all(job_idx * stride <= t < (job_idx + 1) * stride for t in tags)
+
+    def test_merged_simulation_is_deterministic(self):
+        merged = concatenate_schedules(self._jobs(), arrivals=[0, 5, 10])
+        a = simulate(merged, backend="lgs")
+        b = simulate(merged, backend="lgs")
+        assert a.finish_time_ns == b.finish_time_ns
+        assert a.rank_finish_times_ns == b.rank_finish_times_ns
+        assert a.message_records == b.message_records
+
+    def test_reordering_jobs_reorders_node_blocks(self):
+        fwd = concatenate_schedules([_pingpong("a", size=512), _pingpong("b", size=1024)])
+        rev = concatenate_schedules([_pingpong("b", size=1024), _pingpong("a", size=512)])
+        # default packing is positional: job 0 always occupies the first block
+        assert fwd.ranks[0].ops[0].size == 512
+        assert rev.ranks[0].ops[0].size == 1024
