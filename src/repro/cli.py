@@ -11,6 +11,8 @@ Subcommands mirror the main pipelines:
 * ``atlahs cotenant JOB [JOB ...]`` — run several jobs concurrently on one
   fabric and attribute runtime/slowdown/contention per job (a job is a GOAL
   file or a ``pattern:ranks:size`` synthetic spec),
+* ``atlahs faults WORKLOAD`` — replay a workload on a degraded fabric:
+  link-failure-rate sweeps or explicit timed link/switch fault scenarios,
 * ``atlahs topologies`` — list registered topologies and routing strategies,
 * ``atlahs bench`` — run the performance suite and track ``BENCH_*.json``
   baselines (see ``docs/performance.md``).
@@ -226,7 +228,13 @@ def _load_job_schedule(spec: str):
             raise SystemExit(f"bad job spec {spec!r}: {exc}") from None
         schedule.name = spec
         return schedule
-    return _read_goal_any(spec)
+    try:
+        return _read_goal_any(spec)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"job spec {spec!r} is neither an existing GOAL file nor a "
+            f"pattern:ranks:size synthetic spec (e.g. alltoall:8:65536)"
+        ) from None
 
 
 def _cmd_cotenant(args: argparse.Namespace) -> int:
@@ -316,6 +324,154 @@ def _cmd_cotenant(args: argparse.Namespace) -> int:
                 for out in res.outcomes
             ],
         }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _parse_fault_events(args: argparse.Namespace) -> List:
+    """Parse the repeatable ``TARGET@TIME_NS`` fault-event flags."""
+    from repro.network.faults import (
+        LINK_DOWN,
+        LINK_UP,
+        SWITCH_DRAIN,
+        SWITCH_UNDRAIN,
+        FaultEvent,
+    )
+
+    flag_kinds = (
+        ("--link-down", LINK_DOWN, args.link_down),
+        ("--link-up", LINK_UP, args.link_up),
+        ("--drain-switch", SWITCH_DRAIN, args.drain_switch),
+        ("--undrain-switch", SWITCH_UNDRAIN, args.undrain_switch),
+    )
+    events = []
+    for flag, kind, specs in flag_kinds:
+        for spec in specs or ():
+            target, sep, when = spec.rpartition("@")
+            if not sep or not target:
+                raise SystemExit(
+                    f"bad {flag} spec {spec!r}; expected TARGET@TIME_NS "
+                    f"(e.g. 'tor0->core1@50000')"
+                )
+            try:
+                time_ns = int(when)
+            except ValueError:
+                raise SystemExit(
+                    f"bad {flag} spec {spec!r}: time {when!r} is not an integer "
+                    f"nanosecond value"
+                ) from None
+            if kind in (SWITCH_DRAIN, SWITCH_UNDRAIN):
+                try:
+                    target = int(target)
+                except ValueError:
+                    raise SystemExit(
+                        f"bad {flag} spec {spec!r}: drain targets a switch "
+                        f"device id (host count and up), got {target!r}"
+                    ) from None
+            try:
+                events.append(FaultEvent(time_ns, kind, target))
+            except ValueError as exc:
+                raise SystemExit(f"bad {flag} spec {spec!r}: {exc}") from None
+    return events
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Simulate a workload on a degraded fabric: failure-rate sweeps or explicit fault scenarios."""
+    from repro.network.faults import FaultSchedule, NetworkPartitionError
+    from repro.sweep import resilience_sweep
+
+    schedule = _load_job_schedule(args.workload)
+    config = _config_from_args(args)
+    events = _parse_fault_events(args)
+    static = tuple(
+        s.strip() for s in (args.fail_links.split(",") if args.fail_links else []) if s.strip()
+    )
+
+    if events or static:
+        # explicit scenario: healthy baseline vs the described faults
+        try:
+            faults = FaultSchedule(events=tuple(events), failed_links=static)
+        except ValueError as exc:
+            raise SystemExit(f"bad fault schedule: {exc}") from None
+        atlahs = Atlahs(config)
+        try:
+            healthy = atlahs.simulate_goal(schedule, backend=args.backend)
+            faulted = atlahs.simulate_goal(
+                schedule, backend=args.backend, config=config.replace(faults=faults)
+            )
+        except (ValueError, NetworkPartitionError) as exc:
+            raise SystemExit(f"fault scenario failed: {exc}") from None
+        payload = {
+            "workload": schedule.name,
+            "backend": faulted.backend,
+            "scenario": {
+                "failed_links": list(static),
+                "events": [
+                    {"time_ns": ev.time_ns, "kind": ev.kind, "target": ev.target}
+                    for ev in faults.sorted_events()
+                ],
+            },
+            "healthy_time_ms": healthy.finish_time_ns / 1e6,
+            "faulted_time_ms": faulted.finish_time_ns / 1e6,
+            "slowdown": faulted.finish_time_ns / healthy.finish_time_ns,
+            "packets_rerouted": faulted.stats.packets_rerouted,
+            "packets_lost_to_faults": faulted.stats.packets_lost_to_faults,
+            "packet_drops": faulted.stats.packets_dropped,
+            "retransmissions": faulted.stats.retransmissions,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    # failure-rate sweep
+    try:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"--rates must be comma-separated fractions in [0, 1), got {args.rates!r}"
+        ) from None
+    if not rates:
+        raise SystemExit("--rates lists no failure rates")
+    routings = [r.strip() for r in args.routings.split(",") if r.strip()] or [args.routing]
+    unknown = [r for r in routings if r not in ROUTING_STRATEGIES]
+    if unknown:
+        raise SystemExit(
+            f"unknown routing strategies {unknown}; registered: {', '.join(routing_names())}"
+        )
+    try:
+        entries = resilience_sweep(
+            schedule,
+            {args.topology: config},
+            failure_rates=rates,
+            routings=routings,
+            backend=args.backend,
+            failure_seed=args.failure_seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad resilience sweep: {exc}") from None
+    except NetworkPartitionError as exc:
+        raise SystemExit(
+            f"failure rate partitions the fabric: {exc} "
+            f"(lower the rate or change --failure-seed)"
+        ) from None
+    payload = {
+        "workload": schedule.name,
+        "backend": args.backend,
+        "topology": args.topology,
+        "failure_seed": args.failure_seed,
+        "cells": [
+            {
+                "routing": e.routing,
+                "failure_rate": e.failure_rate,
+                "failed_links": e.failed_links,
+                "finish_time_ms": e.finish_time_ms,
+                "slowdown": e.slowdown,
+                "packets_rerouted": e.packets_rerouted,
+                "packets_lost_to_faults": e.packets_lost_to_faults,
+                "packet_drops": e.packets_dropped,
+            }
+            for e in entries
+        ],
+    }
     print(json.dumps(payload, indent=2))
     return 0
 
@@ -489,6 +645,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_network_args(p)
     p.set_defaults(func=_cmd_cotenant)
+
+    p = sub.add_parser(
+        "faults",
+        help="simulate a workload on a degraded fabric (failure sweeps, timed events)",
+        description=_first_doc_line(_cmd_faults),
+    )
+    p.add_argument(
+        "workload",
+        metavar="WORKLOAD",
+        help="GOAL file (.goal/.bin) or synthetic spec pattern:ranks:size "
+        "(e.g. alltoall:16:65536)",
+    )
+    p.add_argument(
+        "--rates",
+        default="0,0.1,0.25",
+        metavar="RATE[,RATE...]",
+        help="link-failure rates to sweep (fraction of switch-to-switch cables)",
+    )
+    p.add_argument(
+        "--routings",
+        default="",
+        metavar="NAME[,NAME...]",
+        help="routing strategies to compare in the sweep (default: --routing)",
+    )
+    p.add_argument(
+        "--failure-seed", type=int, default=0, help="seed of the random cable draw"
+    )
+    p.add_argument(
+        "--fail-links",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="links down from time 0 (e.g. 'tor0->core1,core1->tor0'); "
+        "switches an explicit scenario instead of a rate sweep",
+    )
+    p.add_argument(
+        "--link-down", action="append", metavar="NAME@TIME_NS",
+        help="timed link failure (repeatable)",
+    )
+    p.add_argument(
+        "--link-up", action="append", metavar="NAME@TIME_NS",
+        help="timed link recovery (repeatable)",
+    )
+    p.add_argument(
+        "--drain-switch", action="append", metavar="DEVICE@TIME_NS",
+        help="timed switch drain: every link of the switch fails (repeatable)",
+    )
+    p.add_argument(
+        "--undrain-switch", action="append", metavar="DEVICE@TIME_NS",
+        help="timed switch recovery (repeatable)",
+    )
+    _add_network_args(p)
+    p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser(
         "topologies",

@@ -308,6 +308,7 @@ def run_cotenant(
     validate: bool = True,
     tag_stride: int = TAG_STRIDE,
     stream_stride: int = 64,
+    fault_free_baseline: bool = False,
     **strategy_kwargs,
 ) -> CoTenancyResult:
     """Simulate ``jobs`` sharing one fabric and attribute the results per job.
@@ -322,11 +323,20 @@ def run_cotenant(
         and drops) or ``"lgs"`` (message-level).
     config:
         Base :class:`SimulationConfig`; its ``job_tag_stride`` is overridden
-        to match the merge's tag windows.
+        to match the merge's tag windows.  A non-empty ``config.faults``
+        schedule degrades the shared fabric for the co-tenant run and — by
+        default — the isolated baselines too, so
+        :attr:`JobOutcome.slowdown` isolates *contention on the degraded
+        fabric* (see ``fault_free_baseline`` to attribute faults instead).
     baseline:
         Also simulate each job *alone* under the same placement and report
         per-job slowdown.  Costs one extra simulation per job; disable for
         large sweeps that only need co-tenant numbers.
+    fault_free_baseline:
+        Run the isolated baselines on a *healthy* fabric
+        (``config.faults`` stripped) while the co-tenant run keeps the
+        fault schedule.  Per-job slowdown then attributes the combined
+        fault + contention degradation each tenant experiences.
     validate:
         Structurally validate the merged schedule before simulating.
 
@@ -382,6 +392,12 @@ def run_cotenant(
     if len(set(labels)) != len(labels):
         labels = [f"{label}#{idx}" for idx, label in enumerate(labels)]
 
+    baseline_cfg = cfg
+    if fault_free_baseline and cfg.faults:
+        from repro.network.faults import FaultSchedule
+
+        baseline_cfg = cfg.replace(faults=FaultSchedule())
+
     outcomes: List[JobOutcome] = []
     for job_idx, job in enumerate(plan.jobs):
         nodes = plan.placement.nodes_of_job(job_idx)
@@ -392,7 +408,7 @@ def run_cotenant(
         isolated = (
             _isolated_runtime(
                 job, plan.placement.mappings[job_idx], plan.placement.cluster_nodes,
-                backend, cfg,
+                backend, baseline_cfg,
             )
             if baseline
             else None

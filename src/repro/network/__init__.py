@@ -15,9 +15,17 @@ This package contains everything below the GOAL scheduler:
   configurable oversubscription, dragonfly, 2D/3D torus, Slim Fly, single
   switch),
 * :mod:`repro.network.routing` — pluggable routing strategies (minimal/ECMP,
-  Valiant, UGAL-style adaptive) applied on top of any topology.
+  Valiant, UGAL-style adaptive) applied on top of any topology,
+* :mod:`repro.network.faults` — fault injection: degraded fabrics, timed
+  link/switch failure events, and the partition error both backends raise
+  when no route survives.
 """
 from repro.network.config import LogGOPSParams, SimulationConfig
+from repro.network.faults import (
+    FaultEvent,
+    FaultSchedule,
+    NetworkPartitionError,
+)
 from repro.network.backend import (
     NetworkBackend,
     OpCompletion,
@@ -36,6 +44,9 @@ from repro.network.routing import (
 __all__ = [
     "LogGOPSParams",
     "SimulationConfig",
+    "FaultEvent",
+    "FaultSchedule",
+    "NetworkPartitionError",
     "NetworkBackend",
     "OpCompletion",
     "SimulationResult",

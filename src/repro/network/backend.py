@@ -75,6 +75,12 @@ class NetworkStats:
     retransmissions: int = 0
     acks_sent: int = 0
     max_queue_bytes: int = 0
+    #: In-flight packets forced onto a surviving candidate route after a
+    #: fault event (packet backend, fault injection only).
+    packets_rerouted: int = 0
+    #: In-flight packets stranded by a fault with no surviving candidate
+    #: sharing their traversed prefix; recovered by loss timeout.
+    packets_lost_to_faults: int = 0
     queue_drop_events: Dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "NetworkStats") -> "NetworkStats":
@@ -90,6 +96,9 @@ class NetworkStats:
             retransmissions=self.retransmissions + other.retransmissions,
             acks_sent=self.acks_sent + other.acks_sent,
             max_queue_bytes=max(self.max_queue_bytes, other.max_queue_bytes),
+            packets_rerouted=self.packets_rerouted + other.packets_rerouted,
+            packets_lost_to_faults=self.packets_lost_to_faults
+            + other.packets_lost_to_faults,
         )
         merged.queue_drop_events = dict(self.queue_drop_events)
         for k, v in other.queue_drop_events.items():

@@ -14,6 +14,8 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.network.faults import FaultSchedule
+
 
 @dataclass(frozen=True)
 class LogGOPSParams:
@@ -124,6 +126,13 @@ class SimulationConfig:
     ------
     loggops:
         LogGOPS parameters (used by the message-level backend).
+    faults:
+        A :class:`~repro.network.faults.FaultSchedule` describing a degraded
+        fabric: statically failed/derated links and timed link-down/link-up/
+        switch-drain events.  The packet backend masks failed links out of
+        routing and reroutes in-flight traffic; the LogGOPS backend inflates
+        per-byte serialisation by the lost capacity fraction.  The default
+        (empty) schedule is bit-identical to the pre-fault behaviour.
     seed:
         Seed for any stochastic choice (ECMP hashing, jitter).
     route_caching / packet_batching / loggops_batching:
@@ -172,6 +181,12 @@ class SimulationConfig:
     route_caching: bool = True
     packet_batching: bool = True
     loggops_batching: bool = True
+
+    # fault injection: static degraded-fabric state plus timed link/switch
+    # failure events, honored by both backends (see repro.network.faults).
+    # An empty schedule (the default) is guaranteed bit-identical to a run
+    # without any fault machinery.
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
 
     # multi-job attribution: when > 0, every message's job id is derived as
     # ``tag // job_tag_stride`` (the co-tenancy merge assigns each job a
@@ -235,6 +250,13 @@ class SimulationConfig:
             raise ValueError("initial_window_packets must be positive")
         if self.job_tag_stride < 0:
             raise ValueError("job_tag_stride must be non-negative (0 disables attribution)")
+        if self.faults is None:
+            self.faults = FaultSchedule()
+        elif not isinstance(self.faults, FaultSchedule):
+            raise ValueError(
+                f"faults must be a FaultSchedule (or None for a healthy fabric), "
+                f"got {type(self.faults).__name__}"
+            )
 
     def loggops_topology_enabled(self) -> bool:
         """Whether the LogGOPS backend should route through the topology.

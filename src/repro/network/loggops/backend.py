@@ -80,6 +80,7 @@ from repro.network.backend import (
 )
 from repro.network.config import SimulationConfig
 from repro.network.events import EventQueue
+from repro.network.faults import LINK_DOWN, SWITCH_DRAIN, NetworkPartitionError
 from repro.network.host import HostCompute
 from repro.network.matching import MessageMatcher
 from repro.network.routing import create_routing
@@ -170,6 +171,41 @@ class LogGOPSBackend(NetworkBackend):
             # cumulative bytes routed per link, indexed by link id — the
             # load signal handed to the routing strategy as an array view
             self._link_bytes = np.zeros(len(self.topology.links), dtype=np.int64)
+        # fault injection (see repro.network.faults): faults degrade this
+        # backend through a capacity factor gamma — the surviving fraction of
+        # fabric bandwidth over the switch-to-switch links (or all links on
+        # switchless topologies) — which inflates the per-byte serialisation
+        # term of every transfer by 1/gamma.  In topology-aware mode the
+        # same failed-link state also filters per-message route selection.
+        # A topology is built here even in flat-L mode, purely to resolve
+        # link references and account capacity; it never affects latency.
+        self._faults = config.faults
+        self._faults_enabled = bool(self._faults)
+        self._gamma = 1.0
+        if self._faults_enabled:
+            fault_topo = self.topology
+            if fault_topo is None:
+                fault_topo = build_topology(config, num_ranks)
+            self._fault_topology = fault_topo
+            domain = [
+                link.link_id
+                for link in fault_topo.links
+                if not (fault_topo.is_host(link.src) or fault_topo.is_host(link.dst))
+            ] or [link.link_id for link in fault_topo.links]
+            self._fault_domain = domain
+            # healthy capacity is captured before degradations are applied,
+            # so a derated link counts as lost capacity
+            self._domain_total_bw = sum(
+                fault_topo.links[i].bandwidth for i in domain
+            )
+            for link_id, factor in self._faults.static_degradations(fault_topo).items():
+                fault_topo.degrade_link(link_id, factor)
+            static = self._faults.static_failed_ids(fault_topo)
+            if static:
+                fault_topo.fail_links(static)
+            self._recompute_gamma()
+            for time_ns, kind, ids in self._faults.resolved_events(fault_topo):
+                self.events.schedule(time_ns, self._apply_fault, (kind, ids))
         # multi-job attribution (observational only; see SimulationConfig).
         # Per-link attribution needs routed paths, so it is collected only in
         # topology-aware mode; message counts are collected in either mode.
@@ -233,6 +269,38 @@ class LogGOPSBackend(NetworkBackend):
         )
         events._seq += 1
 
+    # ------------------------------------------------------------------ faults
+    def _recompute_gamma(self) -> None:
+        """Refresh the surviving-capacity factor after a fault-state change."""
+        topo = self._fault_topology
+        failed = topo._failed_links
+        alive_bw = sum(
+            topo.links[i].bandwidth for i in self._fault_domain if i not in failed
+        )
+        gamma = alive_bw / self._domain_total_bw if self._domain_total_bw else 0.0
+        if gamma <= 0.0:
+            raise NetworkPartitionError(
+                "fault schedule removed all fabric capacity: every "
+                f"link of the capacity domain ({len(self._fault_domain)} links) "
+                "is down"
+            )
+        self._gamma = gamma
+
+    def _apply_fault(self, time: int, payload: Tuple[str, List[int]]) -> None:
+        """Apply one timed fault event: flip link state, refresh gamma.
+
+        In topology-aware mode the failed-link state is shared with the
+        routing strategy, so subsequent messages also route around the
+        failure (or raise the partition error when no route survives).
+        """
+        kind, ids = payload
+        topo = self._fault_topology
+        if kind in (LINK_DOWN, SWITCH_DRAIN):
+            topo.fail_links(ids)
+        else:
+            topo.restore_links(ids)
+        self._recompute_gamma()
+
     # --------------------------------------------------------------- internals
     def _cpu_cost(self, size: int) -> int:
         p = self.params
@@ -286,9 +354,18 @@ class LogGOPSBackend(NetworkBackend):
         return self.topology.route_latency(route)
 
     def _transfer(self, src: int, dst: int, size: int, sender_ready: int, tag: int = 0) -> int:
-        """Charge NIC resources for one message and return its arrival time."""
+        """Charge NIC resources for one message and return its arrival time.
+
+        Under an active fault schedule the per-byte serialisation is
+        inflated by the degraded-capacity factor (``G / gamma``); with the
+        fabric fully up (``gamma == 1``) the arithmetic is exactly the
+        healthy expression.
+        """
         p = self.params
-        wire_bytes_ns = int(round(size * p.G))
+        if self._gamma != 1.0:
+            wire_bytes_ns = int(round(size * p.G / self._gamma))
+        else:
+            wire_bytes_ns = int(round(size * p.G))
         inj_start = max(sender_ready, self._send_nic_free[src])
         self._send_nic_free[src] = inj_start + p.g + wire_bytes_ns
         recv_start = max(inj_start + self._wire_latency(src, dst, size, tag), self._recv_nic_free[dst])
@@ -354,7 +431,10 @@ class LogGOPSBackend(NetworkBackend):
         # latency in topology-aware mode, the flat L otherwise (consistent
         # with the data transfer's _wire_latency)
         if self.topology is not None:
-            handshake_latency = self.topology.min_path_latency(dst, src)
+            if self.topology.faulty:
+                handshake_latency = int(self.topology.alive_table(dst, src).latency[0])
+            else:
+                handshake_latency = self.topology.min_path_latency(dst, src)
         else:
             handshake_latency = self.params.L
         handshake_done = max(sender_ready, recv.post_time + handshake_latency)
@@ -445,6 +525,7 @@ class LogGOPSBackend(NetworkBackend):
         if (
             n >= 4
             and self.routing is None
+            and not self._faults_enabled  # gamma may change mid-run
             and (p.S == 0 or all(pl[2] <= p.S for pl in payloads))
         ):
             ranks = [pl[0] for pl in payloads]

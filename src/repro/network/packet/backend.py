@@ -54,6 +54,7 @@ from repro.network.backend import (
 from repro.network.config import SimulationConfig
 from repro.network.congestion import create_congestion_control
 from repro.network.events import EventQueue
+from repro.network.faults import LINK_DOWN, SWITCH_DRAIN, NetworkPartitionError
 from repro.network.host import HostCompute
 from repro.network.matching import MessageMatcher
 from repro.network.packet.flow import Flow
@@ -118,6 +119,23 @@ class PacketBackend(NetworkBackend):
         self.routing = create_routing(
             config.routing, self.topology, self.rng, use_cache=config.route_caching
         )
+        # fault injection (see repro.network.faults): static degradations are
+        # applied before the link queues capture bandwidths, static failures
+        # before any route is picked, and timed events are scheduled ahead of
+        # every GOAL operation so same-time ties apply the fault first.  With
+        # an empty schedule every fault path below is gated off entirely.
+        self._faults = config.faults
+        self._faults_enabled = bool(self._faults)
+        self._fault_mask: Optional["np.ndarray"] = None
+        if self._faults_enabled:
+            for link_id, factor in self._faults.static_degradations(self.topology).items():
+                self.topology.degrade_link(link_id, factor)
+            static = self._faults.static_failed_ids(self.topology)
+            if static:
+                self.topology.fail_links(static)
+                self._fault_mask = self.topology.alive_mask()
+            for time_ns, kind, ids in self._faults.resolved_events(self.topology):
+                self.events.schedule(time_ns, self._apply_fault, (kind, ids))
         self.stats = NetworkStats()
         self._batching = config.packet_batching
         kmin = int(config.ecn_kmin_frac * config.buffer_size)
@@ -371,6 +389,13 @@ class PacketBackend(NetworkBackend):
         """Legacy-mode delivery; forward or consume ``packet`` (no pooling)."""
         packet.hop += 1
         if packet.hop < len(packet.route):
+            if (
+                self._faults_enabled
+                and packet.kind == DATA
+                and self._masked(packet.route, packet.hop)
+                and not self._reroute_packet(packet, packet.hop, now)
+            ):
+                return
             next_queue = self.queues[packet.route[packet.hop]]
             accepted = next_queue.enqueue(packet, now)
             if not accepted:
@@ -406,6 +431,80 @@ class PacketBackend(NetworkBackend):
                 seq_to_send = flow.next_seq_to_send()
                 if seq_to_send is not None:
                     self._send_data_packet(flow, seq_to_send, now, retransmission=True)
+
+    # ------------------------------------------------------------------ faults
+    def _apply_fault(self, time: int, payload: Tuple[str, List[int]]) -> None:
+        """Apply one timed fault event and invalidate every affected route.
+
+        Failing links bumps the topology's fault epoch (dropping its
+        memoized alive tables), refreshes the shared alive mask, and
+        re-picks the cached route of every live flow whose current route
+        crosses a failed link — so retransmissions and still-unsent packets
+        immediately use surviving candidates.  A live flow whose pair has no
+        surviving candidate raises
+        :class:`~repro.network.faults.NetworkPartitionError`.
+        """
+        kind, ids = payload
+        topology = self.topology
+        if kind in (LINK_DOWN, SWITCH_DRAIN):
+            topology.fail_links(ids)
+        else:
+            topology.restore_links(ids)
+        mask = topology.alive_mask()
+        self._fault_mask = mask
+        if mask is None:
+            return
+        queues = self.queues
+        for flow in self.flows:
+            if flow.message_delivered:
+                continue
+            for link in flow.route:
+                if not mask[link]:
+                    flow.route = self._pick_route(flow.src, flow.dst, flow.size)
+                    flow.route_q0 = queues[flow.route[0]]
+                    break
+
+    def _reroute_packet(self, pkt: Packet, hop: int, now: int) -> bool:
+        """Force an in-flight DATA packet onto a surviving candidate route.
+
+        The new route must share the packet's already-traversed link prefix
+        (``pkt.route[:hop]``); ties among surviving candidates break with
+        the backend RNG, mirroring injection-time ECMP.  Returns ``False``
+        when no candidate shares the prefix — the packet is stranded at a
+        device with no alive continuation and is dropped (its flow recovers
+        it by loss timeout over the flow's re-picked route).
+        """
+        flow = pkt.flow
+        try:
+            candidates = self.topology.alive_table(flow.src, flow.dst).candidates
+        except NetworkPartitionError:
+            # only reachable for stragglers of already-delivered flows
+            # (_apply_fault raises for live flows on partitioned pairs)
+            candidates = ()
+        prefix = pkt.route[:hop]
+        matching = [r for r in candidates if r[:hop] == prefix]
+        if not matching:
+            self.stats.packets_lost_to_faults += 1
+            self._handle_data_drop(pkt, now)
+            return False
+        if len(matching) == 1:
+            route = matching[0]
+        else:
+            route = matching[int(self.rng.integers(len(matching)))]
+        pkt.route = route
+        pkt.hops = len(route)
+        self.stats.packets_rerouted += 1
+        return True
+
+    def _masked(self, route: Tuple[int, ...], hop: int) -> bool:
+        """Whether any remaining hop of ``route`` crosses a failed link."""
+        mask = self._fault_mask
+        if mask is None:
+            return False
+        for link in route[hop:]:
+            if not mask[link]:
+                return True
+        return False
 
     # ------------------------------------------------------------ receiver side
     def _handle_data_arrival(self, packet: Packet, now: int) -> None:
@@ -569,6 +668,7 @@ class PacketBackend(NetworkBackend):
         handle_pull = self._handle_pull
         handle_drop = self._handle_data_drop
         try_send = self._try_send
+        faults_enabled = self._faults_enabled
         executed = 0
         while True:
             st = streams[0][0] if streams else None
@@ -593,7 +693,18 @@ class PacketBackend(NetworkBackend):
                 hop = pkt.hop + 1
                 pkt.hop = hop
                 if hop < pkt.hops:
-                    if not queues[pkt.route[hop]].enqueue(pkt, t):
+                    # fault path: a DATA packet whose remaining hops cross a
+                    # failed link is forced onto a surviving candidate (or
+                    # dropped when stranded); control packets are immune to
+                    # faults, like they are to queue drops
+                    if (
+                        faults_enabled
+                        and pkt.kind == DATA
+                        and self._masked(pkt.route, hop)
+                        and not self._reroute_packet(pkt, hop, t)
+                    ):
+                        free_append(pkt)
+                    elif not queues[pkt.route[hop]].enqueue(pkt, t):
                         handle_drop(pkt, t)
                         free_append(pkt)
                 else:

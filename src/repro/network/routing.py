@@ -26,6 +26,15 @@ id (the fast path: the packet backend exposes queue occupancy as an array
 view, the LogGOPS backend an array of cumulative bytes routed) or, for
 backward compatibility, as a callable ``link_id -> queued bytes``.
 
+Fault awareness
+---------------
+When the topology carries failed links (see :mod:`repro.network.faults`),
+every strategy filters its candidates — minimal and Valiant alike — through
+the topology's alive-masked route tables, and a pair left with no surviving
+candidate raises :class:`~repro.network.faults.NetworkPartitionError`.  On a
+healthy fabric the filter is a single boolean read, and the selected routes
+(and RNG consumption) are exactly those of the pre-fault code paths.
+
 Hot path
 --------
 Strategies read the topology's memoized
@@ -91,10 +100,27 @@ class RoutingStrategy:
 
     # -- helpers shared by subclasses ---------------------------------------
     def _candidates(self, src: int, dst: int) -> Sequence[Route]:
-        """Minimal candidates of the pair (cached unless ``use_cache=False``)."""
+        """Minimal candidates of the pair (cached unless ``use_cache=False``).
+
+        On a faulty fabric (failed links present) the candidates are read
+        through the topology's alive-filtered tables regardless of the cache
+        setting — candidate order is preserved, and a fully disconnected
+        pair raises :class:`~repro.network.faults.NetworkPartitionError`.
+        """
+        topology = self.topology
+        if topology.faulty:
+            return topology.alive_table(src, dst).candidates
         if self.use_cache:
-            return self.topology.route_table(src, dst).candidates
-        return self.topology.routes(src, dst)
+            return topology.route_table(src, dst).candidates
+        return topology.routes(src, dst)
+
+    def _alive_valiant(self, src: int, dst: int, count: int) -> Sequence[Route]:
+        """Valiant candidates filtered to routes that survive current faults."""
+        topology = self.topology
+        candidates = topology.valiant_routes(src, dst, self.rng, count=count)
+        if candidates and topology.faulty:
+            candidates = tuple(r for r in candidates if topology.route_alive(r))
+        return candidates
 
     def _pick(self, candidates: Sequence[Route]) -> Route:
         """Uniform random choice, consuming randomness only on real choices."""
@@ -147,7 +173,7 @@ class ValiantRouting(RoutingStrategy):
     def select_route(
         self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoad] = None
     ) -> Route:
-        candidates = self.topology.valiant_routes(src, dst, self.rng, count=self.count)
+        candidates = self._alive_valiant(src, dst, self.count)
         if not candidates:
             return self._pick(self._candidates(src, dst))
         return self._pick(candidates)
@@ -200,7 +226,7 @@ class AdaptiveRouting(RoutingStrategy):
         best_min = self._pick([r for r, c in zip(minimal, costs) if c == min_cost])
         if link_load is None:
             return best_min
-        valiant = self.topology.valiant_routes(src, dst, self.rng, count=self.count)
+        valiant = self._alive_valiant(src, dst, self.count)
         if not valiant:
             return best_min
         best_val = min(valiant, key=lambda r: self._route_cost(r, link_load))
@@ -212,7 +238,12 @@ class AdaptiveRouting(RoutingStrategy):
     def _select_vectorized(
         self, src: int, dst: int, loads: Optional["np.ndarray"]
     ) -> Route:
-        table = self.topology.route_table(src, dst)
+        topology = self.topology
+        table = (
+            topology.alive_table(src, dst)
+            if topology.faulty
+            else topology.route_table(src, dst)
+        )
         candidates = table.candidates
         if loads is None:
             route_loads = np.zeros(len(candidates), dtype=np.int64)
@@ -224,7 +255,7 @@ class AdaptiveRouting(RoutingStrategy):
         best_min = self._pick(tied)
         if loads is None:
             return best_min
-        valiant = self.topology.valiant_routes(src, dst, self.rng, count=self.count)
+        valiant = self._alive_valiant(src, dst, self.count)
         if not valiant:
             return best_min
         # first minimum, matching the scalar path's min(..., key=...)

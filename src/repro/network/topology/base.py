@@ -102,6 +102,18 @@ class Topology:
         # lazily built per-pair candidate tables and per-route latency sums
         self._route_tables: Dict[Tuple[int, int], RouteTable] = {}
         self._route_latency: Dict[Tuple[int, ...], int] = {}
+        # fault state (see repro.network.faults): failure counts per link id
+        # (a link can be failed by several overlapping causes — a static
+        # failure plus a drain of either endpoint — and stays down until
+        # every cause is restored), a monotone epoch bumped on every change,
+        # and per-epoch memoized alive-filtered route tables.  ``faulty``
+        # stays False for the lifetime of a healthy topology, so the
+        # no-fault hot paths pay a single attribute read.
+        self.faulty = False
+        self._failed_links: Dict[int, int] = {}
+        self._fault_epoch = 0
+        self._alive_mask = None  # numpy bool array, built lazily
+        self._alive_tables: Dict[Tuple[int, int], Tuple[int, RouteTable]] = {}
 
     # -- construction helpers (used by subclasses) ---------------------------
     def _new_device(self) -> int:
@@ -165,6 +177,136 @@ class Topology:
             latency = sum(links[l].latency for l in route)
             self._route_latency[route] = latency
         return latency
+
+    # -- fault state (see repro.network.faults) ------------------------------
+    def fail_links(self, link_ids: Sequence[int]) -> None:
+        """Mark ``link_ids`` failed: routing stops offering routes over them.
+
+        Failures are reference-counted per link, so a link failed by two
+        overlapping causes (say, drains of both its endpoint switches) only
+        comes back up once both causes are restored.  Duplicates within one
+        call count once.
+        """
+        failed = self._failed_links
+        changed = False
+        for link_id in set(link_ids):
+            count = failed.get(link_id, 0)
+            failed[link_id] = count + 1
+            if count == 0:
+                changed = True
+        if changed:
+            self._fault_change()
+
+    def restore_links(self, link_ids: Sequence[int]) -> None:
+        """Undo one failure cause of each link (no-op for healthy links).
+
+        A link stays down while any other cause still holds it failed.
+        """
+        failed = self._failed_links
+        changed = False
+        for link_id in set(link_ids):
+            count = failed.get(link_id, 0)
+            if count > 1:
+                failed[link_id] = count - 1
+            elif count == 1:
+                del failed[link_id]
+                changed = True
+        if changed:
+            self._fault_change()
+
+    def _fault_change(self) -> None:
+        self._fault_epoch += 1
+        self.faulty = bool(self._failed_links)
+        self._alive_mask = None
+
+    @property
+    def failed_links(self) -> frozenset:
+        """Ids of the currently failed links."""
+        return frozenset(self._failed_links)
+
+    def alive_mask(self) -> Optional["np.ndarray"]:
+        """Per-link alive flags, or ``None`` while every link is up.
+
+        The mask is rebuilt lazily after a fault-state change and shared by
+        every caller until the next change, so per-packet checks are array
+        reads, not set lookups.
+        """
+        if not self.faulty:
+            return None
+        mask = self._alive_mask
+        if mask is None:
+            import numpy as np
+
+            mask = np.ones(len(self.links), dtype=bool)
+            mask[list(self._failed_links)] = False
+            self._alive_mask = mask
+        return mask
+
+    def route_alive(self, route: Tuple[int, ...]) -> bool:
+        """Whether every link of ``route`` is currently up."""
+        if not self.faulty:
+            return True
+        failed = self._failed_links
+        return not any(link in failed for link in route)
+
+    def alive_table(self, src_host: int, dst_host: int) -> RouteTable:
+        """Like :meth:`route_table`, filtered to candidates that survive faults.
+
+        Returns the full table while the fabric is healthy.  With failed
+        links, a filtered :class:`RouteTable` (candidate order preserved) is
+        built once per (pair, fault epoch) and memoized until the next
+        fault-state change — the "cached-route invalidation" the packet
+        backend relies on.  Raises
+        :class:`~repro.network.faults.NetworkPartitionError` when no
+        candidate survives.
+        """
+        full = self.route_table(src_host, dst_host)
+        if not self.faulty:
+            return full
+        key = (src_host, dst_host)
+        cached = self._alive_tables.get(key)
+        if cached is not None and cached[0] == self._fault_epoch:
+            return cached[1]
+        failed = self._failed_links
+        alive = tuple(
+            route
+            for route in full.candidates
+            if not any(link in failed for link in route)
+        )
+        if not alive:
+            from repro.network.faults import NetworkPartitionError
+
+            names = sorted(self.links[l].name for l in failed)
+            raise NetworkPartitionError(
+                f"no surviving route from host {src_host} to host {dst_host}: "
+                f"all {len(full.candidates)} candidate route(s) cross failed links "
+                f"(failed: {', '.join(names)})"
+            )
+        if len(alive) == len(full.candidates):
+            table = full
+        else:
+            table = RouteTable(alive, self.links)
+        self._alive_tables[key] = (self._fault_epoch, table)
+        return table
+
+    def degrade_link(self, link_id: int, capacity_factor: float) -> None:
+        """Scale a link's bandwidth by ``capacity_factor`` (static degradation).
+
+        Must be applied before backends derive per-link state (queues, route
+        tables with latency sums are unaffected — only bandwidth changes);
+        both backends apply degradations during ``setup`` right after the
+        topology is built.
+        """
+        if not (0.0 < capacity_factor <= 1.0):
+            raise ValueError(
+                f"capacity factor must be in (0, 1], got {capacity_factor}"
+            )
+        import dataclasses
+
+        link = self.links[link_id]
+        self.links[link_id] = dataclasses.replace(
+            link, bandwidth=link.bandwidth * capacity_factor
+        )
 
     def valiant_routes(
         self, src_host: int, dst_host: int, rng: "np.random.Generator", count: int = 4
@@ -275,11 +417,48 @@ class Topology:
                 raise AssertionError(f"route {src}->{dst} is not contiguous at links {a},{b}")
 
     def check_routes(self) -> None:
-        """Verify that every route starts at the source host, ends at the
-        destination host, and chains contiguously through the link graph."""
+        """Verify the structural route invariants of the whole topology.
+
+        Every candidate route must start at the source host, end at the
+        destination host, and chain contiguously through the link graph.
+        Candidate sets must additionally be *reverse-symmetric*:
+
+        * every hop of every candidate must have a reverse-direction twin
+          link, so the mirrored device path is realizable (cables are full
+          duplex — reachability, and therefore fault behaviour, cannot
+          silently differ by direction),
+        * ``dst -> src`` must offer as many candidates as ``src -> dst``,
+          with the same multiset of hop counts (dimension-order tie-breaks
+          may mirror a path onto a rotated twin, so exact path-set equality
+          is deliberately not required).
+
+        Violations raise ``AssertionError`` naming the offending
+        ``(src, dst, route)`` (or the asymmetric pair).
+        """
+        reverse_exists = {(link.src, link.dst) for link in self.links}
         for src in range(self.num_hosts):
             for dst in range(self.num_hosts):
                 if src == dst:
                     continue
-                for route in self.routes(src, dst):
+                forward = self.routes(src, dst)
+                for route in forward:
                     self.validate_route(route, src, dst)
+                    for link_id in route:
+                        link = self.links[link_id]
+                        if (link.dst, link.src) not in reverse_exists:
+                            raise AssertionError(
+                                f"route candidates are not reverse-symmetric: "
+                                f"(src={src}, dst={dst}, route={route}) traverses "
+                                f"link {link_id} ({link.name}) which has no "
+                                f"reverse-direction twin {link.dst}->{link.src}"
+                            )
+                backward = self.routes(dst, src)
+                if sorted(len(r) for r in forward) != sorted(len(r) for r in backward):
+                    raise AssertionError(
+                        f"route candidates are not reverse-symmetric: "
+                        f"(src={src}, dst={dst}) offers "
+                        f"{len(forward)} candidate(s) with hop counts "
+                        f"{sorted(len(r) for r in forward)} but ({dst}, {src}) offers "
+                        f"{len(backward)} with {sorted(len(r) for r in backward)} "
+                        f"(first offending route: {forward[0]})"
+                    )

@@ -79,24 +79,27 @@ class DragonflyTopology(Topology):
                     )
                     self._local[(g, a, b)] = link
 
-        # global links: one per ordered group pair, attached round-robin to routers
+        # global links: one full-duplex cable per unordered group pair,
+        # attached round-robin to routers.  Both directions connect the same
+        # two routers, as a physical cable does — Topology.check_routes
+        # verifies this reverse symmetry for every topology.
         self._global: Dict[Tuple[int, int], List[Tuple[int, int, int]]] = {}
         # value: list of (src_router_idx, dst_router_idx, link_id)
         pair_counter = 0
         for ga in range(groups):
-            for gb in range(groups):
-                if ga == gb:
-                    continue
+            for gb in range(ga + 1, groups):
                 src_r = pair_counter % routers_per_group
                 dst_r = (pair_counter + 1) % routers_per_group
-                link = self._add_link(
+                fwd, rev = self._add_duplex(
                     self.routers[ga][src_r],
                     self.routers[gb][dst_r],
                     bandwidth,
                     latency,
                     f"g{ga}.r{src_r}->g{gb}.r{dst_r}",
+                    f"g{gb}.r{dst_r}->g{ga}.r{src_r}",
                 )
-                self._global.setdefault((ga, gb), []).append((src_r, dst_r, link))
+                self._global.setdefault((ga, gb), []).append((src_r, dst_r, fwd))
+                self._global.setdefault((gb, ga), []).append((dst_r, src_r, rev))
                 pair_counter += 1
 
     def _locate(self, host: int) -> Tuple[int, int, int]:

@@ -21,7 +21,10 @@ The suite:
 * ``cotenant_2job_htsim`` — two all-to-all jobs merged by the co-tenancy
   engine onto a fragmented placement of an oversubscribed fat tree, with
   per-job attribution enabled (measures the multi-job merge plus the
-  job-tagged stats path).
+  job-tagged stats path),
+* ``faulted_alltoall_htsim`` — the all-to-all on a fat tree with a quarter
+  of the core cables failed from time 0 (measures the alive-masked route
+  tables and the per-packet fault checks of the forwarding loop).
 
 ``--quick`` shrinks every case (used by the CI smoke job); quick numbers
 are only comparable to other quick numbers.
@@ -41,6 +44,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.network.config import LogGOPSParams, SimulationConfig
+from repro.network.faults import FaultSchedule
 from repro.scheduler import GoalScheduler
 
 #: Format version of the BENCH json files.
@@ -121,6 +125,13 @@ def default_suite(quick: bool = False) -> List[BenchCase]:
             "htsim",
             lambda: _cotenant_schedule(quick),
             pkt_cfg.replace(oversubscription=4.0, job_tag_stride=1 << 32),
+            repeats=3,
+        ),
+        BenchCase(
+            "faulted_alltoall_htsim",
+            "htsim",
+            lambda: _alltoall_schedule(quick),
+            pkt_cfg.replace(faults=FaultSchedule(link_failure_rate=0.25)),
             repeats=3,
         ),
     ]

@@ -1,4 +1,4 @@
-"""Sweep APIs: topology x routing grids and co-tenancy interference grids.
+"""Sweep APIs: topology x routing, co-tenancy interference and resilience grids.
 
 :func:`topology_routing_sweep` runs one GOAL schedule across a grid of
 topologies and routing strategies and collects runtime plus congestion
@@ -11,6 +11,14 @@ placement strategies and topology configurations through the co-tenancy
 engine (:mod:`repro.cluster`), and reports per-job runtime, slowdown versus
 an isolated run, and contention shares — the generalised form of the
 paper's Fig. 13 placement case study.
+
+:func:`resilience_sweep` runs one schedule across a workload x topology x
+link-failure-rate grid (see :mod:`repro.network.faults`) and reports each
+cell's runtime plus its slowdown against the healthy cell of the same
+(topology, routing) — the degradation curves behind
+``benchmarks/test_fig_resilience.py`` and ``atlahs faults``.  Random
+failure draws are nested across rates for a fixed seed, so the curves are
+monotone in the failed set, not just in expectation.
 
 Typical use::
 
@@ -206,6 +214,135 @@ def topology_routing_sweep(
         for routing in routings
     ]
     return _execute_cells(_run_cell, cells, parallel)
+
+
+@dataclass(frozen=True)
+class ResilienceEntry:
+    """Result of one (topology, routing, failure-rate) cell of a resilience sweep."""
+
+    topology: str
+    routing: str
+    backend: str
+    failure_rate: float
+    failed_links: int
+    finish_time_ns: int
+    wall_clock_s: float
+    messages_delivered: int
+    packets_dropped: int
+    packets_rerouted: int
+    packets_lost_to_faults: int
+    #: Finish time of the healthy (rate-0) cell of the same
+    #: (topology, routing) group; the denominator of :attr:`slowdown`.
+    baseline_finish_ns: int = 0
+
+    @property
+    def slowdown(self) -> float:
+        """Runtime over the healthy cell's runtime (>1 = fault degradation)."""
+        if not self.baseline_finish_ns:
+            return float("nan")
+        return self.finish_time_ns / self.baseline_finish_ns
+
+    @property
+    def finish_time_ms(self) -> float:
+        return self.finish_time_ns / 1e6
+
+
+def _run_resilience_cell(args) -> ResilienceEntry:
+    """Simulate one resilience cell (module-level so workers can pickle it)."""
+    from repro.network.faults import FaultSchedule
+
+    schedule, label, routing, config, backend, rate, seed, failed = args
+    faults = FaultSchedule(link_failure_rate=rate, failure_seed=seed)
+    cell_config = config.replace(routing=routing, faults=faults)
+    result = simulate(schedule, backend=backend, config=cell_config)
+    return ResilienceEntry(
+        topology=label,
+        routing=routing,
+        backend=result.backend,
+        failure_rate=rate,
+        failed_links=failed,
+        finish_time_ns=result.finish_time_ns,
+        wall_clock_s=result.wall_clock_s,
+        messages_delivered=result.stats.messages_delivered,
+        packets_dropped=result.stats.packets_dropped,
+        packets_rerouted=result.stats.packets_rerouted,
+        packets_lost_to_faults=result.stats.packets_lost_to_faults,
+    )
+
+
+def resilience_sweep(
+    schedule: GoalSchedule,
+    configs: Dict[str, SimulationConfig],
+    failure_rates: Sequence[float] = (0.0, 0.1, 0.2),
+    routings: Sequence[str] = ("minimal",),
+    backend: str = "htsim",
+    failure_seed: int = 0,
+    parallel: Optional[int] = None,
+) -> List[ResilienceEntry]:
+    """Simulate ``schedule`` for every (topology config) x routing x rate cell.
+
+    Every cell runs with a :class:`~repro.network.faults.FaultSchedule`
+    failing ``rate`` of the fabric's switch-to-switch cables from time 0,
+    drawn with ``failure_seed``.  Draws are nested across rates (same seed),
+    so within one (topology, routing) group a higher rate always fails a
+    superset of the lower rate's cables.  Each entry carries the finish time
+    of its group's *healthy* (rate 0) cell as the slowdown baseline; a 0.0
+    rate is added to the grid when ``failure_rates`` omits it, so slowdowns
+    always measure degradation against an intact fabric.
+
+    Parameters mirror :func:`topology_routing_sweep`; cells run on the
+    shared :func:`_execute_cells` executor (grid order, per-cell
+    deterministic inputs, serial fallback).  Cells whose failure draw
+    partitions a communicating pair raise
+    :class:`~repro.network.faults.NetworkPartitionError` — pick rates that
+    leave the fabric connected, or catch the error per scenario.
+    """
+    from repro.network.faults import random_failed_link_ids
+    from repro.network.topology import build_topology
+
+    if not failure_rates:
+        raise ValueError("need at least one failure rate")
+    rates = sorted({0.0} | {float(r) for r in failure_rates})
+    # failed-link counts depend only on (topology config, rate, seed):
+    # resolve them once per (label, rate) instead of once per cell
+    failed_counts = {
+        (label, rate): len(
+            random_failed_link_ids(
+                build_topology(config, schedule.num_ranks), rate, failure_seed
+            )
+        )
+        for label, config in configs.items()
+        for rate in rates
+    }
+    cells = [
+        (
+            schedule,
+            label,
+            routing,
+            config,
+            backend,
+            rate,
+            failure_seed,
+            failed_counts[(label, rate)],
+        )
+        for label, config in configs.items()
+        for routing in routings
+        for rate in rates
+    ]
+    entries: List[ResilienceEntry] = _execute_cells(_run_resilience_cell, cells, parallel)
+    baselines = {
+        (e.topology, e.routing): e.finish_time_ns
+        for e in entries
+        if e.failure_rate == 0.0
+    }
+    import dataclasses
+
+    return [
+        dataclasses.replace(
+            e, baseline_finish_ns=baselines[(e.topology, e.routing)]
+        )
+        for e in entries
+    ]
 
 
 @dataclass(frozen=True)

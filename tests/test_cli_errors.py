@@ -1,0 +1,195 @@
+"""CLI error-path tests: malformed specs exit non-zero with actionable
+messages, never tracebacks.
+
+Covers ``atlahs cotenant`` and ``atlahs faults``: bad ``pattern:ranks:size``
+job specs, malformed/overlapping arrival lists, unknown placement
+strategies, bad failure rates, unknown link names and malformed timed-event
+specs.  Every case asserts a :class:`SystemExit` whose message names the
+offending input, which is what separates a diagnosable CLI error from a
+stack trace.
+"""
+import pytest
+
+from repro.cli import main
+
+
+def _exit_message(excinfo) -> str:
+    code = excinfo.value.code
+    return code if isinstance(code, str) else str(code)
+
+
+class TestCotenantErrors:
+    def test_unknown_synthetic_pattern(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cotenant", "sparkle:8:1024"])
+        message = _exit_message(excinfo)
+        assert "sparkle" in message and "expected one of" in message
+
+    def test_non_integer_ranks_in_spec(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cotenant", "incast:eight:1024"])
+        assert "incast:eight:1024" in _exit_message(excinfo)
+
+    def test_bad_size_in_spec(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cotenant", "incast:8:huge"])
+        assert "incast:8:huge" in _exit_message(excinfo)
+
+    def test_non_integer_arrivals(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cotenant", "incast:4:1024", "alltoall:4:1024", "--arrivals", "0,soon"])
+        message = _exit_message(excinfo)
+        assert "--arrivals" in message and "comma-separated integers" in message
+
+    def test_arrival_count_mismatch(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cotenant", "incast:4:1024", "alltoall:4:1024", "--arrivals", "0,1,2"])
+        message = _exit_message(excinfo)
+        assert "3 times for 2 jobs" in message
+
+    def test_negative_arrival(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cotenant", "incast:4:1024", "alltoall:4:1024", "--arrivals", "0,-5"])
+        message = _exit_message(excinfo)
+        assert "bad --arrivals" in message and "non-negative" in message
+
+    def test_unknown_placement_strategy(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cotenant", "incast:4:1024", "--placement", "scattered"])
+        message = _exit_message(excinfo)
+        assert "scattered" in message and "registered" in message
+
+
+class TestFaultsErrors:
+    def test_unknown_synthetic_pattern(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "sparkle:8:1024"])
+        assert "sparkle" in _exit_message(excinfo)
+
+    def test_malformed_rates(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "incast:4:1024", "--rates", "0,lots"])
+        message = _exit_message(excinfo)
+        assert "--rates" in message and "0,lots" in message
+
+    def test_empty_rates(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "incast:4:1024", "--rates", ","])
+        assert "no failure rates" in _exit_message(excinfo)
+
+    def test_out_of_range_rate(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "incast:4:1024", "--rates", "0,1.5"])
+        message = _exit_message(excinfo)
+        assert "bad resilience sweep" in message and "link_failure_rate" in message
+
+    def test_unknown_routing(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "incast:4:1024", "--routings", "minimal,teleport"])
+        message = _exit_message(excinfo)
+        assert "teleport" in message and "registered" in message
+
+    def test_unknown_link_name(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "incast:4:1024", "--fail-links", "tor9->core9"])
+        message = _exit_message(excinfo)
+        assert "tor9->core9" in message and "valid names" in message
+
+    def test_event_spec_without_time(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "incast:4:1024", "--link-down", "tor0->core0"])
+        message = _exit_message(excinfo)
+        assert "TARGET@TIME_NS" in message
+
+    def test_event_spec_with_bad_time(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "incast:4:1024", "--link-down", "tor0->core0@later"])
+        message = _exit_message(excinfo)
+        assert "later" in message and "integer" in message
+
+    def test_event_spec_with_negative_time(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "incast:4:1024", "--link-down", "tor0->core0@-5"])
+        message = _exit_message(excinfo)
+        assert "non-negative" in message
+
+    def test_drain_switch_requires_device_id(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "incast:4:1024", "--drain-switch", "tor0@1000"])
+        message = _exit_message(excinfo)
+        assert "switch" in message and "device id" in message
+
+    def test_partitioning_scenario_is_actionable(self):
+        # failing both uplinks of tor0 (2 hosts per ToR -> 2 cores)
+        # disconnects every cross-ToR pair of the all-to-all
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "faults",
+                    "alltoall:4:1024",
+                    "--backend",
+                    "htsim",
+                    "--fail-links",
+                    "tor0->core0,tor0->core1",
+                    "--nodes-per-tor",
+                    "2",
+                ]
+            )
+        message = _exit_message(excinfo)
+        assert "fault scenario failed" in message
+        assert "no surviving route" in message
+
+
+class TestFaultsHappyPaths:
+    """The error tests above prove rejects; prove the accepts too."""
+
+    def test_rate_sweep_outputs_cells(self, capsys):
+        import json
+
+        rc = main(
+            [
+                "faults",
+                "incast:4:4096",
+                "--rates",
+                "0,0.25",
+                "--nodes-per-tor",
+                "2",
+                "--backend",
+                "lgs",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["cells"]) == 2
+        assert payload["cells"][0]["failure_rate"] == 0.0
+        assert payload["cells"][1]["slowdown"] >= 1.0
+
+    def test_explicit_scenario_outputs_comparison(self, capsys):
+        import json
+
+        rc = main(
+            [
+                "faults",
+                "alltoall:8:65536",
+                "--backend",
+                "htsim",
+                "--nodes-per-tor",
+                "4",
+                "--fail-links",
+                "tor0->core0,core0->tor0",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["failed_links"] == ["tor0->core0", "core0->tor0"]
+        assert payload["healthy_time_ms"] > 0
+        assert payload["faulted_time_ms"] > 0
+
+
+class TestMissingFileSpecs:
+    @pytest.mark.parametrize("command", ["cotenant", "faults"])
+    def test_missing_goal_file_is_actionable(self, command):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "nonexistent.goal"])
+        message = _exit_message(excinfo)
+        assert "nonexistent.goal" in message and "pattern:ranks:size" in message

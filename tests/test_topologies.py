@@ -273,3 +273,62 @@ class TestBaseQueries:
     def test_valiant_routes_empty_when_no_intermediate(self):
         topo = SingleSwitchTopology(2)
         assert topo.valiant_routes(0, 1, np.random.default_rng(0)) == ()
+
+
+class TestCheckRoutesSymmetry:
+    """check_routes verifies reverse-direction candidate symmetry and names
+    the offending (src, dst, route) in the failure message."""
+
+    class _MissingReverseCandidates(FatTreeTopology):
+        """Forgets every candidate but the first in the reverse direction."""
+
+        def routes(self, src_host, dst_host):
+            candidates = super().routes(src_host, dst_host)
+            if src_host > dst_host:
+                return candidates[:1]
+            return candidates
+
+    class _SimplexShortcut(SingleSwitchTopology):
+        """A direct host0 -> host1 cable with no reverse direction."""
+
+        def __init__(self):
+            super().__init__(2)
+            self.shortcut = self._add_link(0, 1, 25.0, 500, "h0=>h1-simplex")
+
+        def routes(self, src_host, dst_host):
+            if (src_host, dst_host) == (0, 1):
+                return ((self.shortcut,),)
+            return super().routes(src_host, dst_host)
+
+    def test_all_registered_topologies_are_symmetric(self):
+        config = SimulationConfig(nodes_per_tor=4, torus_dims=(2, 4))
+        for name in topology_names():
+            build_topology(config.replace(topology=name), 8).check_routes()
+
+    def test_missing_reverse_candidate_reports_offender(self):
+        topo = self._MissingReverseCandidates(8, nodes_per_tor=4)
+        with pytest.raises(AssertionError) as err:
+            topo.check_routes()
+        message = str(err.value)
+        assert "not reverse-symmetric" in message
+        # the offending pair, both candidate counts, and a concrete route
+        assert "(src=0, dst=4)" in message
+        assert "4 candidate(s)" in message and "1 with" in message
+        assert "first offending route: (" in message
+
+    def test_simplex_link_reports_offending_route(self):
+        topo = self._SimplexShortcut()
+        with pytest.raises(AssertionError) as err:
+            topo.check_routes()
+        message = str(err.value)
+        assert "not reverse-symmetric" in message
+        assert f"(src=0, dst=1, route=({topo.shortcut},))" in message
+        assert "h0=>h1-simplex" in message
+        assert "no reverse-direction twin 1->0" in message
+
+    def test_dragonfly_global_cables_are_duplex(self):
+        # the symmetry check is what forced dragonfly global links to be
+        # full-duplex cables; lock the wiring in directly
+        topo = DragonflyTopology(24, groups=3, routers_per_group=2, nodes_per_router=4)
+        pairs = {(l.src, l.dst) for l in topo.links}
+        assert all((dst, src) in pairs for src, dst in pairs)
