@@ -1,0 +1,91 @@
+"""Hierarchical vs flat allreduce on tapered fabrics (collectives benchmark).
+
+The acceptance comparison behind ``docs/collectives.md``: a 32-rank
+allreduce swept over flat (ring, Rabenseifner recursive-halving-doubling)
+and topology-aware (bucket/2D-ring, two-level ``hier_rs``) algorithms on
+a 4:1-oversubscribed fat tree and a dragonfly, on the packet backend.
+
+Asserted shape (the documented winning points):
+
+* on the oversubscribed fat tree, the two-level algorithms (``bucket``,
+  ``hier_rs``) beat the flat ring, and the autotuner's pick is the
+  measured winner,
+* on the dragonfly at 4 MiB, ``hier_rs`` beats every flat algorithm —
+  Rabenseifner collapses because its widest rounds put every rank on the
+  scarce global links at once.
+"""
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.network import SimulationConfig
+from repro.sweep import collective_sweep
+
+RANKS = 32
+ALGORITHMS = ("ring", "recursive_halving_doubling", "bucket", "hier_rs")
+
+
+def _by_algo(entries, topology, size):
+    return {
+        e.resolved: e.finish_time_ns
+        for e in entries
+        if e.topology == topology and e.size == size
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep_entries():
+    configs = {
+        "fat_tree": SimulationConfig(topology="fat_tree", oversubscription=4.0),
+        "dragonfly": SimulationConfig(topology="dragonfly"),
+    }
+    return collective_sweep(
+        configs, RANKS, sizes=(262144,), algorithms=ALGORITHMS, backend="htsim"
+    )
+
+
+def test_two_level_beats_flat_ring_on_oversubscribed_fat_tree(sweep_entries):
+    times = _by_algo(sweep_entries, "fat_tree", 262144)
+    print_table(
+        "fat tree 4:1, 256 KiB allreduce (finish us)",
+        ["algorithm", "finish_us"],
+        [[a, f"{t / 1e3:.1f}"] for a, t in sorted(times.items(), key=lambda kv: kv[1])],
+    )
+    assert times["hier_rs"] < times["ring"]
+    assert times["bucket"] < times["ring"]
+
+
+def test_hierarchical_beats_every_flat_algorithm_on_dragonfly(sweep_entries):
+    times = _by_algo(sweep_entries, "dragonfly", 262144)
+    print_table(
+        "dragonfly, 256 KiB allreduce (finish us)",
+        ["algorithm", "finish_us"],
+        [[a, f"{t / 1e3:.1f}"] for a, t in sorted(times.items(), key=lambda kv: kv[1])],
+    )
+    flat_best = min(times["ring"], times["recursive_halving_doubling"])
+    assert times["hier_rs"] < flat_best
+
+
+def test_autotuner_pick_is_measured_winner_on_fat_tree(sweep_entries):
+    fat_tree = [e for e in sweep_entries if e.topology == "fat_tree"]
+    winner = min(fat_tree, key=lambda e: e.finish_time_ns)
+    assert winner.autotuner_pick == winner.resolved, (
+        f"autotuner picked {winner.autotuner_pick}, measured winner {winner.resolved}"
+    )
+
+
+def test_benchmark_hier_allreduce(benchmark):
+    """Representative simulation for the wall-clock suite."""
+    from repro.collectives import build_collective_schedule, groups_from_topology
+    from repro.network.topology import build_topology
+    from repro.scheduler import simulate
+
+    config = SimulationConfig(topology="fat_tree", oversubscription=4.0)
+    topo = build_topology(config, RANKS)
+    schedule = build_collective_schedule(
+        "allreduce", "hier_rs", RANKS, 262144,
+        groups=groups_from_topology(range(RANKS), topo),
+    )
+    result = benchmark(lambda: simulate(schedule, backend="htsim", config=config))
+    assert result.ops_completed == schedule.num_ops()

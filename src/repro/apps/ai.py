@@ -22,6 +22,15 @@ Presets for the paper's workloads (Llama 7B / 70B, Mistral 8x7B, MoE 8x13B /
 8x70B, DLRM) are provided with a ``scale`` knob that shrinks hidden sizes and
 layer counts so the resulting GOAL schedules remain simulable in pure Python;
 the communication *structure* per iteration is unchanged.
+
+The traces record *which* collectives run, not how they are lowered: the
+NCCL schedule generator decomposes them afterwards, either through the
+NCCL chunked ring/tree pipelines or — via its ``collective_algorithm``
+knob (``Atlahs.run_ai_training(collective_algorithm=...)``,
+``atlahs ai --collective-algorithm``) — through the
+:mod:`repro.collectives.algorithms` registry, whose hierarchical variants
+use the ``gpus_per_node`` recorded here as the locality hierarchy (see
+``docs/collectives.md``).
 """
 from __future__ import annotations
 

@@ -13,6 +13,9 @@ Subcommands mirror the main pipelines:
   file or a ``pattern:ranks:size`` synthetic spec),
 * ``atlahs faults WORKLOAD`` — replay a workload on a degraded fabric:
   link-failure-rate sweeps or explicit timed link/switch fault scenarios,
+* ``atlahs collectives`` — list/describe the collective algorithm registry,
+  or sweep algorithms x topologies x sizes (``--sweep``; see
+  ``docs/collectives.md``),
 * ``atlahs topologies`` — list registered topologies and routing strategies,
 * ``atlahs bench`` — run the performance suite and track ``BENCH_*.json``
   baselines (see ``docs/performance.md``).
@@ -159,7 +162,14 @@ def _cmd_ai(args: argparse.Namespace) -> int:
         tp=args.tp, pp=args.pp, dp=args.dp, ep=args.ep,
         microbatches=args.microbatches, global_batch=args.batch,
     )
-    out = atlahs.run_ai_training(model, par, iterations=args.iterations, gpus_per_node=args.gpus_per_node, backend=args.backend)
+    out = atlahs.run_ai_training(
+        model,
+        par,
+        iterations=args.iterations,
+        gpus_per_node=args.gpus_per_node,
+        backend=args.backend,
+        collective_algorithm=args.collective_algorithm,
+    )
     _print_result(
         f"{args.model} ({par.describe()})",
         out.result,
@@ -476,6 +486,110 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_collectives(args: argparse.Namespace) -> int:
+    """List, describe or sweep the collective algorithm registry (see docs/collectives.md)."""
+    from repro.collectives import (
+        COLLECTIVE_ALGORITHMS,
+        algorithm_names,
+        collective_names,
+        get_algorithm,
+    )
+
+    if args.describe:
+        collective = args.collective
+        try:
+            alg = get_algorithm(collective, args.describe)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        print(f"{alg.collective} / {alg.name}")
+        print(f"  {alg.description}")
+        print(f"  hierarchical: {'yes (needs locality groups)' if alg.hierarchical else 'no'}")
+        print(f"  LogGOPS cost: {alg.cost_formula}")
+        return 0
+
+    if not args.sweep:
+        print("collective algorithms (LogGOPS cost: S = bytes, N = ranks, g = group")
+        print("size, Ng = groups; select with algorithm names below, or 'auto'):")
+        for collective in collective_names():
+            print(f"\n{collective}:")
+            for name in algorithm_names(collective):
+                alg = COLLECTIVE_ALGORITHMS[collective][name]
+                marker = " [hierarchical]" if alg.hierarchical else ""
+                print(f"  {name:28s} {alg.description}{marker}")
+        print("\ndetails: atlahs collectives --describe NAME [--collective KIND]")
+        print("compare: atlahs collectives --sweep [--topologies ...] [--sizes ...]")
+        return 0
+
+    # --sweep: algorithms x topologies x sizes comparison
+    from repro.sweep import collective_sweep
+
+    try:
+        sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"--sizes must be comma-separated byte counts, got {args.sizes!r}"
+        ) from None
+    if not sizes:
+        raise SystemExit("--sizes lists no message sizes")
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    topologies = [t.strip() for t in args.topologies.split(",") if t.strip()]
+    unknown = [t for t in topologies if t not in topology_names()]
+    if unknown:
+        raise SystemExit(
+            f"unknown topologies {unknown}; registered: {', '.join(topology_names())}"
+        )
+    base = _config_from_args(args)
+    configs = {t: base.replace(topology=t) for t in topologies}
+    try:
+        entries = collective_sweep(
+            configs,
+            num_ranks=args.ranks,
+            sizes=sizes,
+            algorithms=algorithms,
+            collective=args.collective,
+            backend=args.backend,
+            parallel=args.parallel,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad collective sweep: {exc}") from None
+
+    cells = [
+        {
+            "topology": e.topology,
+            "algorithm": e.algorithm,
+            "resolved": e.resolved,
+            "size": e.size,
+            "finish_time_us": round(e.finish_time_us, 1),
+            "autotuner_pick": e.autotuner_pick,
+            "messages": e.messages_delivered,
+        }
+        for e in entries
+    ]
+    winners = {}
+    for e in entries:
+        key = (e.topology, e.size)
+        if key not in winners or e.finish_time_ns < winners[key].finish_time_ns:
+            winners[key] = e
+    payload = {
+        "collective": args.collective,
+        "num_ranks": args.ranks,
+        "backend": args.backend,
+        "cells": cells,
+        "winners": [
+            {
+                "topology": topo,
+                "size": size,
+                "algorithm": best.resolved,
+                "finish_time_us": round(best.finish_time_us, 1),
+                "autotuner_pick": best.autotuner_pick,
+            }
+            for (topo, size), best in sorted(winners.items())
+        ],
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
 def _first_doc_line(obj) -> str:
     """First docstring line of ``obj``, or '' when it has none (e.g. -OO)."""
     lines = (getattr(obj, "__doc__", None) or "").strip().splitlines()
@@ -576,6 +690,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=32)
     p.add_argument("--iterations", type=int, default=1)
     p.add_argument("--gpus-per-node", type=int, default=4)
+    p.add_argument(
+        "--collective-algorithm",
+        default=None,
+        metavar="NAME",
+        help="override the NCCL collective decomposition with a registry "
+        "algorithm (e.g. hier_rs, recursive_halving_doubling) or 'auto'; "
+        "see 'atlahs collectives'",
+    )
     _add_network_args(p)
     p.set_defaults(func=_cmd_ai)
 
@@ -697,6 +819,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_network_args(p)
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "collectives",
+        help="list/describe collective algorithms, or sweep them across topologies",
+        description=_first_doc_line(_cmd_collectives),
+    )
+    p.add_argument(
+        "--collective",
+        default="allreduce",
+        metavar="KIND",
+        help="collective kind (allreduce, allgather, reduce_scatter, bcast, "
+        "barrier, alltoall)",
+    )
+    p.add_argument(
+        "--describe", default=None, metavar="NAME",
+        help="print one algorithm's reference entry (pattern, cost formula)",
+    )
+    p.add_argument(
+        "--sweep", action="store_true",
+        help="simulate an algorithms x topologies x sizes grid and report winners",
+    )
+    p.add_argument(
+        "--algorithms",
+        default="ring,recursive_halving_doubling,bucket,hier_rs,auto",
+        metavar="NAME[,NAME...]",
+        help="algorithms to sweep ('auto' = per-cell LogGOPS autotuner pick)",
+    )
+    p.add_argument(
+        "--topologies",
+        default="fat_tree,dragonfly",
+        metavar="NAME[,NAME...]",
+        help="topology families to sweep (shape taken from the shared network flags)",
+    )
+    p.add_argument(
+        "--sizes",
+        default="262144,4194304",
+        metavar="BYTES[,BYTES...]",
+        help="message sizes in bytes (total buffer; per-pair for alltoall)",
+    )
+    p.add_argument("--ranks", type=int, default=32, help="communicator size")
+    p.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="worker processes for the sweep (default: serial)",
+    )
+    _add_network_args(p)
+    p.set_defaults(func=_cmd_collectives)
 
     p = sub.add_parser(
         "topologies",

@@ -14,13 +14,56 @@ Two families are provided:
 * :mod:`repro.collectives.nccl` — NCCL-style chunked ring/tree algorithms
   whose schedules depend on the protocol (Simple / LL / LL128), the number
   of channels and the chunk size, mirroring the behaviour described in the
-  paper's Fig. 4.
+  paper's Fig. 4,
+* :mod:`repro.collectives.hierarchical` — topology-aware algorithms
+  (recursive halving-doubling, bucket/2D-ring, two-level hierarchical
+  variants over locality groups, Bruck allgather, van de Geijn broadcast),
+* :mod:`repro.collectives.algorithms` — the :class:`CollectiveAlgorithm`
+  registry tying the above together with an analytic LogGOPS autotuner
+  (:func:`select_algorithm`) and standalone schedule construction
+  (:func:`build_collective_schedule`).  See ``docs/collectives.md`` for
+  the per-algorithm reference.
 
 All algorithms operate on a :class:`~repro.collectives.context.CollectiveContext`
 and return, per participating rank, the vertex handle that later operations
 of that rank must depend on.
 """
-from repro.collectives.context import CollectiveContext, TagAllocator
-from repro.collectives import mpi, nccl
+from repro.collectives.context import (
+    CollectiveContext,
+    TagAllocator,
+    contiguous_groups,
+    groups_from_topology,
+)
+from repro.collectives import mpi, nccl, hierarchical
+from repro.collectives.algorithms import (
+    COLLECTIVE_ALGORITHMS,
+    AlgorithmChoice,
+    CollectiveAlgorithm,
+    CostModel,
+    algorithm_names,
+    build_collective_schedule,
+    collective_names,
+    get_algorithm,
+    register_collective_algorithm,
+    select_algorithm,
+)
 
-__all__ = ["CollectiveContext", "TagAllocator", "mpi", "nccl"]
+__all__ = [
+    "CollectiveContext",
+    "TagAllocator",
+    "contiguous_groups",
+    "groups_from_topology",
+    "mpi",
+    "nccl",
+    "hierarchical",
+    "COLLECTIVE_ALGORITHMS",
+    "AlgorithmChoice",
+    "CollectiveAlgorithm",
+    "CostModel",
+    "algorithm_names",
+    "build_collective_schedule",
+    "collective_names",
+    "get_algorithm",
+    "register_collective_algorithm",
+    "select_algorithm",
+]

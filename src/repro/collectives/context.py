@@ -13,6 +13,18 @@ to emit its point-to-point schedule:
 Dependencies flow through ``DepMap`` dictionaries: ``{global_rank: vertex
 handle}``.  Each algorithm takes the handles its first operations must wait
 on and returns the handles subsequent operations should wait on.
+
+Hierarchy metadata
+------------------
+A context optionally carries ``groups`` — a partition of the communicator
+into *locality groups* (ranks sharing a node, a ToR switch, a dragonfly
+router, ...).  Hierarchical algorithms (see
+:mod:`repro.collectives.hierarchical`) split their communication into a
+cheap intra-group phase and a narrow inter-group phase along this
+partition; flat algorithms ignore it.  Groups are expressed in
+*communicator* ranks (indices into ``ranks``) and are typically derived
+from a placement with :func:`groups_from_topology` or
+:func:`contiguous_groups`.
 """
 from __future__ import annotations
 
@@ -20,7 +32,134 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.goal.builder import GoalBuilder, RankBuilder
 
+#: ``{global rank id -> vertex handle}`` — the exit vertex each rank's later
+#: operations must depend on.
 DepMap = Dict[int, int]
+
+
+def contiguous_groups(size: int, group_size: int) -> List[List[int]]:
+    """Partition ``size`` communicator ranks into contiguous locality groups.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks in the communicator (must be positive).
+    group_size:
+        Ranks per group (must be positive).  The last group is smaller when
+        ``group_size`` does not divide ``size``.
+
+    Returns
+    -------
+    list of list of int
+        Communicator-rank groups ``[[0..g-1], [g..2g-1], ...]`` — the
+        natural hierarchy when ranks are packed onto nodes in order (e.g.
+        consecutive GPU ids per node).
+    """
+    if size <= 0:
+        raise ValueError("size must be positive")
+    if group_size <= 0:
+        raise ValueError("group_size must be positive")
+    return [
+        list(range(start, min(start + group_size, size)))
+        for start in range(0, size, group_size)
+    ]
+
+
+def groups_from_topology(
+    ranks: Sequence[int],
+    topology,
+    placement: Optional[Dict[int, int]] = None,
+) -> List[List[int]]:
+    """Group a communicator's ranks by the first-hop switch of their host.
+
+    Parameters
+    ----------
+    ranks:
+        Global rank ids of the communicator, in communicator order.
+    topology:
+        A :class:`~repro.network.topology.base.Topology`; its
+        :meth:`~repro.network.topology.base.Topology.host_groups` (hosts
+        sharing a ToR / torus router / dragonfly router / Slim Fly router)
+        define the locality unit.
+    placement:
+        Optional ``{global rank -> host id}`` mapping (e.g. from a
+        :class:`~repro.placement.PlacementResult`).  Defaults to the
+        identity: rank ``r`` runs on host ``r``.
+
+    Returns
+    -------
+    list of list of int
+        *Communicator-rank* groups (indices into ``ranks``), one group per
+        first-hop switch that hosts at least one rank, in switch order.
+        Suitable for :class:`CollectiveContext`'s ``groups`` parameter.
+    """
+    ranks = list(ranks)
+    host_of = placement if placement is not None else {r: r for r in ranks}
+    switch_groups = topology.host_groups()
+    host_to_group: Dict[int, int] = {}
+    for idx, hosts in enumerate(switch_groups):
+        for h in hosts:
+            host_to_group[h] = idx
+    grouped: Dict[int, List[int]] = {}
+    for comm_rank, global_rank in enumerate(ranks):
+        host = host_of.get(global_rank, global_rank)
+        if host not in host_to_group:
+            raise ValueError(
+                f"rank {global_rank} is placed on host {host}, which the "
+                f"topology does not contain (num_hosts={topology.num_hosts})"
+            )
+        grouped.setdefault(host_to_group[host], []).append(comm_rank)
+    return [grouped[idx] for idx in sorted(grouped)]
+
+
+def project_groups(
+    groups: Sequence[Sequence[int]], members: Sequence[int]
+) -> List[List[int]]:
+    """Project global-rank locality groups onto one communicator.
+
+    Parameters
+    ----------
+    groups:
+        Locality partition in *global* rank ids (e.g. ranks per node).
+    members:
+        Global rank ids of the communicator, in communicator order.
+
+    Returns
+    -------
+    list of list of int
+        *Communicator-rank* groups (indices into ``members``): each global
+        group intersected with the communicator, empties dropped, and
+        members outside every group appended as singleton groups — so the
+        result always partitions the communicator and is directly usable
+        as :class:`CollectiveContext`'s ``groups``.
+    """
+    index = {global_rank: i for i, global_rank in enumerate(members)}
+    projected = [
+        [index[r] for r in grp if r in index] for grp in groups
+    ]
+    projected = [g for g in projected if g]
+    covered = {r for g in projected for r in g}
+    projected.extend([i] for i in range(len(members)) if i not in covered)
+    return projected
+
+
+def validate_groups(groups: Sequence[Sequence[int]], size: int) -> List[List[int]]:
+    """Check that ``groups`` is a partition of ``range(size)``; return a copy.
+
+    Raises :class:`ValueError` on empty groups, out-of-range ranks,
+    duplicates, or missing ranks.
+    """
+    result = [list(g) for g in groups]
+    seen: List[int] = [r for g in result for r in g]
+    if any(not g for g in result):
+        raise ValueError("locality groups must be non-empty")
+    if len(set(seen)) != len(seen):
+        raise ValueError("locality groups contain duplicate ranks")
+    if sorted(seen) != list(range(size)):
+        raise ValueError(
+            f"locality groups must partition all {size} communicator ranks; got {sorted(seen)}"
+        )
+    return result
 
 
 class TagAllocator:
@@ -64,6 +203,11 @@ class CollectiveContext:
         Cost of a local copy (used by algorithms that stage data).
     cpu:
         Compute stream on which the collective's ops are placed.
+    groups:
+        Optional locality partition of the communicator, as a sequence of
+        groups of *communicator* ranks (see :func:`contiguous_groups` /
+        :func:`groups_from_topology`).  Hierarchical algorithms require it;
+        flat algorithms ignore it.
     """
 
     def __init__(
@@ -74,6 +218,7 @@ class CollectiveContext:
         reduce_ns_per_byte: float = 0.0,
         copy_ns_per_byte: float = 0.0,
         cpu: int = 0,
+        groups: Optional[Sequence[Sequence[int]]] = None,
     ) -> None:
         if not ranks:
             raise ValueError("communicator must contain at least one rank")
@@ -85,6 +230,9 @@ class CollectiveContext:
         self.reduce_ns_per_byte = reduce_ns_per_byte
         self.copy_ns_per_byte = copy_ns_per_byte
         self.cpu = cpu
+        self.groups = (
+            validate_groups(groups, len(self.ranks)) if groups is not None else None
+        )
 
     # -- helpers ---------------------------------------------------------------
     @property
@@ -95,6 +243,27 @@ class CollectiveContext:
     def rank_builder(self, comm_rank: int) -> RankBuilder:
         """Builder of the ``comm_rank``-th rank of the communicator."""
         return self.builder.rank(self.ranks[comm_rank])
+
+    def sub_context(
+        self, comm_ranks: Sequence[int], cpu: Optional[int] = None
+    ) -> "CollectiveContext":
+        """Context of a sub-communicator over ``comm_ranks`` of this one.
+
+        The sub-context shares this context's builder, tag allocator and
+        cost parameters, so schedules it emits compose with (and never
+        cross-match against) the parent's.  ``comm_ranks`` are ranks of
+        *this* communicator; the sub-communicator orders them as given.
+        Hierarchical algorithms use this to emit their intra-group and
+        inter-group phases.
+        """
+        return CollectiveContext(
+            self.builder,
+            [self.ranks[r] for r in comm_ranks],
+            tags=self.tags,
+            reduce_ns_per_byte=self.reduce_ns_per_byte,
+            copy_ns_per_byte=self.copy_ns_per_byte,
+            cpu=self.cpu if cpu is None else cpu,
+        )
 
     def global_rank(self, comm_rank: int) -> int:
         return self.ranks[comm_rank]

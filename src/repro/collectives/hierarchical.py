@@ -1,0 +1,408 @@
+"""Hierarchical and bandwidth-optimised collective algorithms.
+
+This module extends the flat algorithm set of :mod:`repro.collectives.mpi`
+with the algorithms real communication libraries switch to on large machines
+(see ``docs/collectives.md`` for per-algorithm diagrams and cost formulas):
+
+* :func:`recursive_halving_doubling_allreduce` — Rabenseifner's algorithm:
+  a recursive-halving reduce-scatter followed by a recursive-doubling
+  allgather.  Latency of the tree algorithms, bandwidth close to the ring.
+* :func:`bucket_allreduce` — the bucket / 2D-ring allreduce: ranks form a
+  near-square virtual grid; rings run along rows, then along columns over
+  the scattered shards.  Cuts the ring's ``2(N-1)`` step count to
+  ``2(a-1) + 2(b-1)`` for an ``a x b`` grid.
+* :func:`hierarchical_rs_allreduce` — two-level allreduce over the
+  context's locality groups: intra-group ring reduce-scatter, one
+  inter-group ring per shard owner, intra-group ring allgather.  The shape
+  NCCL/Horovod use across NVLink islands.
+* :func:`hierarchical_leader_allreduce` — two-level allreduce for
+  arbitrary group shapes: binomial reduce to a group leader, ring allreduce
+  across leaders, binomial broadcast back.
+* :func:`bruck_allgather` — Bruck's log-round allgather (latency-optimal
+  for small contributions).
+* :func:`scatter_allgather_bcast` — van de Geijn's large-message broadcast:
+  binomial scatter plus ring allgather.
+
+All functions follow the conventions of :mod:`repro.collectives.mpi`: sizes
+are in bytes (the *total* buffer of the collective), emitted messages are
+clamped to one byte, and each returns a ``DepMap`` of exit vertex handles
+per participating global rank.
+
+The hierarchical algorithms read the locality partition from
+``ctx.groups`` (see :class:`~repro.collectives.context.CollectiveContext`)
+and raise :class:`ValueError` when the context carries none — derive one
+with :func:`~repro.collectives.context.groups_from_topology` or
+:func:`~repro.collectives.context.contiguous_groups`.
+"""
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.collectives import mpi as _mpi
+from repro.collectives.context import CollectiveContext, DepMap, contiguous_groups
+
+_MIN_MSG = 1
+
+
+def _msg(size: int) -> int:
+    """Clamp message sizes to at least one byte (backends need positive sizes)."""
+    return max(_MIN_MSG, size)
+
+
+def _initial_last(ctx: CollectiveContext, deps: Optional[DepMap]) -> List[Optional[int]]:
+    """Per-communicator-rank entry handles (``None`` where a rank has none)."""
+    last: List[Optional[int]] = [None] * ctx.size
+    for r in range(ctx.size):
+        handles = ctx.deps_of(deps, r)
+        last[r] = handles[0] if handles else None
+    return last
+
+
+def _require_groups(ctx: CollectiveContext, algorithm: str) -> List[List[int]]:
+    if ctx.groups is None:
+        raise ValueError(
+            f"{algorithm} is a hierarchical algorithm and needs locality groups; "
+            "construct the CollectiveContext with groups= (see "
+            "repro.collectives.context.groups_from_topology / contiguous_groups)"
+        )
+    return ctx.groups
+
+
+# ---------------------------------------------------------------------------
+# Rabenseifner: recursive halving reduce-scatter + recursive doubling allgather
+# ---------------------------------------------------------------------------
+def recursive_halving_doubling_allreduce(
+    ctx: CollectiveContext, size: int, deps: Optional[DepMap] = None
+) -> DepMap:
+    """Rabenseifner's allreduce of a ``size``-byte buffer.
+
+    The power-of-two core runs ``log2(p)`` recursive-halving rounds (round
+    at distance ``d`` exchanges ``size * d / p`` bytes and reduces them)
+    followed by ``log2(p)`` recursive-doubling allgather rounds with the
+    mirrored sizes, moving ``~2 * size * (p-1)/p`` bytes per rank in
+    ``2 * log2(p)`` rounds.  Non-power-of-two communicators use the same
+    fold-in/fold-out scheme as
+    :func:`repro.collectives.mpi.recursive_doubling_allreduce`.
+
+    Parameters
+    ----------
+    ctx:
+        Collective context (communicator, builder, tags, costs).
+    size:
+        Total buffer bytes being reduced.
+    deps:
+        Entry dependencies per global rank.
+
+    Returns
+    -------
+    DepMap
+        Exit vertex handle per global rank.
+    """
+    n = ctx.size
+    if n == 1:
+        return dict(deps) if deps else {}
+    pow2 = 1
+    while pow2 * 2 <= n:
+        pow2 *= 2
+    rem = n - pow2
+    base_tag = ctx.tags.next_base()
+    last = _initial_last(ctx, deps)
+
+    def reqs(r: int) -> List[int]:
+        return [last[r]] if last[r] is not None else []
+
+    # fold-in: extra ranks contribute their whole buffer to a partner
+    for extra in range(rem):
+        a, b = pow2 + extra, extra
+        tag = base_tag + extra
+        s = ctx.rank_builder(a).send(_msg(size), dst=ctx.global_rank(b), tag=tag, cpu=ctx.cpu, requires=reqs(a))
+        rcv = ctx.rank_builder(b).recv(_msg(size), src=ctx.global_rank(a), tag=tag, cpu=ctx.cpu, requires=reqs(b))
+        last[a] = s
+        tail = rcv
+        if ctx.reduce_ns_per_byte:
+            tail = ctx.rank_builder(b).calc(ctx.reduce_cost(size), cpu=ctx.cpu, requires=[rcv])
+        last[b] = tail
+
+    round_idx = 0
+
+    def _exchange(distance: int, nbytes: int, reduce_recv: bool) -> None:
+        nonlocal round_idx
+        tag = base_tag + rem + round_idx
+        new_last = list(last)
+        for vr in range(pow2):
+            partner = vr ^ distance
+            if partner >= pow2:
+                continue
+            rb = ctx.rank_builder(vr)
+            s = rb.send(_msg(nbytes), dst=ctx.global_rank(partner), tag=tag, cpu=ctx.cpu, requires=reqs(vr))
+            rcv = rb.recv(_msg(nbytes), src=ctx.global_rank(partner), tag=tag, cpu=ctx.cpu, requires=reqs(vr))
+            tail = rb.join([s, rcv], cpu=ctx.cpu)
+            if reduce_recv and ctx.reduce_ns_per_byte:
+                tail = rb.calc(ctx.reduce_cost(nbytes), cpu=ctx.cpu, requires=[tail])
+            new_last[vr] = tail
+        last[:] = new_last
+        round_idx += 1
+
+    # reduce-scatter by recursive halving: exchanged size halves each round
+    d = pow2 // 2
+    while d >= 1:
+        _exchange(d, size * d // pow2, reduce_recv=True)
+        d //= 2
+
+    # allgather by recursive doubling: mirrored sizes, no reduction
+    d = 1
+    while d < pow2:
+        _exchange(d, size * d // pow2, reduce_recv=False)
+        d *= 2
+
+    # fold-out: partners return the finished result to the extra ranks
+    for extra in range(rem):
+        a, b = extra, pow2 + extra
+        tag = base_tag + rem + round_idx + extra
+        s = ctx.rank_builder(a).send(_msg(size), dst=ctx.global_rank(b), tag=tag, cpu=ctx.cpu, requires=reqs(a))
+        rcv = ctx.rank_builder(b).recv(_msg(size), src=ctx.global_rank(a), tag=tag, cpu=ctx.cpu, requires=reqs(b))
+        last[a] = s
+        last[b] = rcv
+
+    return {ctx.global_rank(r): last[r] for r in range(n) if last[r] is not None}
+
+
+# ---------------------------------------------------------------------------
+# two-level core shared by the bucket and hierarchical allreduces
+# ---------------------------------------------------------------------------
+def _two_level_allreduce(
+    ctx: CollectiveContext,
+    size: int,
+    groups: List[List[int]],
+    deps: Optional[DepMap],
+) -> DepMap:
+    """Ring reduce-scatter per group, shard rings across groups, ring allgather.
+
+    ``groups`` partition the communicator ranks.  Phase 2 forms one ring per
+    member *position*: position ``j`` of every group that has one exchanges
+    its shard (``~size / len(group)`` bytes) with the other groups.  Groups
+    of unequal size simply skip the positions they lack.
+    """
+    groups = [list(g) for g in groups if g]
+    exits: DepMap = dict(deps) if deps else {}
+
+    # phase 1 — intra-group ring reduce-scatter (each member ends owning a shard)
+    mid: DepMap = dict(exits)
+    for grp in groups:
+        if len(grp) == 1:
+            continue
+        out = _mpi.ring_reduce_scatter(ctx.sub_context(grp), size, deps)
+        mid.update(out)
+
+    # phase 2 — per shard position, a ring allreduce across the groups
+    after: DepMap = dict(mid)
+    if len(groups) > 1:
+        max_g = max(len(g) for g in groups)
+        for position in range(max_g):
+            members = [grp[position] for grp in groups if len(grp) > position]
+            if len(members) < 2:
+                continue
+            holders = [len(grp) for grp in groups if len(grp) > position]
+            shard = max(1, size // max(holders))
+            out = _mpi.ring_allreduce(ctx.sub_context(members), shard, mid)
+            after.update(out)
+
+    # phase 3 — intra-group ring allgather of the full buffer
+    result: DepMap = dict(after)
+    for grp in groups:
+        if len(grp) == 1:
+            continue
+        out = _mpi.ring_allgather(ctx.sub_context(grp), size, after)
+        result.update(out)
+    return {gr: h for gr, h in result.items() if h is not None}
+
+
+def bucket_allreduce(ctx: CollectiveContext, size: int, deps: Optional[DepMap] = None) -> DepMap:
+    """Bucket (2D-ring) allreduce over a near-square virtual grid.
+
+    The communicator is cut into contiguous rows of ``cols = N // rows``
+    ranks where ``rows`` is the largest divisor of ``N`` not exceeding
+    ``sqrt(N)`` (see :func:`grid_shape`); rings then run along rows
+    (reduce-scatter and allgather of ``size`` bytes) and along columns
+    (allreduce of the ``size / cols`` shards).  A prime ``N`` degenerates
+    to the flat ring.  The grid is *virtual*: unlike the hierarchical
+    variants it ignores placement, trading locality for a regular shape.
+    """
+    n = ctx.size
+    if n == 1:
+        return dict(deps) if deps else {}
+    rows, cols = grid_shape(n)
+    return _two_level_allreduce(ctx, size, contiguous_groups(n, cols), deps)
+
+
+def grid_shape(n: int) -> tuple:
+    """Near-square factorisation ``(rows, cols)`` of ``n`` with ``rows <= cols``.
+
+    ``rows`` is the largest divisor of ``n`` not exceeding ``sqrt(n)``
+    (1 when ``n`` is prime, making the bucket allreduce a flat ring).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rows = 1
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            rows = d
+        d += 1
+    return rows, n // rows
+
+
+def hierarchical_rs_allreduce(ctx: CollectiveContext, size: int, deps: Optional[DepMap] = None) -> DepMap:
+    """Two-level allreduce over the context's locality groups.
+
+    Phase 1: ring reduce-scatter of ``size`` bytes inside every locality
+    group, so each member owns one reduced shard (``~size / g`` bytes).
+    Phase 2: member position ``j`` of every group runs a ring allreduce of
+    its shard with position ``j`` of the other groups — only these shards
+    cross the group boundary.  Phase 3: ring allgather of the full buffer
+    inside every group.  Requires ``ctx.groups``; groups of unequal size
+    skip the shard positions they lack.
+    """
+    n = ctx.size
+    if n == 1:
+        return dict(deps) if deps else {}
+    return _two_level_allreduce(ctx, size, _require_groups(ctx, "hier_rs"), deps)
+
+
+def hierarchical_leader_allreduce(ctx: CollectiveContext, size: int, deps: Optional[DepMap] = None) -> DepMap:
+    """Leader-based two-level allreduce over the context's locality groups.
+
+    Phase 1: binomial-tree reduce of the full ``size``-byte buffer to each
+    group's first member (the *leader*).  Phase 2: ring allreduce of the
+    full buffer across the leaders — one rank per group on the fabric.
+    Phase 3: binomial broadcast from each leader back into its group.
+    Works for any group shape (the Horovod hierarchical-allreduce layout);
+    moves more intra-group bytes than :func:`hierarchical_rs_allreduce`
+    but keeps exactly one fabric participant per group.
+    """
+    n = ctx.size
+    if n == 1:
+        return dict(deps) if deps else {}
+    groups = [list(g) for g in _require_groups(ctx, "hier_leader") if g]
+
+    mid: DepMap = dict(deps) if deps else {}
+    for grp in groups:
+        if len(grp) == 1:
+            continue
+        out = _mpi.binomial_reduce(ctx.sub_context(grp), size, root=0, deps=deps)
+        mid.update(out)
+
+    after: DepMap = dict(mid)
+    leaders = [grp[0] for grp in groups]
+    if len(leaders) > 1:
+        out = _mpi.ring_allreduce(ctx.sub_context(leaders), size, mid)
+        after.update(out)
+
+    result: DepMap = dict(after)
+    for grp in groups:
+        if len(grp) == 1:
+            continue
+        out = _mpi.binomial_bcast(ctx.sub_context(grp), size, root=0, deps=after)
+        result.update(out)
+    return {gr: h for gr, h in result.items() if h is not None}
+
+
+# ---------------------------------------------------------------------------
+# Bruck allgather and van de Geijn broadcast
+# ---------------------------------------------------------------------------
+def bruck_allgather(ctx: CollectiveContext, size: int, deps: Optional[DepMap] = None) -> DepMap:
+    """Bruck's allgather of ``size`` total bytes in ``ceil(log2 N)`` rounds.
+
+    In round ``k`` every rank sends the ``min(2^k, N - 2^k)`` blocks it has
+    accumulated (``size / N`` bytes each) to rank ``r - 2^k`` and receives
+    as many from rank ``r + 2^k``.  Latency-optimal for small per-rank
+    contributions; the ring allgather moves the same bytes in ``N - 1``
+    rounds but never sends a block twice.
+    """
+    n = ctx.size
+    if n == 1:
+        return dict(deps) if deps else {}
+    base_tag = ctx.tags.next_base()
+    last = _initial_last(ctx, deps)
+    k = 0
+    dist = 1
+    while dist < n:
+        tag = base_tag + k
+        nbytes = _msg(min(dist, n - dist) * size // n)
+        new_last: List[Optional[int]] = [None] * n
+        for r in range(n):
+            dst = (r - dist) % n
+            src = (r + dist) % n
+            rb = ctx.rank_builder(r)
+            reqs = [last[r]] if last[r] is not None else []
+            s = rb.send(nbytes, dst=ctx.global_rank(dst), tag=tag, cpu=ctx.cpu, requires=reqs)
+            rcv = rb.recv(nbytes, src=ctx.global_rank(src), tag=tag, cpu=ctx.cpu, requires=reqs)
+            new_last[r] = rb.join([s, rcv], cpu=ctx.cpu)
+        last = new_last
+        dist *= 2
+        k += 1
+    return {ctx.global_rank(r): last[r] for r in range(n) if last[r] is not None}
+
+
+def binomial_scatter(
+    ctx: CollectiveContext, size: int, root: int = 0, deps: Optional[DepMap] = None
+) -> DepMap:
+    """Binomial-tree scatter: the root's ``size``-byte buffer is halved down the tree.
+
+    In the round at offset ``mask`` (descending powers of two), virtual
+    rank ``vr < mask`` sends the segment destined for virtual ranks
+    ``[vr + mask, min(vr + 2*mask, N))`` — about ``size * mask / N`` bytes —
+    to ``vr + mask``.  Total traffic ``~size`` at the root, halving at each
+    tree level.
+    """
+    n = ctx.size
+    if n == 1:
+        return dict(deps) if deps else {}
+    chunks = _mpi._chunk_sizes(size, n)
+    base_tag = ctx.tags.next_base()
+    last = _initial_last(ctx, deps)
+
+    def unrot(vr: int) -> int:
+        return (vr + root) % n
+
+    mask = 1
+    while mask < n:
+        mask <<= 1
+    mask >>= 1
+    round_idx = 0
+    while mask >= 1:
+        tag = base_tag + round_idx
+        for vr in range(mask):
+            peer = vr + mask
+            if peer >= n:
+                continue
+            seg = _msg(sum(chunks[peer : min(peer + mask, n)]))
+            src, dst = unrot(vr), unrot(peer)
+            sb, db = ctx.rank_builder(src), ctx.rank_builder(dst)
+            s = sb.send(
+                seg, dst=ctx.global_rank(dst), tag=tag, cpu=ctx.cpu,
+                requires=[last[src]] if last[src] is not None else [],
+            )
+            rcv = db.recv(
+                seg, src=ctx.global_rank(src), tag=tag, cpu=ctx.cpu,
+                requires=[last[dst]] if last[dst] is not None else [],
+            )
+            last[src] = s
+            last[dst] = rcv
+        mask >>= 1
+        round_idx += 1
+    return {ctx.global_rank(r): last[r] for r in range(n) if last[r] is not None}
+
+
+def scatter_allgather_bcast(
+    ctx: CollectiveContext, size: int, root: int = 0, deps: Optional[DepMap] = None
+) -> DepMap:
+    """van de Geijn broadcast: binomial scatter, then ring allgather.
+
+    Bandwidth-optimal for large messages: every rank sends and receives
+    ``~2 * size * (N-1)/N`` bytes instead of the binomial tree's
+    ``size * log2(N)`` at the root's children, at the price of ``N - 1``
+    extra latency-bound allgather rounds.
+    """
+    mid = binomial_scatter(ctx, size, root=root, deps=deps)
+    return _mpi.ring_allgather(ctx, size, mid)

@@ -45,7 +45,27 @@ def send_recv(
     deps: Optional[DepMap] = None,
     tag: Optional[int] = None,
 ) -> DepMap:
-    """A single matched send/recv pair between two communicator ranks."""
+    """A single matched send/recv pair between two communicator ranks.
+
+    Parameters
+    ----------
+    ctx:
+        Collective context (communicator, builder, tags, costs).
+    src_comm_rank / dst_comm_rank:
+        Communicator ranks of sender and receiver (must differ).
+    size:
+        Message size in bytes (clamped to 1 like all emitted messages).
+    deps:
+        Entry dependencies per global rank.
+    tag:
+        Explicit message tag; a fresh collision-free base is drawn from the
+        context's allocator when omitted.
+
+    Returns
+    -------
+    DepMap
+        ``{sender global rank: send handle, receiver global rank: recv handle}``.
+    """
     if src_comm_rank == dst_comm_rank:
         raise ValueError("send_recv requires distinct ranks")
     tag = ctx.tags.next_base() if tag is None else tag
@@ -62,21 +82,32 @@ def send_recv(
 # reduce-scatter / allgather rings (building blocks of the ring allreduce)
 # ---------------------------------------------------------------------------
 def ring_reduce_scatter(ctx: CollectiveContext, size: int, deps: Optional[DepMap] = None) -> DepMap:
-    """Ring reduce-scatter: after N-1 steps every rank owns one reduced chunk."""
+    """Ring reduce-scatter of ``size`` total bytes.
+
+    ``N - 1`` steps of ``size / N``-byte chunk exchanges (plus a reduction
+    ``calc`` per received chunk when the context prices reductions); after
+    the last step every rank owns one fully reduced chunk.  Returns the
+    exit handle per global rank.
+    """
     return _ring_passes(ctx, size, deps, passes=1, reduce_first_pass=True)
 
 
 def ring_allgather(ctx: CollectiveContext, size: int, deps: Optional[DepMap] = None) -> DepMap:
-    """Ring allgather of a buffer of ``size`` total bytes (chunks circulate)."""
+    """Ring allgather of a buffer of ``size`` *total* bytes.
+
+    Each rank contributes ``size / N`` bytes; chunks circulate around the
+    ring for ``N - 1`` steps.  Returns the exit handle per global rank.
+    """
     return _ring_passes(ctx, size, deps, passes=1, reduce_first_pass=False)
 
 
 def ring_allreduce(ctx: CollectiveContext, size: int, deps: Optional[DepMap] = None) -> DepMap:
-    """Ring allreduce: reduce-scatter pass followed by an allgather pass.
+    """Ring allreduce of ``size`` total bytes: reduce-scatter then allgather.
 
     This is the bandwidth-optimal algorithm used by both MPI libraries (for
     large messages) and NCCL's ring algorithm; every rank sends and receives
-    ``2 * size * (N-1) / N`` bytes over ``2 * (N-1)`` steps.
+    ``2 * size * (N-1) / N`` bytes over ``2 * (N-1)`` steps.  Returns the
+    exit handle per global rank.
     """
     return _ring_passes(ctx, size, deps, passes=2, reduce_first_pass=True)
 
@@ -130,11 +161,14 @@ def _ring_passes(
 # recursive doubling allreduce
 # ---------------------------------------------------------------------------
 def recursive_doubling_allreduce(ctx: CollectiveContext, size: int, deps: Optional[DepMap] = None) -> DepMap:
-    """Recursive-doubling allreduce (latency-optimal for small messages).
+    """Recursive-doubling allreduce of ``size`` bytes (latency-optimal).
 
-    Non-power-of-two communicator sizes use the standard fold: the first
-    ``2 * r`` ranks pair up so that ``r`` extra ranks fold their data into a
-    partner before the power-of-two exchange and receive the result after it.
+    ``ceil(log2 N)`` rounds in which every rank exchanges the *full*
+    ``size``-byte buffer with a partner at doubling distance.  Non-power-of-
+    two communicator sizes use the standard fold: the first ``2 * r`` ranks
+    pair up so that ``r`` extra ranks fold their data into a partner before
+    the power-of-two exchange and receive the result after it.  Returns the
+    exit handle per global rank.
     """
     n = ctx.size
     if n == 1:
@@ -205,7 +239,12 @@ def recursive_doubling_allreduce(ctx: CollectiveContext, size: int, deps: Option
 # binomial trees: bcast / reduce, and the composed allreduce
 # ---------------------------------------------------------------------------
 def binomial_bcast(ctx: CollectiveContext, size: int, root: int = 0, deps: Optional[DepMap] = None) -> DepMap:
-    """Binomial-tree broadcast from communicator rank ``root``."""
+    """Binomial-tree broadcast of ``size`` bytes from communicator rank ``root``.
+
+    ``ceil(log2 N)`` rounds; the holder set doubles each round, every
+    transfer moving the full buffer.  Returns the exit handle per global
+    rank.
+    """
     n = ctx.size
     if n == 1:
         return dict(deps) if deps else {}
@@ -248,7 +287,13 @@ def binomial_bcast(ctx: CollectiveContext, size: int, root: int = 0, deps: Optio
 
 
 def binomial_reduce(ctx: CollectiveContext, size: int, root: int = 0, deps: Optional[DepMap] = None) -> DepMap:
-    """Binomial-tree reduction to communicator rank ``root``."""
+    """Binomial-tree reduction of ``size`` bytes to communicator rank ``root``.
+
+    The mirror of :func:`binomial_bcast`: children send the full buffer up
+    the same virtual tree, parents insert a reduction ``calc`` per received
+    buffer when the context prices reductions.  Returns the exit handle per
+    global rank.
+    """
     n = ctx.size
     if n == 1:
         return dict(deps) if deps else {}
@@ -296,7 +341,11 @@ def binomial_reduce(ctx: CollectiveContext, size: int, root: int = 0, deps: Opti
 
 
 def reduce_bcast_allreduce(ctx: CollectiveContext, size: int, deps: Optional[DepMap] = None) -> DepMap:
-    """Allreduce composed of a binomial reduce to rank 0 followed by a broadcast."""
+    """Allreduce of ``size`` bytes: binomial reduce to rank 0, then broadcast.
+
+    ``2 * ceil(log2 N)`` full-buffer rounds.  Returns the exit handle per
+    global rank.
+    """
     mid = binomial_reduce(ctx, size, root=0, deps=deps)
     return binomial_bcast(ctx, size, root=0, deps=mid)
 
@@ -305,7 +354,11 @@ def reduce_bcast_allreduce(ctx: CollectiveContext, size: int, deps: Optional[Dep
 # allgather / gather / scatter / alltoall / barrier
 # ---------------------------------------------------------------------------
 def linear_gather(ctx: CollectiveContext, size_per_rank: int, root: int = 0, deps: Optional[DepMap] = None) -> DepMap:
-    """Every non-root rank sends its contribution directly to the root."""
+    """Linear gather: every non-root rank sends ``size_per_rank`` bytes to the root.
+
+    ``N - 1`` concurrent transfers (distinct tags), serialised only by the
+    root's NIC in the backends.  Returns the exit handle per global rank.
+    """
     n = ctx.size
     base_tag = ctx.tags.next_base()
     result: Dict[int, List[int]] = {ctx.global_rank(r): list(ctx.deps_of(deps, r)) for r in range(n)}
@@ -326,7 +379,11 @@ def linear_gather(ctx: CollectiveContext, size_per_rank: int, root: int = 0, dep
 
 
 def linear_scatter(ctx: CollectiveContext, size_per_rank: int, root: int = 0, deps: Optional[DepMap] = None) -> DepMap:
-    """The root sends each rank its slice directly."""
+    """Linear scatter: the root sends each rank its ``size_per_rank``-byte slice.
+
+    The dual of :func:`linear_gather`.  Returns the exit handle per global
+    rank.
+    """
     n = ctx.size
     base_tag = ctx.tags.next_base()
     result: Dict[int, List[int]] = {ctx.global_rank(r): list(ctx.deps_of(deps, r)) for r in range(n)}
@@ -352,6 +409,9 @@ def pairwise_alltoall(ctx: CollectiveContext, size_per_pair: int, deps: Optional
 
     Uses the linear-shift schedule (round ``k``: send to ``(r+k) % N``,
     receive from ``(r-k) % N``), the common choice for large messages.
+    ``size_per_pair`` is the bytes every rank sends to every *other* rank
+    (``N - 1`` rounds, one exchange per rank per round).  Returns the exit
+    handle per global rank.
     """
     n = ctx.size
     if n == 1:
@@ -377,7 +437,12 @@ def pairwise_alltoall(ctx: CollectiveContext, size_per_pair: int, deps: Optional
 
 
 def dissemination_barrier(ctx: CollectiveContext, deps: Optional[DepMap] = None) -> DepMap:
-    """Dissemination barrier: ceil(log2 N) rounds of 1-byte messages."""
+    """Dissemination barrier: ``ceil(log2 N)`` rounds of 1-byte messages.
+
+    Round ``k`` notifies the rank at distance ``2^k``; after the last round
+    every rank transitively depends on every other.  Returns the exit
+    handle per global rank.
+    """
     n = ctx.size
     if n == 1:
         return dict(deps) if deps else {}
@@ -406,7 +471,12 @@ def dissemination_barrier(ctx: CollectiveContext, deps: Optional[DepMap] = None)
 
 
 def allgather(ctx: CollectiveContext, size_per_rank: int, deps: Optional[DepMap] = None) -> DepMap:
-    """Allgather via the ring algorithm (each rank contributes ``size_per_rank``)."""
+    """Allgather via the ring algorithm.
+
+    ``size_per_rank`` is each rank's *contribution* in bytes (the gathered
+    total is ``size_per_rank * N``, which is what :func:`ring_allgather`
+    takes).  Returns the exit handle per global rank.
+    """
     return ring_allgather(ctx, size_per_rank * ctx.size, deps)
 
 

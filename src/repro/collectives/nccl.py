@@ -74,9 +74,24 @@ class NcclConfig:
             raise ValueError("nchannels must be positive")
         if self.max_chunks_per_step <= 0:
             raise ValueError("max_chunks_per_step must be positive")
+        if self.chunk_bytes is not None and self.chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive when set")
 
     def effective_chunk_bytes(self) -> int:
+        """Chunk granularity in bytes (the protocol default unless overridden)."""
         return self.chunk_bytes if self.chunk_bytes else PROTOCOL_CHUNK_BYTES[self.protocol]
+
+    def effective_channels(self, size: int) -> int:
+        """Channels actually used for a ``size``-byte collective.
+
+        Degenerate collectives (zero bytes, or fewer bytes than channels)
+        use as many channels as there are bytes — at least one — so a
+        1-byte allreduce is a single 1-byte pipeline, not ``nchannels``
+        phantom control messages per ring step.
+        """
+        if size < self.nchannels:
+            return max(1, size)
+        return self.nchannels
 
     def wire_size(self, payload: int) -> int:
         """Bytes on the wire for ``payload`` bytes of user data."""
@@ -101,11 +116,14 @@ def _pieces(step_bytes: int, cfg: NcclConfig) -> List[int]:
 # ring algorithms
 # ---------------------------------------------------------------------------
 def allreduce(ctx: CollectiveContext, size: int, cfg: NcclConfig, deps: Optional[DepMap] = None) -> DepMap:
-    """NCCL allreduce.
+    """NCCL allreduce of ``size`` total bytes.
 
     ``ring``: per channel, a chunked ring reduce-scatter followed by a ring
     allgather.  ``tree``: per channel, a chunked reduce up a binomial tree and
     broadcast back down (NCCL's tree algorithm for latency-bound sizes).
+    The buffer is striped over ``cfg.effective_channels(size)`` channels;
+    emitted message sizes are wire bytes (payload scaled by the protocol's
+    efficiency).  Returns the exit handle per global rank.
     """
     if ctx.size == 1:
         return dict(deps) if deps else {}
@@ -137,7 +155,7 @@ def _ring_collective(
     gather_pass: bool,
 ) -> DepMap:
     n = ctx.size
-    per_channel = _split(size, cfg.nchannels)
+    per_channel = _split(size, cfg.effective_channels(size))
     exits: Dict[int, List[int]] = {ctx.global_rank(r): [] for r in range(n)}
 
     for channel, channel_bytes in enumerate(per_channel):
@@ -217,7 +235,7 @@ def broadcast(ctx: CollectiveContext, size: int, cfg: NcclConfig, root: int = 0,
     n = ctx.size
     if n == 1:
         return dict(deps) if deps else {}
-    per_channel = _split(size, cfg.nchannels)
+    per_channel = _split(size, cfg.effective_channels(size))
     exits: Dict[int, List[int]] = {ctx.global_rank(r): [] for r in range(n)}
 
     for channel, channel_bytes in enumerate(per_channel):
@@ -266,7 +284,7 @@ def _tree_allreduce(ctx: CollectiveContext, size: int, cfg: NcclConfig, deps: Op
     from repro.collectives import mpi as _mpi
 
     n = ctx.size
-    per_channel = _split(size, cfg.nchannels)
+    per_channel = _split(size, cfg.effective_channels(size))
     exits: Dict[int, List[int]] = {ctx.global_rank(r): [] for r in range(n)}
     for channel, channel_bytes in enumerate(per_channel):
         sub_ctx = CollectiveContext(

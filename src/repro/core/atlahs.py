@@ -128,14 +128,26 @@ class Atlahs:
         compute_scale: float = 1.0,
         simulate_schedule: bool = True,
         seed: int = 0,
+        collective_algorithm: Optional[str] = None,
     ) -> PipelineResult:
-        """Trace an LLM-training model, run the 4-stage pipeline, and simulate it."""
+        """Trace an LLM-training model, run the 4-stage pipeline, and simulate it.
+
+        ``collective_algorithm`` overrides Stage 3's collective
+        decomposition with an algorithm from the
+        :mod:`repro.collectives.algorithms` registry (e.g. ``"hier_rs"``
+        for node-hierarchical allreduces, or ``"auto"`` for the LogGOPS
+        autotuner); ``None`` keeps the NCCL chunked ring/tree path.
+        """
         trainer = LlmTrainer(
             model, parallelism, gpus_per_node=gpus_per_node, iterations=iterations, seed=seed
         )
         report = trainer.trace()
         schedule = nccl_trace_to_goal(
-            report, nccl_config=nccl_config, compute_scale=compute_scale, gpus_per_node=gpus_per_node
+            report,
+            nccl_config=nccl_config,
+            compute_scale=compute_scale,
+            gpus_per_node=gpus_per_node,
+            collective_algorithm=collective_algorithm,
         )
         validate_schedule(schedule)
         sim_config = config or self.config.replace(loggops=LogGOPSParams.ai_cluster())

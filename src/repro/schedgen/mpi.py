@@ -7,9 +7,12 @@ The generator walks every rank's traced call sequence:
   ``compute_scale`` to retarget a different machine (paper §7),
 * point-to-point calls become ``send`` / ``recv`` vertices (``MPI_Sendrecv``
   becomes a send and a receive that may proceed concurrently),
-* collective calls are substituted by their point-to-point algorithms from
-  :mod:`repro.collectives.mpi`, selected per collective via the
-  ``algorithms`` mapping.
+* collective calls are substituted by their point-to-point algorithms,
+  resolved through the :mod:`repro.collectives.algorithms` registry and
+  selected per collective via the ``algorithms`` mapping — including the
+  hierarchical two-level algorithms (pass ``groups`` or a ``topology`` to
+  derive the locality partition) and ``"auto"``, which asks the registry's
+  LogGOPS autotuner to pick per (collective, size, group shape).
 
 Because a collective's decomposition spans all ranks of its communicator,
 ranks are processed co-routine style: each rank advances until it blocks on a
@@ -24,7 +27,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.collectives import mpi as calgs
-from repro.collectives.context import CollectiveContext, TagAllocator
+from repro.collectives.algorithms import get_algorithm, select_algorithm
+from repro.collectives.context import (
+    CollectiveContext,
+    TagAllocator,
+    groups_from_topology,
+    project_groups,
+)
 from repro.goal.builder import GoalBuilder
 from repro.goal.schedule import GoalSchedule
 from repro.tracers.mpi import COLLECTIVE_CALLS, MpiEvent, MpiTrace
@@ -78,11 +87,25 @@ class MpiScheduleGenerator:
         The input trace.
     algorithms:
         Per-collective algorithm overrides (see :data:`DEFAULT_ALGORITHMS`).
+        Values resolve through the :mod:`repro.collectives.algorithms`
+        registry; ``"auto"`` engages the LogGOPS autotuner per collective
+        instance.
     compute_scale:
         Multiplier applied to every inferred computation gap (hardware
         retargeting knob).
     reduce_ns_per_byte:
         Cost of reduction arithmetic inserted into reducing collectives.
+    groups:
+        Locality partition of the *global* ranks (e.g. ranks per node),
+        required by the hierarchical algorithms and consulted by
+        ``"auto"``.  Derived from ``topology`` when omitted.
+    topology / placement:
+        Optional :class:`~repro.network.topology.base.Topology` (plus a
+        ``{rank -> host}`` placement) used to derive ``groups`` and to
+        make ``"auto"`` selections latency/oversubscription-aware.
+    select_params:
+        :class:`~repro.network.config.LogGOPSParams` priced by ``"auto"``
+        (defaults to the paper's AI-cluster values).
     """
 
     def __init__(
@@ -91,6 +114,10 @@ class MpiScheduleGenerator:
         algorithms: Optional[Dict[str, str]] = None,
         compute_scale: float = 1.0,
         reduce_ns_per_byte: float = 0.0,
+        groups: Optional[List[List[int]]] = None,
+        topology=None,
+        placement: Optional[Dict[int, int]] = None,
+        select_params=None,
     ) -> None:
         if compute_scale < 0:
             raise ValueError("compute_scale must be non-negative")
@@ -100,6 +127,11 @@ class MpiScheduleGenerator:
             self.algorithms.update(algorithms)
         self.compute_scale = compute_scale
         self.reduce_ns_per_byte = reduce_ns_per_byte
+        if groups is None and topology is not None:
+            groups = groups_from_topology(range(trace.num_ranks), topology, placement)
+        self.groups = [list(g) for g in groups] if groups is not None else None
+        self.topology = topology
+        self.select_params = select_params
         self.tags = TagAllocator()
 
     # ------------------------------------------------------------------ public
@@ -229,6 +261,7 @@ class MpiScheduleGenerator:
             members,
             tags=self.tags,
             reduce_ns_per_byte=self.reduce_ns_per_byte,
+            groups=self._comm_groups(members),
         )
         exits = self._dispatch_collective(ctx, call, sample, deps)
         for rank in members:
@@ -239,33 +272,62 @@ class MpiScheduleGenerator:
             cursor.index += 1
             cursor.blocked_gap_emitted = False
 
+    def _comm_groups(self, members: List[int]) -> Optional[List[List[int]]]:
+        """Locality groups of one communicator (see ``project_groups``)."""
+        if self.groups is None:
+            return None
+        return project_groups(self.groups, members)
+
+    def _resolve(self, collective: str, algo: str, ctx: CollectiveContext, size: int) -> str:
+        """Resolve an ``algorithms`` entry, expanding ``"auto"`` via the autotuner."""
+        if algo != "auto":
+            return algo
+        return select_algorithm(
+            collective,
+            size,
+            ctx.size,
+            params=self.select_params,
+            topology=self.topology,
+            groups=ctx.groups,
+        ).name
+
     def _dispatch_collective(self, ctx: CollectiveContext, call: str, event: MpiEvent, deps) -> Dict[int, int]:
         size = max(1, event.size)
         algo = self.algorithms.get(call, "")
         if call == "MPI_Allreduce":
+            algo = self._resolve("allreduce", algo, ctx, size)
             if algo == "ring" and size < ALLREDUCE_RD_THRESHOLD:
                 return calgs.recursive_doubling_allreduce(ctx, size, deps)
-            return calgs.ALLREDUCE_ALGORITHMS.get(algo, calgs.ring_allreduce)(ctx, size, deps)
+            return get_algorithm("allreduce", algo).emit(ctx, size, deps)
         if call == "MPI_Bcast":
             root = ctx.ranks.index(event.root) if event.root in ctx.ranks else 0
-            return calgs.binomial_bcast(ctx, size, root=root, deps=deps)
+            algo = self._resolve("bcast", algo, ctx, size)
+            return get_algorithm("bcast", algo).emit(ctx, size, deps, root=root)
         if call == "MPI_Reduce":
             root = ctx.ranks.index(event.root) if event.root in ctx.ranks else 0
             return calgs.binomial_reduce(ctx, size, root=root, deps=deps)
         if call == "MPI_Barrier":
-            return calgs.dissemination_barrier(ctx, deps)
+            algo = self._resolve("barrier", algo, ctx, 1)
+            return get_algorithm("barrier", algo).emit(ctx, 1, deps)
         if call == "MPI_Allgather":
-            return calgs.allgather(ctx, size, deps)
+            # the traced size is each rank's contribution; registry
+            # algorithms take the gathered total
+            algo = self._resolve("allgather", algo, ctx, size * ctx.size)
+            return get_algorithm("allgather", algo).emit(ctx, size * ctx.size, deps)
         if call == "MPI_Alltoall":
-            return calgs.pairwise_alltoall(ctx, size, deps)
+            algo = self._resolve("alltoall", algo, ctx, size)
+            return get_algorithm("alltoall", algo).emit(ctx, size, deps)
         if call == "MPI_Gather":
+            # single registered decomposition (linear); kept off the
+            # registry until an alternative exists
             root = ctx.ranks.index(event.root) if event.root in ctx.ranks else 0
             return calgs.linear_gather(ctx, size, root=root, deps=deps)
         if call == "MPI_Scatter":
             root = ctx.ranks.index(event.root) if event.root in ctx.ranks else 0
             return calgs.linear_scatter(ctx, size, root=root, deps=deps)
         if call == "MPI_Reduce_scatter":
-            return calgs.ring_reduce_scatter(ctx, size, deps)
+            algo = self._resolve("reduce_scatter", algo, ctx, size)
+            return get_algorithm("reduce_scatter", algo).emit(ctx, size, deps)
         raise ValueError(f"unsupported collective {call}")
 
 
@@ -275,6 +337,10 @@ def mpi_trace_to_goal(
     compute_scale: float = 1.0,
     reduce_ns_per_byte: float = 0.0,
     name: Optional[str] = None,
+    groups: Optional[List[List[int]]] = None,
+    topology=None,
+    placement: Optional[Dict[int, int]] = None,
+    select_params=None,
 ) -> GoalSchedule:
     """Convenience wrapper around :class:`MpiScheduleGenerator`."""
     return MpiScheduleGenerator(
@@ -282,4 +348,8 @@ def mpi_trace_to_goal(
         algorithms=algorithms,
         compute_scale=compute_scale,
         reduce_ns_per_byte=reduce_ns_per_byte,
+        groups=groups,
+        topology=topology,
+        placement=placement,
+        select_params=select_params,
     ).generate(name=name)

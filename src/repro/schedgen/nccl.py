@@ -11,7 +11,11 @@ or by loading an nsys-like report from disk.  This module implements:
 * **Stage 3** — every NCCL collective is decomposed into its point-to-point
   algorithm according to the NCCL configuration (algorithm, protocol,
   channels) via :mod:`repro.collectives.nccl`; ncclSend/ncclRecv pairs are
-  matched by their per-(source, destination) order.
+  matched by their per-(source, destination) order.  A
+  ``collective_algorithm`` override substitutes an algorithm from the
+  :mod:`repro.collectives.algorithms` registry instead — including the
+  hierarchical two-level variants over the report's physical node grouping
+  and ``"auto"``, the LogGOPS autotuner.
 * **Stage 4** — the per-GPU DAGs are grouped into per-node DAGs with
   intra-node transfers replaced by ``calc`` vertices
   (:func:`repro.schedgen.grouping.group_ranks_into_nodes`); alternative
@@ -23,7 +27,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.collectives import nccl as cnccl
-from repro.collectives.context import CollectiveContext, TagAllocator
+from repro.collectives.algorithms import get_algorithm, select_algorithm
+from repro.collectives.context import (
+    CollectiveContext,
+    TagAllocator,
+    contiguous_groups,
+    project_groups,
+)
 from repro.goal.builder import GoalBuilder
 from repro.goal.schedule import GoalSchedule
 from repro.schedgen.grouping import group_ranks_into_nodes
@@ -73,6 +83,18 @@ class NcclScheduleGenerator:
     intra_node_ns_per_byte / intra_node_latency_ns:
         Intra-node (NVLink) transfer cost used when replacing same-node
         communication with ``calc`` vertices.
+    collective_algorithm:
+        Optional override of Stage 3's collective decomposition: a name
+        from the :mod:`repro.collectives.algorithms` registry (e.g.
+        ``"hier_rs"``, ``"recursive_halving_doubling"``) or ``"auto"`` for
+        the LogGOPS autotuner.  Applies to every collective kind the name
+        is registered for (others keep the NCCL chunked ring/tree path);
+        the locality hierarchy groups consecutive GPU ids by the *effective*
+        node width — the ``gpus_per_node`` override when one is given (so
+        hierarchical algorithms optimise for the same node boundary Stage 4
+        simulates, including "what-if" regroupings), else the report's
+        physical ``gpus_per_node``.  ``None`` (the default) keeps the
+        NCCL-configured decomposition exactly.
     """
 
     def __init__(
@@ -84,6 +106,8 @@ class NcclScheduleGenerator:
         intra_node_ns_per_byte: float = 1.0 / 150.0,
         intra_node_latency_ns: int = 700,
         stream_stride: int = 16,
+        collective_algorithm: Optional[str] = None,
+        select_params=None,
     ) -> None:
         if compute_scale < 0:
             raise ValueError("compute_scale must be non-negative")
@@ -96,6 +120,13 @@ class NcclScheduleGenerator:
         self.intra_node_ns_per_byte = intra_node_ns_per_byte
         self.intra_node_latency_ns = intra_node_latency_ns
         self.stream_stride = stream_stride
+        self.collective_algorithm = collective_algorithm
+        self.select_params = select_params
+        # locality: consecutive GPU ids share a node, at the node width
+        # Stage 4 will actually simulate (the explicit override wins so the
+        # hierarchy and the grouping agree; see the class docstring)
+        node_width = self.gpus_per_node if gpus_per_node is not None else report.gpus_per_node
+        self._node_groups = contiguous_groups(report.num_gpus, max(1, node_width))
         self.tags = TagAllocator()
 
     # ------------------------------------------------------------------ public
@@ -241,9 +272,18 @@ class NcclScheduleGenerator:
         # place the decomposition on the stream each collective was launched on
         # (channels add further streams on top of this base)
         base_cpu = self._stream_cpu(members[0], by_gpu[members[0]].stream)
-        ctx = CollectiveContext(builder, members, tags=self.tags, cpu=base_cpu)
+        ctx = CollectiveContext(
+            builder,
+            members,
+            tags=self.tags,
+            cpu=base_cpu,
+            groups=self._comm_groups(members),
+        )
         cfg = self.nccl_config
-        if op == "AllReduce":
+        exits = self._registry_emit(ctx, op, size, deps)
+        if exits is not None:
+            pass
+        elif op == "AllReduce":
             exits = cnccl.allreduce(ctx, size, cfg, deps)
         elif op == "Broadcast":
             exits = cnccl.broadcast(ctx, size, cfg, root=0, deps=deps)
@@ -263,6 +303,43 @@ class NcclScheduleGenerator:
             cursor.index += 1
             cursor.blocked_gap_emitted = False
 
+    #: NCCL kernel name -> collective kind of the algorithm registry.
+    _OP_TO_COLLECTIVE = {
+        "AllReduce": "allreduce",
+        "AllGather": "allgather",
+        "ReduceScatter": "reduce_scatter",
+        "Broadcast": "bcast",
+        "AllToAll": "alltoall",
+    }
+
+    def _comm_groups(self, members: List[int]) -> List[List[int]]:
+        """Node-locality groups of one communicator (see ``project_groups``)."""
+        return project_groups(self._node_groups, members)
+
+    def _registry_emit(self, ctx: CollectiveContext, op: str, size: int, deps) -> Optional[Dict[int, int]]:
+        """Decompose via the algorithm registry when an override is active.
+
+        Returns ``None`` (NCCL chunked path) when no ``collective_algorithm``
+        override is set, or when the named algorithm is not registered for
+        this collective kind.
+        """
+        if self.collective_algorithm is None:
+            return None
+        kind = self._OP_TO_COLLECTIVE.get(op)
+        if kind is None:
+            return None
+        name = self.collective_algorithm
+        if name == "auto":
+            name = select_algorithm(
+                kind, size, ctx.size, params=self.select_params, groups=ctx.groups
+            ).name
+        else:
+            try:
+                get_algorithm(kind, name)
+            except ValueError:
+                return None
+        return get_algorithm(kind, name).emit(ctx, size, deps, root=0)
+
 
 def nccl_trace_to_goal(
     report: NsysReport,
@@ -270,6 +347,7 @@ def nccl_trace_to_goal(
     compute_scale: float = 1.0,
     gpus_per_node: Optional[int] = None,
     name: Optional[str] = None,
+    collective_algorithm: Optional[str] = None,
 ) -> GoalSchedule:
     """Convenience wrapper around :class:`NcclScheduleGenerator` (full pipeline)."""
     return NcclScheduleGenerator(
@@ -277,4 +355,5 @@ def nccl_trace_to_goal(
         nccl_config=nccl_config,
         compute_scale=compute_scale,
         gpus_per_node=gpus_per_node,
+        collective_algorithm=collective_algorithm,
     ).generate(name=name)

@@ -1,4 +1,4 @@
-"""Sweep APIs: topology x routing, co-tenancy interference and resilience grids.
+"""Sweep APIs: topology x routing, collectives, co-tenancy and resilience grids.
 
 :func:`topology_routing_sweep` runs one GOAL schedule across a grid of
 topologies and routing strategies and collects runtime plus congestion
@@ -19,6 +19,15 @@ cell's runtime plus its slowdown against the healthy cell of the same
 ``benchmarks/test_fig_resilience.py`` and ``atlahs faults``.  Random
 failure draws are nested across rates for a fixed seed, so the curves are
 monotone in the failed set, not just in expectation.
+
+:func:`collective_sweep` runs one collective operation across an
+algorithm x topology x message-size grid through the
+:mod:`repro.collectives.algorithms` registry: every cell builds the
+collective's GOAL schedule with the topology's locality groups (ranks
+packed onto hosts in order), simulates it, and reports the finish time
+next to what the LogGOPS autotuner would have picked — the engine behind
+``atlahs collectives --sweep`` and the hierarchical-vs-flat comparisons
+in ``docs/collectives.md``.
 
 Typical use::
 
@@ -214,6 +223,168 @@ def topology_routing_sweep(
         for routing in routings
     ]
     return _execute_cells(_run_cell, cells, parallel)
+
+
+@dataclass(frozen=True)
+class CollectiveSweepEntry:
+    """Result of one (topology, algorithm, size) cell of a collective sweep.
+
+    Attributes
+    ----------
+    topology / collective / size / num_ranks / backend:
+        The cell's coordinates (``size`` in bytes — the collective's total
+        buffer, or bytes per pair for ``alltoall``).
+    algorithm:
+        The algorithm as requested (possibly ``"auto"``).
+    resolved:
+        The algorithm that actually ran (``algorithm`` unless ``"auto"``).
+    autotuner_pick:
+        What :func:`repro.collectives.select_algorithm` chooses for this
+        cell's (size, topology, groups) — lets reports show where the
+        autotuner agrees with the measured winner.
+    finish_time_ns / wall_clock_s / messages_delivered / bytes_delivered:
+        Simulation outcome of the cell (simulated ns, host seconds,
+        delivered message count and payload bytes).
+    """
+
+    topology: str
+    collective: str
+    algorithm: str
+    resolved: str
+    autotuner_pick: str
+    size: int
+    num_ranks: int
+    backend: str
+    finish_time_ns: int
+    wall_clock_s: float
+    messages_delivered: int
+    bytes_delivered: int
+
+    @property
+    def finish_time_us(self) -> float:
+        """Finish time in microseconds."""
+        return self.finish_time_ns / 1e3
+
+
+def _run_collective_cell(args) -> CollectiveSweepEntry:
+    """Simulate one collective cell (module-level so workers can pickle it)."""
+    from repro.collectives import (
+        build_collective_schedule,
+        groups_from_topology,
+        select_algorithm,
+    )
+    from repro.network.topology import build_topology
+
+    collective, algorithm, label, config, size, num_ranks, backend = args
+    topology = build_topology(config, num_ranks)
+    groups = groups_from_topology(range(num_ranks), topology)
+    choice = select_algorithm(
+        collective, size, num_ranks,
+        params=config.loggops, topology=topology, groups=groups,
+    )
+    resolved = choice.name if algorithm == "auto" else algorithm
+    schedule = build_collective_schedule(
+        collective, resolved, num_ranks, size, groups=groups,
+        name=f"{collective}-{resolved}-{label}-{size}",
+    )
+    result = simulate(schedule, backend=backend, config=config)
+    return CollectiveSweepEntry(
+        topology=label,
+        collective=collective,
+        algorithm=algorithm,
+        resolved=resolved,
+        autotuner_pick=choice.name,
+        size=size,
+        num_ranks=num_ranks,
+        backend=result.backend,
+        finish_time_ns=result.finish_time_ns,
+        wall_clock_s=result.wall_clock_s,
+        messages_delivered=result.stats.messages_delivered,
+        bytes_delivered=result.stats.bytes_delivered,
+    )
+
+
+def collective_sweep(
+    configs: Dict[str, SimulationConfig],
+    num_ranks: int,
+    sizes: Sequence[int] = (16384, 262144, 4194304),
+    algorithms: Sequence[str] = ("ring", "recursive_halving_doubling", "hier_rs"),
+    collective: str = "allreduce",
+    backend: str = "htsim",
+    parallel: Optional[int] = None,
+) -> List[CollectiveSweepEntry]:
+    """Simulate ``collective`` for every (topology, algorithm, size) cell.
+
+    Every cell emits a standalone schedule of the collective via
+    :func:`repro.collectives.build_collective_schedule` — hierarchical
+    algorithms use the topology's locality groups under the packed
+    placement (rank ``r`` on host ``r``) — and simulates it on ``backend``.
+
+    Parameters
+    ----------
+    configs:
+        Mapping of topology label to :class:`SimulationConfig` (see
+        :func:`default_topology_configs`).
+    num_ranks:
+        Communicator size; every config's topology must fit it.
+    sizes:
+        Message sizes in bytes (total buffer; per-pair for ``alltoall``).
+    algorithms:
+        Registry algorithm names for ``collective``; ``"auto"`` runs
+        whatever the LogGOPS autotuner picks for each cell.  Unknown names
+        raise :class:`ValueError` before any cell runs.
+    collective:
+        Collective kind (``"allreduce"``, ``"allgather"``, ...).
+    backend / parallel:
+        As for :func:`topology_routing_sweep`; cells run on the shared
+        :func:`_execute_cells` executor (grid order — configs x algorithms
+        x sizes — with per-cell deterministic inputs and serial fallback).
+    """
+    import dataclasses
+
+    from repro.collectives import get_algorithm
+
+    if num_ranks <= 1:
+        raise ValueError("collective sweeps need at least 2 ranks")
+    for name in algorithms:
+        if name != "auto":
+            get_algorithm(collective, name)  # validate early, raises ValueError
+
+    # resolve "auto" up front (same derivation the cell performs) so an
+    # auto cell that lands on an algorithm already in the grid reuses that
+    # cell's simulation instead of re-running an identical schedule
+    def _resolve(label, config, size):
+        from repro.collectives import groups_from_topology, select_algorithm
+        from repro.network.topology import build_topology
+
+        topology = build_topology(config, num_ranks)
+        groups = groups_from_topology(range(num_ranks), topology)
+        return select_algorithm(
+            collective, size, num_ranks,
+            params=config.loggops, topology=topology, groups=groups,
+        ).name
+
+    grid = []  # (requested algorithm, unique-cell key) in grid order
+    unique: Dict[Tuple[str, str, int], Tuple] = {}
+    for label, config in configs.items():
+        for algorithm in algorithms:
+            for size in sizes:
+                size = int(size)
+                resolved = (
+                    _resolve(label, config, size) if algorithm == "auto" else algorithm
+                )
+                key = (label, resolved, size)
+                grid.append((algorithm, key))
+                unique.setdefault(
+                    key,
+                    (collective, resolved, label, config, size, num_ranks, backend),
+                )
+    results = _execute_cells(_run_collective_cell, list(unique.values()), parallel)
+    by_key = dict(zip(unique.keys(), results))
+    return [
+        dataclasses.replace(by_key[key], algorithm=algorithm)
+        for algorithm, key in grid
+    ]
 
 
 @dataclass(frozen=True)

@@ -142,3 +142,66 @@ class TestBroadcastAndOthers:
         # every comm op of rank 0 must (transitively) depend on the first calc
         roots = sched.ranks[0].roots()
         assert roots == [0]
+
+
+class TestChunkingEdgeCases:
+    """Regressions for degenerate NcclConfig chunking (zero-byte, size < parts)."""
+
+    @pytest.mark.parametrize("algorithm", ["ring", "tree"])
+    def test_zero_byte_allreduce_is_valid_and_degenerate(self, algorithm):
+        b, ctx = _ctx(4)
+        cfg = cnccl.NcclConfig(algorithm=algorithm, nchannels=4)
+        out = cnccl.allreduce(ctx, 0, cfg)
+        sched = b.build()
+        validate_schedule(sched)
+        assert set(out) == set(range(4))
+        # a single 1-byte control pipeline, not nchannels phantom channels
+        streams = {op.cpu for rank in sched.ranks for op in rank.ops}
+        assert streams == {0}
+        assert simulate(sched, backend="lgs").ops_completed == sched.num_ops()
+
+    def test_zero_byte_broadcast_and_reduce_scatter(self):
+        for fn in (cnccl.broadcast, cnccl.reduce_scatter, cnccl.allgather):
+            b, ctx = _ctx(5)
+            fn(ctx, 0, cnccl.NcclConfig(nchannels=2))
+            sched = b.build()
+            validate_schedule(sched)
+            assert simulate(sched, backend="lgs").ops_completed == sched.num_ops()
+
+    def test_size_smaller_than_channel_count_uses_byte_count_channels(self):
+        # 3 bytes over 8 channels: only 3 channels (streams) may carry data
+        b, ctx = _ctx(4)
+        cnccl.allreduce(ctx, 3, cnccl.NcclConfig(nchannels=8))
+        sched = b.build()
+        validate_schedule(sched)
+        streams = {op.cpu for rank in sched.ranks for op in rank.ops}
+        assert streams == {0, 1, 2}
+        assert simulate(sched, backend="lgs").ops_completed == sched.num_ops()
+
+    def test_size_smaller_than_ring_slices_is_valid(self):
+        # 3 bytes over 5 ring positions: empty slices become 1-byte controls
+        b, ctx = _ctx(5)
+        cnccl.allreduce(ctx, 3, cnccl.NcclConfig(nchannels=1))
+        sched = b.build()
+        validate_schedule(sched)
+        assert simulate(sched, backend="lgs").ops_completed == sched.num_ops()
+
+    def test_effective_channels(self):
+        cfg = cnccl.NcclConfig(nchannels=4)
+        assert cfg.effective_channels(0) == 1
+        assert cfg.effective_channels(3) == 3
+        assert cfg.effective_channels(4) == 4
+        assert cfg.effective_channels(1 << 20) == 4
+
+    def test_nonpositive_chunk_bytes_rejected(self):
+        with pytest.raises(ValueError, match="chunk_bytes"):
+            cnccl.NcclConfig(chunk_bytes=0)
+        with pytest.raises(ValueError, match="chunk_bytes"):
+            cnccl.NcclConfig(chunk_bytes=-4)
+
+    def test_zero_byte_send_recv_pair(self):
+        b, ctx = _ctx(2)
+        cnccl.send_recv_pair(ctx, 0, 1, 0, cnccl.NcclConfig())
+        sched = b.build()
+        validate_schedule(sched)
+        assert sched.op_counts()["send"] == 1

@@ -1,0 +1,79 @@
+"""Markdown link check over the project documentation.
+
+Every relative link in README.md and docs/*.md must point at a file that
+exists in the repository, and every fragment (``#anchor``) must match a
+heading of its target document (GitHub-style slugs).  External links are
+only sanity-checked for scheme.  The CI docs job runs this suite.
+"""
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = sorted([REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")])
+
+# [text](target) — ignoring images and in-code examples is fine for our docs
+_LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a markdown heading."""
+    slug = heading.strip().lower()
+    slug = slug.replace("`", "")
+    slug = re.sub(r"[^a-z0-9 _-]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    return {_slugify(h) for h in _HEADING.findall(path.read_text())}
+
+
+def _links(path: Path):
+    return _LINK.findall(path.read_text())
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+def test_relative_links_resolve(doc):
+    problems = []
+    for target in _links(doc):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # external scheme
+            if not target.startswith(("http://", "https://", "mailto:")):
+                problems.append(f"{target}: unexpected scheme")
+            continue
+        raw, _, fragment = target.partition("#")
+        dest = doc if not raw else (doc.parent / raw).resolve()
+        if raw and not dest.exists():
+            problems.append(f"{target}: file {raw} does not exist")
+            continue
+        if fragment and dest.suffix == ".md":
+            if fragment not in _anchors(dest):
+                problems.append(f"{target}: no heading for anchor #{fragment}")
+    assert not problems, f"{doc.name} has broken links:\n" + "\n".join(problems)
+
+
+def test_docs_cross_reference_each_other():
+    """The doc set must stay connected: the README links the references."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    for name in ("docs/architecture.md", "docs/performance.md", "docs/collectives.md", "docs/cli.md"):
+        assert name in readme, f"README does not link {name}"
+    architecture = (REPO_ROOT / "docs" / "architecture.md").read_text()
+    assert "collectives.md" in architecture
+
+
+def test_collectives_doc_names_only_registered_algorithms():
+    """Algorithm names in docs/collectives.md headings must exist in the registry."""
+    from repro.collectives import COLLECTIVE_ALGORITHMS
+
+    registered = {
+        name for kinds in COLLECTIVE_ALGORITHMS.values() for name in kinds
+    }
+    text = (REPO_ROOT / "docs" / "collectives.md").read_text()
+    documented = set(re.findall(r"^### `([a-z0-9_]+)`", text, re.MULTILINE))
+    assert documented, "collectives.md lost its per-algorithm sections"
+    unknown = documented - registered
+    assert not unknown, f"collectives.md documents unregistered algorithms: {unknown}"
+    # and every allreduce algorithm has a reference section
+    missing = set(COLLECTIVE_ALGORITHMS["allreduce"]) - documented
+    assert not missing, f"allreduce algorithms missing a reference section: {missing}"

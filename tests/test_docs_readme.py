@@ -16,6 +16,7 @@ DOCS = [
     REPO_ROOT / "README.md",
     REPO_ROOT / "docs" / "architecture.md",
     REPO_ROOT / "docs" / "performance.md",
+    REPO_ROOT / "docs" / "collectives.md",
 ]
 
 _FENCE = re.compile(r"[ \t]*```python\n(.*?)[ \t]*```", re.DOTALL)
