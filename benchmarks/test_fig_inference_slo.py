@@ -1,0 +1,170 @@
+"""Goodput knee and p999 TTFT blow-up of the inference-serving family.
+
+The production serving signature the paper's training/HPC traces cannot
+express: an open-loop request stream pushed through a disaggregated
+prefill/decode cluster saturates — goodput tracks offered load below the
+nominal capacity knee, then stops growing (and sags as continuous-batching
+joins get gated by congested KV transfers), while the p999 time-to-first-
+token degrades *super-linearly* past the knee as the prefill queue builds.
+
+Both backends replay the same fixed-seed GOAL schedules, so the curves are
+directly comparable; the fabric is deliberately skinny (4 B/ns links,
+LogGOPS ``G`` calibrated to match, 64 KiB of KV cache per prompt token) so
+the KV-transfer path is a visible share of TTFT.  A second experiment
+composes the same below-knee scenario with a :class:`FaultSchedule` that
+degrades every ToR<->core cable to quarter capacity — the "serving fleet on
+a sick fabric" study — and must show measurably worse p999 and goodput on
+both backends.
+"""
+from __future__ import annotations
+
+from benchmarks.conftest import print_table, run_once
+from repro.apps.inference import (
+    DEFAULT_TENANTS,
+    ServingClusterConfig,
+    build_inference_workload,
+)
+from repro.measurement.serving import SloSpec, compute_serving_metrics
+from repro.network import FaultSchedule, SimulationConfig
+from repro.network.config import LogGOPSParams
+from repro.scheduler import simulate
+
+REQUESTS = 96
+SEED = 7
+LOAD_FRACTIONS = (0.5, 0.8, 1.6, 2.4)  # of nominal capacity; knee at 1.0
+BACKENDS = ("lgs", "htsim")
+
+#: Heavy KV traffic (64 KiB per prompt token -> 8 MiB per request) so the
+#: prefill->decode transfer path matters relative to compute.
+CLUSTER = ServingClusterConfig(kv_bytes_per_token=65536)
+
+#: A generous deadline: goodput accounting, not deadline-miss accounting —
+#: the knee must come from capacity, not from the SLO definition.
+SLO = SloSpec(ttft_ns=500_000_000)
+
+#: Every ToR<->core cable at quarter capacity (2 cores, 3 ToRs at 2 hosts
+#: per ToR for the 5-rank cluster): the degraded-fabric composition.
+_CORE_CABLES = tuple(
+    f"tor{t}->core{c}" for t in range(3) for c in range(2)
+) + tuple(f"core{c}->tor{t}" for t in range(3) for c in range(2))
+DEGRADED = FaultSchedule(degraded_links=tuple((l, 0.25) for l in _CORE_CABLES))
+
+
+def _config() -> SimulationConfig:
+    """Skinny calibrated fabric: LogGOPS ``G`` is the link's ns/byte."""
+    return SimulationConfig(
+        topology="fat_tree",
+        nodes_per_tor=2,
+        link_bandwidth=4.0,
+        link_latency=500,
+        host_overhead=200,
+        loggops=LogGOPSParams(L=1000, o=200, g=5, G=0.25, O=0.0, S=0),
+        seed=1,
+    )
+
+
+def _run_cell(rate_rps: float, backend: str, faults: FaultSchedule = None):
+    plan = build_inference_workload(
+        num_requests=REQUESTS, rate_rps=rate_rps, cluster=CLUSTER, seed=SEED
+    )
+    config = _config()
+    if faults is not None:
+        config = config.replace(faults=faults)
+    result = simulate(
+        plan.schedule, backend=backend, config=config, op_groups=plan.op_groups
+    )
+    return compute_serving_metrics(plan, result, slo=SLO)
+
+
+def _load_curves():
+    capacity = CLUSTER.nominal_capacity_rps(DEFAULT_TENANTS)
+    curves = {}
+    for backend in BACKENDS:
+        curves[backend] = [
+            _run_cell(capacity * fraction, backend) for fraction in LOAD_FRACTIONS
+        ]
+    return capacity, curves
+
+
+def test_fig_inference_goodput_knee_and_p999_blowup(benchmark):
+    capacity, curves = run_once(benchmark, _load_curves)
+
+    rows = []
+    for backend in BACKENDS:
+        for fraction, m in zip(LOAD_FRACTIONS, curves[backend]):
+            rows.append(
+                (
+                    backend,
+                    f"{fraction:.1f}c",
+                    f"{m.offered_rps:.0f}/s",
+                    f"{m.goodput_rps:.0f}/s",
+                    f"{m.ttft_percentiles_ns['p50'] / 1e6:.2f} ms",
+                    f"{m.ttft_percentiles_ns['p999'] / 1e6:.2f} ms",
+                    f"{m.batch_occupancy['mean_batch']:.2f}",
+                )
+            )
+    print_table(
+        f"Goodput vs offered load (nominal capacity ~{capacity:.0f} req/s)",
+        ["backend", "load", "offered", "goodput", "ttft p50", "ttft p999", "batch"],
+        rows,
+    )
+
+    for backend in BACKENDS:
+        sub, knee, over, deep = curves[backend]
+        # below the knee the system keeps up: goodput tracks offered load
+        assert sub.goodput_rps >= 0.85 * sub.offered_rps, (
+            f"{backend}: goodput {sub.goodput_rps:.0f} lags offered "
+            f"{sub.offered_rps:.0f} below the knee"
+        )
+        # past the knee goodput saturates: bounded by capacity, and more
+        # offered load buys no more good requests
+        for m in (over, deep):
+            assert m.goodput_rps <= 1.05 * capacity
+            assert m.goodput_rps <= 1.05 * knee.goodput_rps, (
+                f"{backend}: goodput kept growing past the knee "
+                f"({m.goodput_rps:.0f} vs {knee.goodput_rps:.0f})"
+            )
+        assert deep.goodput_rps <= 1.05 * over.goodput_rps
+        # p999 TTFT degrades super-linearly: the growth factor across the
+        # knee dwarfs the growth factor below it (same 2x/1.6x load steps)
+        p999 = [m.ttft_percentiles_ns["p999"] for m in curves[backend]]
+        below_growth = p999[1] / p999[0]
+        across_growth = p999[2] / p999[1]
+        assert across_growth > 3.0, (
+            f"{backend}: p999 grew only {across_growth:.2f}x across the knee"
+        )
+        assert across_growth > below_growth, (
+            f"{backend}: p999 growth did not accelerate past the knee "
+            f"({across_growth:.2f}x vs {below_growth:.2f}x)"
+        )
+        assert p999[3] > p999[2]
+
+
+def test_fig_inference_degraded_fabric_worsens_p999():
+    capacity = CLUSTER.nominal_capacity_rps(DEFAULT_TENANTS)
+    rate = capacity * 0.8  # below the knee: headroom the faults then eat
+    rows = []
+    for backend in BACKENDS:
+        healthy = _run_cell(rate, backend)
+        degraded = _run_cell(rate, backend, faults=DEGRADED)
+        rows.append(
+            (
+                backend,
+                f"{healthy.ttft_percentiles_ns['p999'] / 1e6:.2f} ms",
+                f"{degraded.ttft_percentiles_ns['p999'] / 1e6:.2f} ms",
+                f"{healthy.goodput_rps:.0f}/s",
+                f"{degraded.goodput_rps:.0f}/s",
+            )
+        )
+        assert (
+            degraded.ttft_percentiles_ns["p999"]
+            > 1.5 * healthy.ttft_percentiles_ns["p999"]
+        ), f"{backend}: degraded fabric barely moved p999"
+        assert degraded.goodput_rps < healthy.goodput_rps, (
+            f"{backend}: degraded fabric did not cost goodput"
+        )
+    print_table(
+        "Same serving scenario, ToR<->core cables at quarter capacity",
+        ["backend", "p999 healthy", "p999 degraded", "goodput healthy", "goodput degraded"],
+        rows,
+    )

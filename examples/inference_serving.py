@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Serve an open-loop inference workload and watch the goodput knee.
+
+Demonstrates the inference-serving family (:mod:`repro.apps.inference`):
+generate request streams from a Poisson arrival process at several offered
+rates around the serving cluster's nominal capacity, simulate the
+disaggregated prefill/decode pipeline (KV-cache transfers, continuous
+batching) on the message-level backend, and fold per-request op-group
+finish times into SLO metrics.  The printed table shows the production
+serving signature: goodput tracks offered load below capacity, saturates
+at the knee, and the p999 time-to-first-token blows up super-linearly past
+it while the median barely moves.
+
+Run with::
+
+    PYTHONPATH=src python examples/inference_serving.py
+"""
+from repro.apps.inference import DEFAULT_TENANTS, ServingClusterConfig
+from repro.measurement.serving import SloSpec
+from repro.network import SimulationConfig
+from repro.sweep import inference_sweep
+
+
+def main() -> None:
+    cluster = ServingClusterConfig(frontends=1, prefill_ranks=2, decode_ranks=2)
+    capacity = cluster.nominal_capacity_rps(DEFAULT_TENANTS)
+    print(f"serving cluster: {cluster.num_ranks} ranks, "
+          f"nominal capacity ~{capacity:.0f} req/s")
+
+    # same request population at every rate (fixed seed); only the
+    # arrival clock stretches or compresses
+    rates = [round(capacity * f) for f in (0.4, 0.7, 1.0, 1.5, 2.5)]
+    entries = inference_sweep(
+        rates,
+        configs={"fat_tree": SimulationConfig(topology="fat_tree", nodes_per_tor=2)},
+        backend="lgs",
+        num_requests=96,
+        process="poisson",
+        cluster=cluster,
+        seed=7,
+        slo=SloSpec(ttft_ns=20_000_000),  # 20 ms TTFT deadline
+    )
+
+    header = (f"{'offered':>9} {'goodput':>9} {'ttft p50':>10} "
+              f"{'ttft p99':>10} {'ttft p999':>10} {'batch':>6}")
+    print(header)
+    print("-" * len(header))
+    for e in entries:
+        print(
+            f"{e.offered_rps:>7.0f}/s {e.goodput_rps:>7.0f}/s "
+            f"{e.ttft_p50_ns / 1e6:>8.2f}ms {e.ttft_p99_ns / 1e6:>8.2f}ms "
+            f"{e.ttft_p999_ns / 1e6:>8.2f}ms {e.mean_batch:>6.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,12 @@ block-I/O operations and hand them to the tracers in :mod:`repro.tracers`.
   LAMMPS, ICON, OpenMX),
 * :mod:`repro.apps.ai` — distributed LLM training models (Llama, MoE, DLRM)
   with TP/PP/DP/EP parallelism emitting NCCL operations per GPU and CUDA
-  stream.
+  stream,
+* :mod:`repro.apps.inference` — inference-*serving* workloads: open-loop
+  request arrivals (Poisson / bursty / diurnal), disaggregated
+  prefill/decode phases with KV-cache transfer flows, and continuous
+  batching, generating GOAL schedules with per-request op groups for SLO
+  measurement.
 
 Storage applications are represented directly by the workload generators in
 :mod:`repro.tracers.storage` (the "application" there is any VM issuing block

@@ -13,6 +13,9 @@ Subcommands mirror the main pipelines:
   file or a ``pattern:ranks:size`` synthetic spec),
 * ``atlahs faults WORKLOAD`` — replay a workload on a degraded fabric:
   link-failure-rate sweeps or explicit timed link/switch fault scenarios,
+* ``atlahs inference`` — sweep an inference-serving workload (open-loop
+  arrivals, prefill/decode phases, continuous batching) across offered
+  request rates and report goodput plus TTFT/TPOT SLO percentiles,
 * ``atlahs collectives`` — list/describe the collective algorithm registry,
   or sweep algorithms x topologies x sizes (``--sweep``; see
   ``docs/collectives.md``),
@@ -486,6 +489,140 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant_specs(text: str) -> List:
+    """Parse a ``NAME:WEIGHT:PROMPT_TOKENS:DECODE_TOKENS`` tenant-mix list."""
+    from repro.apps.inference import TenantSpec
+
+    tenants = []
+    for spec in text.split(","):
+        spec = spec.strip()
+        if not spec:
+            continue
+        parts = spec.split(":")
+        if len(parts) != 4:
+            raise SystemExit(
+                f"bad tenant spec {spec!r}; expected "
+                f"NAME:WEIGHT:PROMPT_TOKENS:DECODE_TOKENS (e.g. chat:3:128:32)"
+            )
+        name, weight, prompt, decode = parts
+        try:
+            tenants.append(
+                TenantSpec(
+                    name=name,
+                    weight=float(weight),
+                    prompt_tokens=int(prompt),
+                    decode_tokens=int(decode),
+                )
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad tenant spec {spec!r}: {exc}") from None
+    if not tenants:
+        raise SystemExit("--tenants lists no tenants")
+    seen = set()
+    for tenant in tenants:
+        if tenant.name in seen:
+            raise SystemExit(f"duplicate tenant name {tenant.name!r} in --tenants")
+        seen.add(tenant.name)
+    return tenants
+
+
+def _cmd_inference(args: argparse.Namespace) -> int:
+    """Sweep an inference-serving workload across offered rates and report SLO percentiles."""
+    from repro.apps.inference import (
+        DEFAULT_TENANTS,
+        ServingClusterConfig,
+        arrival_process_names,
+    )
+    from repro.measurement.serving import SloSpec
+    from repro.sweep import inference_sweep
+
+    if args.process not in arrival_process_names():
+        raise SystemExit(
+            f"unknown arrival process {args.process!r}; "
+            f"expected one of {', '.join(arrival_process_names())}"
+        )
+    try:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"--rates must be comma-separated requests/s, got {args.rates!r}"
+        ) from None
+    if not rates:
+        raise SystemExit("--rates lists no offered rates")
+    bad = [r for r in rates if r <= 0]
+    if bad:
+        raise SystemExit(
+            f"bad --rates: offered rates must be positive requests/s, got {bad}"
+        )
+    tenants = list(DEFAULT_TENANTS) if args.tenants is None else _parse_tenant_specs(args.tenants)
+    try:
+        cluster = ServingClusterConfig(
+            frontends=args.frontends,
+            prefill_ranks=args.prefill_ranks,
+            decode_ranks=args.decode_ranks,
+            max_batch=args.max_batch,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad serving cluster: {exc}") from None
+    try:
+        slo = SloSpec(ttft_ns=int(args.slo_ttft_ms * 1e6))
+    except ValueError as exc:
+        raise SystemExit(f"bad --slo-ttft-ms: {exc}") from None
+
+    config = _config_from_args(args)
+    try:
+        entries = inference_sweep(
+            rates,
+            configs={args.topology: config},
+            backend=args.backend,
+            num_requests=args.requests,
+            process=args.process,
+            tenants=tenants,
+            cluster=cluster,
+            seed=args.seed,
+            slo=slo,
+            parallel=args.parallel,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad inference sweep: {exc}") from None
+    payload = {
+        "workload": f"inference-{args.process}-{args.requests}req",
+        "backend": args.backend,
+        "topology": args.topology,
+        "process": args.process,
+        "requests": args.requests,
+        "tenants": [
+            {
+                "name": t.name,
+                "weight": t.weight,
+                "prompt_tokens": t.prompt_tokens,
+                "decode_tokens": t.decode_tokens,
+            }
+            for t in tenants
+        ],
+        "nominal_capacity_rps": round(cluster.nominal_capacity_rps(tenants), 1),
+        "slo_ttft_ms": args.slo_ttft_ms,
+        "cells": [
+            {
+                "rate_rps": e.rate_rps,
+                "offered_rps": round(e.offered_rps, 1),
+                "throughput_rps": round(e.throughput_rps, 1),
+                "goodput_rps": round(e.goodput_rps, 1),
+                "good_requests": e.good_requests,
+                "ttft_p50_ms": round(e.ttft_p50_ns / 1e6, 3),
+                "ttft_p99_ms": round(e.ttft_p99_ns / 1e6, 3),
+                "ttft_p999_ms": round(e.ttft_p999_ns / 1e6, 3),
+                "tpot_p50_ms": round(e.tpot_p50_ns / 1e6, 3),
+                "mean_batch": round(e.mean_batch, 2),
+                "finish_time_ms": e.finish_time_ns / 1e6,
+            }
+            for e in entries
+        ],
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
 def _cmd_collectives(args: argparse.Namespace) -> int:
     """List, describe or sweep the collective algorithm registry (see docs/collectives.md)."""
     from repro.collectives import (
@@ -819,6 +956,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_network_args(p)
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "inference",
+        help="sweep an inference-serving workload and report SLO percentiles",
+        description=_first_doc_line(_cmd_inference),
+    )
+    p.add_argument("--requests", type=int, default=64, help="requests per cell")
+    p.add_argument(
+        "--rates",
+        default="200,400,800",
+        metavar="RPS[,RPS...]",
+        help="offered request rates (requests/s) to sweep",
+    )
+    p.add_argument(
+        "--process",
+        default="poisson",
+        metavar="NAME",
+        help="arrival process: poisson, bursty or diurnal",
+    )
+    p.add_argument(
+        "--tenants",
+        default=None,
+        metavar="NAME:WEIGHT:PROMPT:DECODE[,...]",
+        help="tenant mix, e.g. 'chat:3:128:32,batch:1:512:8' "
+        "(default: the built-in chat+summarize mix)",
+    )
+    p.add_argument("--frontends", type=int, default=1, help="frontend ranks")
+    p.add_argument("--prefill-ranks", type=int, default=2, help="prefill ranks")
+    p.add_argument("--decode-ranks", type=int, default=2, help="decode ranks")
+    p.add_argument(
+        "--max-batch", type=int, default=8, help="continuous-batching cap per decode rank"
+    )
+    p.add_argument(
+        "--slo-ttft-ms",
+        type=float,
+        default=2000.0,
+        help="TTFT deadline in ms for the goodput accounting",
+    )
+    p.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="worker processes for the sweep (default: serial)",
+    )
+    _add_network_args(p)
+    p.set_defaults(func=_cmd_inference)
 
     p = sub.add_parser(
         "collectives",

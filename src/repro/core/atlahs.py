@@ -235,6 +235,56 @@ class Atlahs:
             extras={"direct_drive": dd},
         )
 
+    # --------------------------------------------------------------- inference
+    def run_inference(
+        self,
+        num_requests: int = 64,
+        rate_rps: float = 400.0,
+        process: str = "poisson",
+        tenants=None,
+        cluster=None,
+        slo=None,
+        backend: str = "lgs",
+        config: Optional[SimulationConfig] = None,
+        seed: int = 0,
+        **process_kwargs,
+    ) -> PipelineResult:
+        """Generate and simulate one inference-serving cell, with SLO metrics.
+
+        Builds an open-loop serving workload via
+        :func:`repro.apps.inference.build_inference_workload`, simulates it
+        with per-request op groups, and folds the group finish times into
+        :class:`repro.measurement.serving.ServingMetrics`.  The plan and the
+        metrics ride in ``extras`` (``extras["plan"]``/``extras["metrics"]``).
+        """
+        from repro.apps.inference import build_inference_workload
+        from repro.measurement.serving import compute_serving_metrics
+
+        plan = build_inference_workload(
+            num_requests=num_requests,
+            rate_rps=rate_rps,
+            process=process,
+            tenants=tenants,
+            cluster=cluster,
+            seed=seed,
+            **process_kwargs,
+        )
+        validate_schedule(plan.schedule)
+        result = simulate(
+            plan.schedule,
+            backend=backend,
+            config=config or self.config,
+            validate=False,
+            op_groups=plan.op_groups,
+        )
+        metrics = compute_serving_metrics(plan, result, slo=slo)
+        return PipelineResult(
+            schedule=plan.schedule,
+            result=result,
+            goal_bytes=len(encode_goal(plan.schedule)),
+            extras={"plan": plan, "metrics": metrics},
+        )
+
     # --------------------------------------------------------------- multi-job
     def run_cotenant(
         self,

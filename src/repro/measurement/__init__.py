@@ -14,10 +14,22 @@ from repro.measurement.reference import (
     non_overlapped_compute_fraction,
     prediction_error,
 )
+from repro.measurement.serving import (
+    RequestOutcome,
+    ServingMetrics,
+    SloSpec,
+    compute_serving_metrics,
+    percentile_nearest_rank,
+)
 
 __all__ = [
     "MeasurementResult",
     "measure_reference_runtime",
     "non_overlapped_compute_fraction",
     "prediction_error",
+    "RequestOutcome",
+    "ServingMetrics",
+    "SloSpec",
+    "compute_serving_metrics",
+    "percentile_nearest_rank",
 ]

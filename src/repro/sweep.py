@@ -20,6 +20,12 @@ cell's runtime plus its slowdown against the healthy cell of the same
 failure draws are nested across rates for a fixed seed, so the curves are
 monotone in the failed set, not just in expectation.
 
+:func:`inference_sweep` runs the inference-serving workload family
+(:mod:`repro.apps.inference`) across an offered-load grid and reports each
+cell's serving metrics — goodput, SLO-percentile TTFT/TPOT and batch
+occupancy — the engine behind ``atlahs inference`` and the goodput-knee /
+p999-blow-up curves in ``benchmarks/test_fig_inference_slo.py``.
+
 :func:`collective_sweep` runs one collective operation across an
 algorithm x topology x message-size grid through the
 :mod:`repro.collectives.algorithms` registry: every cell builds the
@@ -385,6 +391,148 @@ def collective_sweep(
         dataclasses.replace(by_key[key], algorithm=algorithm)
         for algorithm, key in grid
     ]
+
+
+@dataclass(frozen=True)
+class InferenceSweepEntry:
+    """Serving metrics of one (topology, offered-rate) inference cell."""
+
+    topology: str
+    backend: str
+    process: str
+    rate_rps: float
+    offered_rps: float
+    requests: int
+    good_requests: int
+    throughput_rps: float
+    goodput_rps: float
+    ttft_p50_ns: float
+    ttft_p99_ns: float
+    ttft_p999_ns: float
+    tpot_p50_ns: float
+    tpot_p99_ns: float
+    mean_batch: float
+    finish_time_ns: int
+    wall_clock_s: float
+
+    @property
+    def ttft_p999_ms(self) -> float:
+        return self.ttft_p999_ns / 1e6
+
+
+def _run_inference_cell(args) -> InferenceSweepEntry:
+    """Simulate one inference cell (module-level so workers can pickle it)."""
+    from repro.apps.inference import build_inference_workload
+    from repro.measurement.serving import compute_serving_metrics
+
+    (
+        label,
+        config,
+        backend,
+        num_requests,
+        rate,
+        process,
+        tenants,
+        cluster,
+        seed,
+        slo,
+        process_kwargs,
+    ) = args
+    plan = build_inference_workload(
+        num_requests=num_requests,
+        rate_rps=rate,
+        process=process,
+        tenants=tenants,
+        cluster=cluster,
+        seed=seed,
+        **process_kwargs,
+    )
+    result = simulate(
+        plan.schedule, backend=backend, config=config, op_groups=plan.op_groups
+    )
+    metrics = compute_serving_metrics(plan, result, slo=slo)
+    return InferenceSweepEntry(
+        topology=label,
+        backend=result.backend,
+        process=process,
+        rate_rps=rate,
+        offered_rps=metrics.offered_rps,
+        requests=metrics.num_requests,
+        good_requests=metrics.good_requests,
+        throughput_rps=metrics.throughput_rps,
+        goodput_rps=metrics.goodput_rps,
+        ttft_p50_ns=metrics.ttft_percentiles_ns["p50"],
+        ttft_p99_ns=metrics.ttft_percentiles_ns["p99"],
+        ttft_p999_ns=metrics.ttft_percentiles_ns["p999"],
+        tpot_p50_ns=metrics.tpot_percentiles_ns["p50"],
+        tpot_p99_ns=metrics.tpot_percentiles_ns["p99"],
+        mean_batch=metrics.batch_occupancy["mean_batch"],
+        finish_time_ns=result.finish_time_ns,
+        wall_clock_s=result.wall_clock_s,
+    )
+
+
+def inference_sweep(
+    rates: Sequence[float],
+    configs: Optional[Dict[str, SimulationConfig]] = None,
+    backend: str = "lgs",
+    num_requests: int = 64,
+    process: str = "poisson",
+    tenants=None,
+    cluster=None,
+    seed: int = 0,
+    slo=None,
+    parallel: Optional[int] = None,
+    **process_kwargs,
+) -> List[InferenceSweepEntry]:
+    """Run the serving workload across a (topology config) x offered-rate grid.
+
+    Every cell generates an open-loop serving workload at one offered rate
+    via :func:`repro.apps.inference.build_inference_workload` (with a fixed
+    ``seed``, so the *same request population* arrives faster or slower as
+    the rate changes), simulates it with per-request op groups, and folds
+    the group finish times into an :class:`InferenceSweepEntry` through
+    :func:`repro.measurement.serving.compute_serving_metrics`.
+
+    Parameters
+    ----------
+    rates:
+        Offered request rates (requests/s), one cell group per rate.
+    configs:
+        Mapping of topology label to :class:`SimulationConfig`; defaults to
+        a single ``{"fat_tree": SimulationConfig()}``.
+    backend / parallel:
+        As for :func:`topology_routing_sweep`; cells run on the shared
+        :func:`_execute_cells` executor (grid order — configs x rates —
+        with per-cell deterministic inputs and serial fallback).
+    num_requests / process / tenants / cluster / seed / process_kwargs:
+        Forwarded to :func:`~repro.apps.inference.build_inference_workload`.
+    slo:
+        Optional :class:`~repro.measurement.serving.SloSpec`; ``None`` uses
+        the default TTFT deadline.
+    """
+    if not rates:
+        raise ValueError("need at least one offered rate")
+    if configs is None:
+        configs = {"fat_tree": SimulationConfig()}
+    cells = [
+        (
+            label,
+            config,
+            backend,
+            num_requests,
+            float(rate),
+            process,
+            tenants,
+            cluster,
+            seed,
+            slo,
+            process_kwargs,
+        )
+        for label, config in configs.items()
+        for rate in rates
+    ]
+    return _execute_cells(_run_inference_cell, cells, parallel)
 
 
 @dataclass(frozen=True)

@@ -1,7 +1,7 @@
 """Cross-backend differential test harness.
 
-Runs a grid of small GOAL schedules — pt2pt chains, incast, ring-allreduce
-and all-to-all patterns across two topologies — through **both** the
+Runs a grid of small GOAL schedules — pt2pt chains, incast, ring-allreduce,
+all-to-all and inference-serving patterns across two topologies — through **both** the
 message-level (LogGOPS) and the packet-level backend, and asserts the
 invariants any pair of correct network simulators must share:
 
@@ -47,6 +47,21 @@ def _pt2pt(chunks: int = 4, size: int = 1 << 15) -> GoalSchedule:
             Op.recv(size, src=0, tag=i), () if prev_recv is None else (prev_recv,)
         )
     return sched
+
+
+def _inference(num_requests: int = 12, rate_rps: float = 150.0) -> GoalSchedule:
+    """A low-rate serving cell: calibrated-uncongested on the parity config.
+
+    150 req/s against a ~780 req/s fleet keeps the prefill queue empty and
+    the KV flows far below line rate, so the model-ordering invariant (lgs
+    <= packet) applies to the serving DAG's mix of calcs, streamed compute
+    and message flows.
+    """
+    from repro.apps.inference import build_inference_workload
+
+    return build_inference_workload(
+        num_requests=num_requests, rate_rps=rate_rps, seed=5
+    ).schedule
 
 
 def _parity_config(topology: str, faults: FaultSchedule = None) -> SimulationConfig:
@@ -95,6 +110,10 @@ _GRID = [
         None,
     ),
     ("alltoall-fattree", lambda: all_to_all(8, 1 << 14), "fat_tree", False, None),
+    # inference-serving cells: open-loop arrivals, prefill/decode phases,
+    # continuous batching (see repro.apps.inference)
+    ("inference-single", _inference, "single_switch", True, None),
+    ("inference-fattree", _inference, "fat_tree", True, None),
     # fault-injection cells: same invariants on a degraded fabric
     ("pt2pt-fattree-faulted", _pt2pt, "fat_tree", False, _FAULTS),
     (
@@ -105,6 +124,7 @@ _GRID = [
         _FAULTS,
     ),
     ("alltoall-fattree-faulted", lambda: all_to_all(8, 1 << 14), "fat_tree", False, _FAULTS),
+    ("inference-fattree-faulted", _inference, "fat_tree", False, _FAULTS),
 ]
 
 _CELL_IDS = [cell[0] for cell in _GRID]

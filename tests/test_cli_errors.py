@@ -1,12 +1,13 @@
 """CLI error-path tests: malformed specs exit non-zero with actionable
 messages, never tracebacks.
 
-Covers ``atlahs cotenant`` and ``atlahs faults``: bad ``pattern:ranks:size``
-job specs, malformed/overlapping arrival lists, unknown placement
-strategies, bad failure rates, unknown link names and malformed timed-event
-specs.  Every case asserts a :class:`SystemExit` whose message names the
-offending input, which is what separates a diagnosable CLI error from a
-stack trace.
+Covers ``atlahs cotenant``, ``atlahs faults`` and ``atlahs inference``: bad
+``pattern:ranks:size`` job specs, malformed/overlapping arrival lists,
+unknown placement strategies, bad failure rates, unknown link names,
+malformed timed-event specs, malformed tenant-mix specs, negative offered
+rates and unknown arrival processes.  Every case asserts a
+:class:`SystemExit` whose message names the offending input, which is what
+separates a diagnosable CLI error from a stack trace.
 """
 import pytest
 
@@ -184,6 +185,102 @@ class TestFaultsHappyPaths:
         assert payload["scenario"]["failed_links"] == ["tor0->core0", "core0->tor0"]
         assert payload["healthy_time_ms"] > 0
         assert payload["faulted_time_ms"] > 0
+
+
+class TestInferenceErrors:
+    def test_unknown_arrival_process(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inference", "--process", "pareto"])
+        message = _exit_message(excinfo)
+        assert "pareto" in message
+        assert "bursty" in message and "diurnal" in message and "poisson" in message
+
+    def test_malformed_rates(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inference", "--rates", "200,fast"])
+        message = _exit_message(excinfo)
+        assert "--rates" in message and "200,fast" in message
+
+    def test_empty_rates(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inference", "--rates", ","])
+        assert "no offered rates" in _exit_message(excinfo)
+
+    def test_negative_rate(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inference", "--rates", "200,-50"])
+        message = _exit_message(excinfo)
+        assert "bad --rates" in message and "positive" in message
+
+    def test_tenant_spec_with_wrong_arity(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inference", "--tenants", "chat:3:128"])
+        message = _exit_message(excinfo)
+        assert "chat:3:128" in message
+        assert "NAME:WEIGHT:PROMPT_TOKENS:DECODE_TOKENS" in message
+
+    def test_tenant_spec_with_non_numeric_weight(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inference", "--tenants", "chat:heavy:128:32"])
+        assert "chat:heavy:128:32" in _exit_message(excinfo)
+
+    def test_tenant_spec_with_non_positive_tokens(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inference", "--tenants", "chat:1:0:32"])
+        message = _exit_message(excinfo)
+        assert "chat:1:0:32" in message and "positive" in message
+
+    def test_duplicate_tenant_names(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inference", "--tenants", "chat:1:128:32,chat:2:64:8"])
+        message = _exit_message(excinfo)
+        assert "duplicate" in message and "chat" in message
+
+    def test_empty_tenant_list(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inference", "--tenants", ","])
+        assert "no tenants" in _exit_message(excinfo)
+
+    def test_bad_cluster_shape(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inference", "--prefill-ranks", "0"])
+        message = _exit_message(excinfo)
+        assert "bad serving cluster" in message and "prefill_ranks" in message
+
+    def test_bad_slo_deadline(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inference", "--slo-ttft-ms", "-1"])
+        message = _exit_message(excinfo)
+        assert "bad --slo-ttft-ms" in message
+
+
+class TestInferenceHappyPath:
+    def test_rate_sweep_outputs_cells(self, capsys):
+        import json
+
+        rc = main(
+            [
+                "inference",
+                "--requests",
+                "12",
+                "--rates",
+                "200,600",
+                "--tenants",
+                "chat:3:64:8,summarize:1:128:4",
+                "--nodes-per-tor",
+                "2",
+                "--backend",
+                "lgs",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["nominal_capacity_rps"] > 0
+        assert [t["name"] for t in payload["tenants"]] == ["chat", "summarize"]
+        assert len(payload["cells"]) == 2
+        for cell in payload["cells"]:
+            assert cell["goodput_rps"] > 0
+            assert cell["ttft_p50_ms"] <= cell["ttft_p99_ms"] <= cell["ttft_p999_ms"]
 
 
 class TestMissingFileSpecs:

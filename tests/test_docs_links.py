@@ -56,10 +56,17 @@ def test_relative_links_resolve(doc):
 def test_docs_cross_reference_each_other():
     """The doc set must stay connected: the README links the references."""
     readme = (REPO_ROOT / "README.md").read_text()
-    for name in ("docs/architecture.md", "docs/performance.md", "docs/collectives.md", "docs/cli.md"):
+    for name in (
+        "docs/architecture.md",
+        "docs/performance.md",
+        "docs/collectives.md",
+        "docs/inference.md",
+        "docs/cli.md",
+    ):
         assert name in readme, f"README does not link {name}"
     architecture = (REPO_ROOT / "docs" / "architecture.md").read_text()
     assert "collectives.md" in architecture
+    assert "inference.md" in architecture
 
 
 def test_collectives_doc_names_only_registered_algorithms():

@@ -17,6 +17,7 @@ DOCS = [
     REPO_ROOT / "docs" / "architecture.md",
     REPO_ROOT / "docs" / "performance.md",
     REPO_ROOT / "docs" / "collectives.md",
+    REPO_ROOT / "docs" / "inference.md",
 ]
 
 _FENCE = re.compile(r"[ \t]*```python\n(.*?)[ \t]*```", re.DOTALL)

@@ -1,0 +1,138 @@
+"""Statistical property tests for the open-loop arrival generators.
+
+The serving benchmarks lean on three distributional claims — Poisson
+arrivals are memoryless (CV ~ 1), the MMPP ``bursty`` process is *burstier*
+than Poisson (CV > 1), and ``diurnal`` arrivals follow their sinusoidal
+rate envelope — plus hard determinism guarantees (equal seeds give
+bit-identical streams, different seeds give different ones).  These tests
+pin all of them with seeded draws and tolerances wide enough to be
+flake-free across PYTHONHASHSEEDs (the generators must not consult
+``hash()`` at all).
+"""
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.inference import (
+    ARRIVAL_PROCESSES,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    arrival_process_names,
+    build_arrival_process,
+)
+
+RATE = 1000.0  # requests/s -> mean gap 1 ms
+N = 4000
+
+
+def _gaps(times: np.ndarray) -> np.ndarray:
+    return np.diff(np.concatenate(([0], times)))
+
+
+def _cv(gaps: np.ndarray) -> float:
+    return float(np.std(gaps) / np.mean(gaps))
+
+
+class TestPoisson:
+    def test_mean_gap_within_tolerance(self):
+        times = PoissonArrivals(RATE, seed=1).arrival_times_ns(N)
+        mean_gap = float(np.mean(_gaps(times)))
+        assert mean_gap == pytest.approx(1e9 / RATE, rel=0.05)
+
+    def test_cv_close_to_one(self):
+        times = PoissonArrivals(RATE, seed=1).arrival_times_ns(N)
+        assert _cv(_gaps(times)) == pytest.approx(1.0, abs=0.1)
+
+    def test_sorted_non_negative_int64(self):
+        times = PoissonArrivals(RATE, seed=3).arrival_times_ns(256)
+        assert times.dtype == np.int64
+        assert (times >= 0).all()
+        assert (np.diff(times) >= 0).all()
+
+
+class TestBursty:
+    def test_burstier_than_poisson(self):
+        bursty = BurstyArrivals(RATE, seed=1).arrival_times_ns(N)
+        poisson = PoissonArrivals(RATE, seed=1).arrival_times_ns(N)
+        cv_bursty = _cv(_gaps(bursty))
+        assert cv_bursty > 1.2, f"bursty CV {cv_bursty:.2f} is not burstier than Poisson"
+        assert cv_bursty > _cv(_gaps(poisson))
+
+    def test_long_run_rate_preserved(self):
+        times = BurstyArrivals(RATE, seed=2).arrival_times_ns(N)
+        mean_gap = float(np.mean(_gaps(times)))
+        assert mean_gap == pytest.approx(1e9 / RATE, rel=0.15)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="burst_factor"):
+            BurstyArrivals(RATE, burst_factor=0.5)
+        with pytest.raises(ValueError, match="burst_fraction"):
+            BurstyArrivals(RATE, burst_fraction=1.5)
+        with pytest.raises(ValueError, match="calm"):
+            BurstyArrivals(RATE, burst_factor=4.0, burst_fraction=0.5)
+
+
+class TestDiurnal:
+    def test_rate_envelope_followed(self):
+        """Peak-phase bins collect more arrivals than trough-phase bins."""
+        proc = DiurnalArrivals(RATE, seed=1, amplitude=0.8, period_s=0.1)
+        times = proc.arrival_times_ns(N)
+        period_ns = proc.period_s * 1e9
+        phase = (times % period_ns) / period_ns
+        # sin peaks at phase 0.25 and troughs at 0.75
+        peak = int(np.sum((phase > 0.10) & (phase < 0.40)))
+        trough = int(np.sum((phase > 0.60) & (phase < 0.90)))
+        assert peak > 2 * trough, f"peak bin {peak} vs trough bin {trough}"
+
+    def test_rate_at_matches_envelope(self):
+        proc = DiurnalArrivals(RATE, seed=0, amplitude=0.5, period_s=1.0)
+        assert proc.rate_at(0.0) == pytest.approx(RATE)
+        assert proc.rate_at(0.25e9) == pytest.approx(RATE * 1.5)
+        assert proc.rate_at(0.75e9) == pytest.approx(RATE * 0.5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            DiurnalArrivals(RATE, amplitude=1.5)
+        with pytest.raises(ValueError, match="period"):
+            DiurnalArrivals(RATE, period_s=0.0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(ARRIVAL_PROCESSES))
+    def test_equal_seeds_bit_identical(self, name):
+        a = build_arrival_process(name, RATE, seed=11).arrival_times_ns(512)
+        b = build_arrival_process(name, RATE, seed=11).arrival_times_ns(512)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(ARRIVAL_PROCESSES))
+    def test_different_seeds_distinct(self, name):
+        a = build_arrival_process(name, RATE, seed=11).arrival_times_ns(512)
+        b = build_arrival_process(name, RATE, seed=12).arrival_times_ns(512)
+        assert not np.array_equal(a, b)
+
+    def test_processes_use_distinct_streams(self):
+        """Same seed, different process -> different draws (name-tagged RNG)."""
+        a = PoissonArrivals(RATE, seed=5).arrival_times_ns(64)
+        b = DiurnalArrivals(RATE, seed=5, amplitude=0.5).arrival_times_ns(64)
+        assert not np.array_equal(a, b)
+
+
+class TestRegistry:
+    def test_names_sorted_and_complete(self):
+        assert arrival_process_names() == sorted(ARRIVAL_PROCESSES)
+        assert set(arrival_process_names()) == {"poisson", "bursty", "diurnal"}
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(ValueError, match="registered: bursty, diurnal, poisson"):
+            build_arrival_process("pareto", RATE)
+
+    @pytest.mark.parametrize("bad_rate", [0.0, -5.0, math.inf, math.nan])
+    def test_bad_rates_rejected(self, bad_rate):
+        with pytest.raises(ValueError, match="rate_rps"):
+            PoissonArrivals(bad_rate)
+
+    def test_non_positive_count_rejected(self):
+        with pytest.raises(ValueError, match="num_requests"):
+            PoissonArrivals(RATE).arrival_times_ns(0)
