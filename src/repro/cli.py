@@ -393,8 +393,30 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.network.faults import FaultSchedule, NetworkPartitionError
     from repro.sweep import resilience_sweep
 
+    from repro.network.control_plane import CONTROL_PLANES, control_plane_names
+
     schedule = _load_job_schedule(args.workload)
-    config = _config_from_args(args)
+    control_planes = [c.strip() for c in args.control_plane.split(",") if c.strip()]
+    if not control_planes:
+        raise SystemExit("--control-plane lists no protocols")
+    unknown_cp = [c for c in control_planes if c not in CONTROL_PLANES]
+    if unknown_cp:
+        raise SystemExit(
+            f"unknown control plane(s) {unknown_cp}; "
+            f"registered: {', '.join(control_plane_names())}"
+        )
+    if args.cp_propagation_ns < 0:
+        raise SystemExit(
+            f"--cp-propagation-ns must be non-negative, got {args.cp_propagation_ns}"
+        )
+    if args.cp_processing_ns < 0:
+        raise SystemExit(
+            f"--cp-processing-ns must be non-negative, got {args.cp_processing_ns}"
+        )
+    config = _config_from_args(args).replace(
+        cp_propagation_ns=args.cp_propagation_ns,
+        cp_processing_ns=args.cp_processing_ns,
+    )
     events = _parse_fault_events(args)
     static = tuple(
         s.strip() for s in (args.fail_links.split(",") if args.fail_links else []) if s.strip()
@@ -402,6 +424,11 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
     if events or static:
         # explicit scenario: healthy baseline vs the described faults
+        if len(control_planes) > 1:
+            raise SystemExit(
+                "--control-plane lists several protocols; an explicit fault "
+                "scenario runs one (use the rate-sweep mode to compare them)"
+            )
         try:
             faults = FaultSchedule(events=tuple(events), failed_links=static)
         except ValueError as exc:
@@ -410,13 +437,16 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         try:
             healthy = atlahs.simulate_goal(schedule, backend=args.backend)
             faulted = atlahs.simulate_goal(
-                schedule, backend=args.backend, config=config.replace(faults=faults)
+                schedule,
+                backend=args.backend,
+                config=config.replace(faults=faults, control_plane=control_planes[0]),
             )
         except (ValueError, NetworkPartitionError) as exc:
             raise SystemExit(f"fault scenario failed: {exc}") from None
         payload = {
             "workload": schedule.name,
             "backend": faulted.backend,
+            "control_plane": control_planes[0],
             "scenario": {
                 "failed_links": list(static),
                 "events": [
@@ -429,6 +459,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             "slowdown": faulted.finish_time_ns / healthy.finish_time_ns,
             "packets_rerouted": faulted.stats.packets_rerouted,
             "packets_lost_to_faults": faulted.stats.packets_lost_to_faults,
+            "packets_blackholed": faulted.stats.packets_blackholed,
+            "time_to_recover_ns": faulted.stats.time_to_recover_ns,
             "packet_drops": faulted.stats.packets_dropped,
             "retransmissions": faulted.stats.retransmissions,
         }
@@ -450,6 +482,10 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"unknown routing strategies {unknown}; registered: {', '.join(routing_names())}"
         )
+    if args.fail_time_ns is not None and args.fail_time_ns < 0:
+        raise SystemExit(
+            f"--fail-time-ns must be non-negative, got {args.fail_time_ns}"
+        )
     try:
         entries = resilience_sweep(
             schedule,
@@ -458,6 +494,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             routings=routings,
             backend=args.backend,
             failure_seed=args.failure_seed,
+            control_planes=control_planes,
+            fail_time_ns=args.fail_time_ns,
         )
     except ValueError as exc:
         raise SystemExit(f"bad resilience sweep: {exc}") from None
@@ -471,15 +509,19 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         "backend": args.backend,
         "topology": args.topology,
         "failure_seed": args.failure_seed,
+        "fail_time_ns": args.fail_time_ns,
         "cells": [
             {
                 "routing": e.routing,
+                "control_plane": e.control_plane,
                 "failure_rate": e.failure_rate,
                 "failed_links": e.failed_links,
                 "finish_time_ms": e.finish_time_ms,
                 "slowdown": e.slowdown,
                 "packets_rerouted": e.packets_rerouted,
                 "packets_lost_to_faults": e.packets_lost_to_faults,
+                "packets_blackholed": e.packets_blackholed,
+                "time_to_recover_ns": e.time_to_recover_ns,
                 "packet_drops": e.packets_dropped,
             }
             for e in entries
@@ -930,6 +972,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--failure-seed", type=int, default=0, help="seed of the random cable draw"
+    )
+    p.add_argument(
+        "--control-plane",
+        default="oracle",
+        metavar="NAME[,NAME...]",
+        help="route-convergence model(s): oracle (instantaneous, the legacy "
+        "behavior), ls (link-state flooding), dv (distance-vector); a comma "
+        "list adds a sweep axis",
+    )
+    p.add_argument(
+        "--cp-propagation-ns",
+        type=int,
+        default=500,
+        help="per-hop advertisement propagation delay of dv/ls (ns)",
+    )
+    p.add_argument(
+        "--cp-processing-ns",
+        type=int,
+        default=100,
+        help="per-switch advertisement processing cost of dv/ls (ns)",
+    )
+    p.add_argument(
+        "--fail-time-ns",
+        type=int,
+        default=None,
+        metavar="TIME_NS",
+        help="sweep mode: fail the drawn cables at this time instead of "
+        "time 0, exposing a convergence window under dv/ls",
     )
     p.add_argument(
         "--fail-links",

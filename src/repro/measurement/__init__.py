@@ -8,6 +8,11 @@ reference configuration of the packet-level simulator with per-run compute
 jitter — preserving the structure of the error analysis (see DESIGN.md,
 substitution table).
 """
+from repro.measurement.convergence import (
+    ConvergenceSummary,
+    recovery_timeline,
+    summarize_convergence,
+)
 from repro.measurement.reference import (
     MeasurementResult,
     measure_reference_runtime,
@@ -23,6 +28,9 @@ from repro.measurement.serving import (
 )
 
 __all__ = [
+    "ConvergenceSummary",
+    "recovery_timeline",
+    "summarize_convergence",
     "MeasurementResult",
     "measure_reference_runtime",
     "non_overlapped_compute_fraction",

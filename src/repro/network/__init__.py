@@ -18,9 +18,20 @@ This package contains everything below the GOAL scheduler:
   Valiant, UGAL-style adaptive) applied on top of any topology,
 * :mod:`repro.network.faults` — fault injection: degraded fabrics, timed
   link/switch failure events, and the partition error both backends raise
-  when no route survives.
+  when no route survives,
+* :mod:`repro.network.control_plane` — route-convergence models (oracle /
+  link-state flooding / distance-vector): per-switch routing views that heal
+  hop-by-hop after fault events, with time-to-recover and blackhole
+  accounting.
 """
 from repro.network.config import LogGOPSParams, SimulationConfig
+from repro.network.control_plane import (
+    CONTROL_PLANES,
+    ControlPlane,
+    ConvergenceRecord,
+    control_plane_names,
+    create_control_plane,
+)
 from repro.network.faults import (
     FaultEvent,
     FaultSchedule,
@@ -44,6 +55,11 @@ from repro.network.routing import (
 __all__ = [
     "LogGOPSParams",
     "SimulationConfig",
+    "CONTROL_PLANES",
+    "ControlPlane",
+    "ConvergenceRecord",
+    "control_plane_names",
+    "create_control_plane",
     "FaultEvent",
     "FaultSchedule",
     "NetworkPartitionError",

@@ -81,6 +81,13 @@ class NetworkStats:
     #: In-flight packets stranded by a fault with no surviving candidate
     #: sharing their traversed prefix; recovered by loss timeout.
     packets_lost_to_faults: int = 0
+    #: Packets a stale switch forwarded into a failed region during control-
+    #: plane convergence (``control_plane="dv"|"ls"`` only); recovered by
+    #: loss timeout once the source's first-hop switch reconverges.
+    packets_blackholed: int = 0
+    #: Worst per-event convergence window (last stale switch catch-up time
+    #: minus fault event time); 0 under the oracle control plane.
+    time_to_recover_ns: int = 0
     queue_drop_events: Dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "NetworkStats") -> "NetworkStats":
@@ -99,6 +106,8 @@ class NetworkStats:
             packets_rerouted=self.packets_rerouted + other.packets_rerouted,
             packets_lost_to_faults=self.packets_lost_to_faults
             + other.packets_lost_to_faults,
+            packets_blackholed=self.packets_blackholed + other.packets_blackholed,
+            time_to_recover_ns=max(self.time_to_recover_ns, other.time_to_recover_ns),
         )
         merged.queue_drop_events = dict(self.queue_drop_events)
         for k, v in other.queue_drop_events.items():

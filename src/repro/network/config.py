@@ -133,6 +133,15 @@ class SimulationConfig:
         routing and reroutes in-flight traffic; the LogGOPS backend inflates
         per-byte serialisation by the lost capacity fraction.  The default
         (empty) schedule is bit-identical to the pre-fault behaviour.
+    control_plane / cp_propagation_ns / cp_processing_ns:
+        Route-convergence model (see :mod:`repro.network.control_plane`).
+        ``"oracle"`` (the default) is the legacy instantaneous model —
+        bit-identical to the pre-control-plane behaviour on both backends;
+        ``"ls"`` (link-state flooding) and ``"dv"`` (distance-vector) make
+        switches learn of fault events hop-by-hop, forwarding on stale
+        tables meanwhile.  ``cp_propagation_ns`` is the per-hop
+        advertisement wire delay and ``cp_processing_ns`` the per-switch
+        update processing cost.
     seed:
         Seed for any stochastic choice (ECMP hashing, jitter).
     route_caching / packet_batching / loggops_batching:
@@ -187,6 +196,15 @@ class SimulationConfig:
     # An empty schedule (the default) is guaranteed bit-identical to a run
     # without any fault machinery.
     faults: FaultSchedule = field(default_factory=FaultSchedule)
+
+    # control-plane convergence model: "oracle" keeps the legacy
+    # instantaneous fault visibility (bit-identical); "ls"/"dv" propagate
+    # fault knowledge switch-by-switch with the delays below, black-holing
+    # traffic that stale switches forward into the failed region (see
+    # repro.network.control_plane and docs/control_plane.md).
+    control_plane: str = "oracle"
+    cp_propagation_ns: int = 500
+    cp_processing_ns: int = 100
 
     # multi-job attribution: when > 0, every message's job id is derived as
     # ``tag // job_tag_stride`` (the co-tenancy merge assigns each job a
@@ -250,6 +268,17 @@ class SimulationConfig:
             raise ValueError("initial_window_packets must be positive")
         if self.job_tag_stride < 0:
             raise ValueError("job_tag_stride must be non-negative (0 disables attribution)")
+        from repro.network.control_plane import CONTROL_PLANES
+
+        if self.control_plane not in CONTROL_PLANES:
+            raise ValueError(
+                f"unknown control plane {self.control_plane!r} "
+                f"(registered: {', '.join(sorted(CONTROL_PLANES))})"
+            )
+        if self.cp_propagation_ns < 0 or self.cp_processing_ns < 0:
+            raise ValueError(
+                "cp_propagation_ns and cp_processing_ns must be non-negative"
+            )
         if self.faults is None:
             self.faults = FaultSchedule()
         elif not isinstance(self.faults, FaultSchedule):

@@ -5,7 +5,8 @@ keyed on ``(time, klass, a, b)`` where same-time events sort by event class
 first and by a class-specific key within it:
 
 * klass 0 — ordinary handler events (completions, flow setup, timeouts,
-  pacer ticks, ...), ordered by insertion sequence,
+  pacer ticks, fault applications and control-plane convergence
+  "switch-learn" events, ...), ordered by insertion sequence,
 * klass 1 — packet deliveries, ordered by ``(departure time, link id)``,
 * klass 2 — legacy transmission-completion bookkeeping, ordered by link id.
 

@@ -146,6 +146,52 @@ class FaultSchedule:
             raise ValueError(
                 f"link_failure_rate must be in [0, 1), got {self.link_failure_rate}"
             )
+        # Contradictory timed sequences would silently drift the topology's
+        # per-link failure reference counts into undefined alive-state (a
+        # link "downed" twice needs two link_ups; a link_up on a healthy
+        # link is a no-op that masks a schedule bug).  Reject them here, in
+        # application order, best-effort at the declared-target level: a
+        # link addressed once by name and once by id cannot be unified
+        # without a topology and is tracked per spelling.
+        link_down = {ref: True for ref in self.failed_links}
+        drained: Dict[int, bool] = {}
+        for ev in self.sorted_events():
+            if ev.kind == LINK_DOWN:
+                if link_down.get(ev.target):
+                    raise ValueError(
+                        f"contradictory fault schedule: {LINK_DOWN} at "
+                        f"t={ev.time_ns} targets link {ev.target!r} which is "
+                        f"already down at that time (schedule a {LINK_UP} for "
+                        f"it first, or drop the duplicate event)"
+                    )
+                link_down[ev.target] = True
+            elif ev.kind == LINK_UP:
+                if not link_down.get(ev.target):
+                    raise ValueError(
+                        f"contradictory fault schedule: {LINK_UP} at "
+                        f"t={ev.time_ns} targets link {ev.target!r} which is "
+                        f"not down at that time (add a prior {LINK_DOWN}, or "
+                        f"list it in failed_links)"
+                    )
+                link_down[ev.target] = False
+            elif ev.kind == SWITCH_DRAIN:
+                if drained.get(ev.target):
+                    raise ValueError(
+                        f"contradictory fault schedule: {SWITCH_DRAIN} at "
+                        f"t={ev.time_ns} targets switch {ev.target} which is "
+                        f"already drained at that time (schedule a "
+                        f"{SWITCH_UNDRAIN} for it first)"
+                    )
+                drained[ev.target] = True
+            elif ev.kind == SWITCH_UNDRAIN:
+                if not drained.get(ev.target):
+                    raise ValueError(
+                        f"contradictory fault schedule: {SWITCH_UNDRAIN} at "
+                        f"t={ev.time_ns} targets switch {ev.target} which is "
+                        f"not drained at that time (add a prior "
+                        f"{SWITCH_DRAIN})"
+                    )
+                drained[ev.target] = False
 
     def is_empty(self) -> bool:
         """True when the schedule injects nothing (the healthy-fabric case)."""

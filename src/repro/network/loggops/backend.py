@@ -206,6 +206,27 @@ class LogGOPSBackend(NetworkBackend):
             self._recompute_gamma()
             for time_ns, kind, ids in self._faults.resolved_events(fault_topo):
                 self.events.schedule(time_ns, self._apply_fault, (kind, ids))
+        # control-plane convergence (see repro.network.control_plane): under
+        # "oracle" gamma steps instantaneously at each fault event (the
+        # legacy behaviour, bit-identical).  Under "dv"/"ls" the analytic
+        # counterpart of stale-table forwarding is a capacity-derate *ramp*:
+        # gamma starts below its post-convergence value at the event (down:
+        # the stale fraction of traffic is wasted into the failed region;
+        # up: the restored capacity is invisible to stale switches) and
+        # steps toward the true value as each learn-time group of switches
+        # converges.  Created after static failures so views boot converged.
+        self._cp = None
+        self._gamma_gen = 0
+        self.convergence_events: List = []
+        if config.control_plane != "oracle" and self._faults_enabled:
+            from repro.network.control_plane import create_control_plane
+
+            self._cp = create_control_plane(
+                config.control_plane,
+                self._fault_topology,
+                propagation_delay_ns=config.cp_propagation_ns,
+                processing_delay_ns=config.cp_processing_ns,
+            )
         # multi-job attribution (observational only; see SimulationConfig).
         # Per-link attribution needs routed paths, so it is collected only in
         # topology-aware mode; message counts are collected in either mode.
@@ -295,11 +316,61 @@ class LogGOPSBackend(NetworkBackend):
         """
         kind, ids = payload
         topo = self._fault_topology
+        gamma_old = self._gamma
         if kind in (LINK_DOWN, SWITCH_DRAIN):
             topo.fail_links(ids)
         else:
             topo.restore_links(ids)
         self._recompute_gamma()
+        cp = self._cp
+        if cp is None:
+            return
+        # convergent control plane: ramp gamma to its new truth across the
+        # event's learn-time groups instead of stepping instantaneously
+        gamma_new = self._gamma
+        record, learn = cp.originate(time, kind, ids)
+        self.convergence_events.append(record)
+        if kind in (LINK_DOWN, SWITCH_DRAIN):
+            # during convergence, the stale share of traffic is injected
+            # toward the failed region and wasted, so effective capacity
+            # dips *below* the degraded steady state before recovering
+            start = gamma_new * (gamma_new / gamma_old)
+        else:
+            # restored capacity is invisible to stale switches
+            start = gamma_old
+        self._gamma = start
+        self._gamma_gen += 1
+        gen = self._gamma_gen
+        if not learn:
+            self._gamma = gamma_new
+            return
+        counts: Dict[int, int] = {}
+        for t in learn.values():
+            counts[t] = counts.get(t, 0) + 1
+        total = len(learn)
+        cum = 0
+        for t in sorted(counts):
+            group = tuple(sw for sw, lt in learn.items() if lt == t)
+            cum += counts[t]
+            # the final step lands exactly on gamma_new (no float residue)
+            target = (
+                gamma_new if cum == total else start + (gamma_new - start) * cum / total
+            )
+            self.events.schedule(
+                t, self._cp_gamma_step, (target, gen, kind, tuple(ids), group)
+            )
+
+    def _cp_gamma_step(self, time: int, payload) -> None:
+        """One learn-time group converges: views absorb the event, gamma steps.
+
+        Steps carry the generation of the fault event that scheduled them; a
+        later event supersedes the ramp (new generation), so stale steps are
+        dropped instead of clobbering the newer ramp.
+        """
+        target, gen, kind, ids, switches = payload
+        self._cp.apply(switches, kind, ids)
+        if gen == self._gamma_gen:
+            self._gamma = target
 
     # --------------------------------------------------------------- internals
     def _cpu_cost(self, size: int) -> int:
@@ -590,7 +661,20 @@ class LogGOPSBackend(NetworkBackend):
 
     def collect_stats(self) -> NetworkStats:
         self._require_setup()
+        if self.convergence_events:
+            self.stats.time_to_recover_ns = max(
+                r.time_to_recover_ns for r in self.convergence_events
+            )
         return self.stats
+
+    def convergence_report(self) -> List:
+        """Per-fault-event :class:`~repro.network.control_plane.ConvergenceRecord` list.
+
+        Empty under ``control_plane="oracle"`` and whenever no timed fault
+        event fired (mirrors the packet backend's report).
+        """
+        self._require_setup()
+        return self.convergence_events
 
     def collect_message_records(self) -> List[MessageRecord]:
         self._require_setup()

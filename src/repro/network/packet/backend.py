@@ -136,6 +136,27 @@ class PacketBackend(NetworkBackend):
                 self._fault_mask = self.topology.alive_mask()
             for time_ns, kind, ids in self._faults.resolved_events(self.topology):
                 self.events.schedule(time_ns, self._apply_fault, (kind, ids))
+        # control-plane convergence (see repro.network.control_plane): under
+        # "oracle" (the default) no ControlPlane object exists and every
+        # fault path below is byte-identical to the legacy instantaneous
+        # behaviour.  Under "dv"/"ls" the control plane is created *after*
+        # static failures so switch views boot converged, and fault events
+        # take the stale-table path instead.
+        self._cp = None
+        self._cp_stale = 0
+        self.convergence_events: List = []
+        if config.control_plane != "oracle":
+            from repro.network.control_plane import create_control_plane
+
+            self._cp = create_control_plane(
+                config.control_plane,
+                self.topology,
+                propagation_delay_ns=config.cp_propagation_ns,
+                processing_delay_ns=config.cp_processing_ns,
+            )
+            self._host_attach = [
+                self.topology.attachment(h) for h in range(num_ranks)
+            ]
         self.stats = NetworkStats()
         self._batching = config.packet_batching
         kmin = int(config.ecn_kmin_frac * config.buffer_size)
@@ -249,6 +270,19 @@ class PacketBackend(NetworkBackend):
         return view
 
     def _pick_route(self, src: int, dst: int, size: int = 0) -> Tuple[int, ...]:
+        # control-plane convergence: route with the *belief* of the source's
+        # first-hop switch while any switch view is stale.  A view equal to
+        # the truth takes the normal (memoized alive-table) path.
+        cp = self._cp
+        if cp is not None and self._cp_stale:
+            view = cp.view_key(self._host_attach[src])
+            if view != self.topology.failed_links:
+                load = None
+                if self._needs_load:
+                    load = (
+                        self._link_load_view() if self._batching else self._link_load
+                    )
+                return self.routing.select_route(src, dst, size, load, view)
         if not self._needs_load:
             return self.routing.select_route(src, dst, size, None)
         if self._batching:
@@ -393,7 +427,7 @@ class PacketBackend(NetworkBackend):
                 self._faults_enabled
                 and packet.kind == DATA
                 and self._masked(packet.route, packet.hop)
-                and not self._reroute_packet(packet, packet.hop, now)
+                and not self._fault_forward(packet, packet.hop, now)
             ):
                 return
             next_queue = self.queues[packet.route[packet.hop]]
@@ -452,6 +486,23 @@ class PacketBackend(NetworkBackend):
             topology.restore_links(ids)
         mask = topology.alive_mask()
         self._fault_mask = mask
+        cp = self._cp
+        if cp is not None:
+            # convergent control plane: no flow learns anything yet.  The
+            # advertisement wave is originated over the post-event surviving
+            # switch graph and every switch's view (plus its sources' flows)
+            # updates only when the wave reaches it.
+            record, learn = cp.originate(time, kind, ids)
+            self.convergence_events.append(record)
+            groups: Dict[int, List[int]] = {}
+            for sw, t in learn.items():
+                groups.setdefault(t, []).append(sw)
+            for t in sorted(groups):
+                self._cp_stale += 1
+                self.events.schedule(
+                    t, self._cp_switch_learn, (kind, tuple(ids), tuple(groups[t]))
+                )
+            return
         if mask is None:
             return
         queues = self.queues
@@ -463,6 +514,29 @@ class PacketBackend(NetworkBackend):
                     flow.route = self._pick_route(flow.src, flow.dst, flow.size)
                     flow.route_q0 = queues[flow.route[0]]
                     break
+
+    def _cp_switch_learn(self, time: int, payload: Tuple[str, Tuple[int, ...], Tuple[int, ...]]) -> None:
+        """One learn-time group of the convergence wave reaches its switches.
+
+        The switches' views absorb the event, and — modelling ECMP table
+        re-hash churn — every live flow whose source attaches to a switch
+        that just learned gets its route re-picked under the refreshed view
+        (not only flows that crossed a failed link: reconvergence rebuilds
+        the hash buckets, perturbing placement across the board).
+        """
+        kind, ids, switches = payload
+        cp = self._cp
+        cp.apply(switches, kind, ids)
+        self._cp_stale -= 1
+        learned = set(switches)
+        attach = self._host_attach
+        queues = self.queues
+        for flow in self.flows:
+            if flow.message_delivered:
+                continue
+            if attach[flow.src] in learned:
+                flow.route = self._pick_route(flow.src, flow.dst, flow.size)
+                flow.route_q0 = queues[flow.route[0]]
 
     def _reroute_packet(self, pkt: Packet, hop: int, now: int) -> bool:
         """Force an in-flight DATA packet onto a surviving candidate route.
@@ -495,6 +569,27 @@ class PacketBackend(NetworkBackend):
         pkt.hops = len(route)
         self.stats.packets_rerouted += 1
         return True
+
+    def _fault_forward(self, pkt: Packet, hop: int, now: int) -> bool:
+        """Forward-time fault handling for a DATA packet crossing a failure.
+
+        Under the oracle control plane this is exactly :meth:`_reroute_packet`
+        (local repair everywhere, instantly).  Under a convergent control
+        plane the switch holding the packet repairs only if its view already
+        contains the dead link; a stale switch forwards into the black hole —
+        the packet is dropped, counted as ``packets_blackholed``, and its
+        flow recovers it by loss timeout (re-black-holing until the source's
+        first-hop switch reconverges, which is what makes convergence loss
+        grow with propagation delay).  Returns whether the packet survives.
+        """
+        cp = self._cp
+        if cp is not None and self._cp_stale:
+            switch = self.topology.links[pkt.route[hop - 1]].dst
+            if not cp.knows(switch, pkt.route, hop, self._fault_mask):
+                self.stats.packets_blackholed += 1
+                self._handle_data_drop(pkt, now)
+                return False
+        return self._reroute_packet(pkt, hop, now)
 
     def _masked(self, route: Tuple[int, ...], hop: int) -> bool:
         """Whether any remaining hop of ``route`` crosses a failed link."""
@@ -701,7 +796,7 @@ class PacketBackend(NetworkBackend):
                         faults_enabled
                         and pkt.kind == DATA
                         and self._masked(pkt.route, hop)
-                        and not self._reroute_packet(pkt, hop, t)
+                        and not self._fault_forward(pkt, hop, t)
                     ):
                         free_append(pkt)
                     elif not queues[pkt.route[hop]].enqueue(pkt, t):
@@ -766,7 +861,20 @@ class PacketBackend(NetworkBackend):
             q.link.name: q.drops for q in self.queues if q.drops
         }
         self.stats.queue_drop_events = drops
+        if self.convergence_events:
+            self.stats.time_to_recover_ns = max(
+                r.time_to_recover_ns for r in self.convergence_events
+            )
         return self.stats
+
+    def convergence_report(self) -> List:
+        """Per-fault-event :class:`~repro.network.control_plane.ConvergenceRecord` list.
+
+        Empty under ``control_plane="oracle"`` (no convergence windows
+        exist) and whenever no timed fault event fired.
+        """
+        self._require_setup()
+        return self.convergence_events
 
     def collect_message_records(self) -> List[MessageRecord]:
         self._require_setup()

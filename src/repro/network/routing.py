@@ -89,36 +89,68 @@ class RoutingStrategy:
         self.use_cache = use_cache
 
     def select_route(
-        self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoad] = None
+        self,
+        src: int,
+        dst: int,
+        size: int = 0,
+        link_load: Optional[LinkLoad] = None,
+        view: Optional[frozenset] = None,
     ) -> Route:
         """Return the route (tuple of link ids) a ``size``-byte message takes.
 
         ``link_load`` maps a link id to its current load in bytes (array or
         callable); strategies that ignore congestion may disregard it.
+        ``view``, when given, is the source's first-hop switch's *believed*
+        failed-link set (control-plane convergence: the selection filters by
+        the stale belief instead of the topology's true fault state, so the
+        chosen route may cross an actually-dead link).  ``None`` — the only
+        value ever passed outside ``control_plane="dv"|"ls"`` runs — keeps
+        selection and RNG consumption bit-identical to the legacy paths.
         """
         raise NotImplementedError
 
     # -- helpers shared by subclasses ---------------------------------------
-    def _candidates(self, src: int, dst: int) -> Sequence[Route]:
+    def _candidates(
+        self, src: int, dst: int, view: Optional[frozenset] = None
+    ) -> Sequence[Route]:
         """Minimal candidates of the pair (cached unless ``use_cache=False``).
 
         On a faulty fabric (failed links present) the candidates are read
         through the topology's alive-filtered tables regardless of the cache
         setting — candidate order is preserved, and a fully disconnected
         pair raises :class:`~repro.network.faults.NetworkPartitionError`.
+        With a control-plane ``view`` the believed-failed filter replaces
+        the truth filter (see :meth:`Topology.view_table`).
         """
         topology = self.topology
+        if view is not None:
+            return topology.view_table(src, dst, view).candidates
         if topology.faulty:
             return topology.alive_table(src, dst).candidates
         if self.use_cache:
             return topology.route_table(src, dst).candidates
         return topology.routes(src, dst)
 
-    def _alive_valiant(self, src: int, dst: int, count: int) -> Sequence[Route]:
-        """Valiant candidates filtered to routes that survive current faults."""
+    def _alive_valiant(
+        self, src: int, dst: int, count: int, view: Optional[frozenset] = None
+    ) -> Sequence[Route]:
+        """Valiant candidates filtered to routes that survive current faults.
+
+        With a control-plane ``view`` the filter is the believed-failed set
+        instead of the truth.
+        """
         topology = self.topology
         candidates = topology.valiant_routes(src, dst, self.rng, count=count)
-        if candidates and topology.faulty:
+        if not candidates:
+            return candidates
+        if view is not None:
+            filtered = tuple(
+                r for r in candidates if not any(link in view for link in r)
+            )
+            # a view that kills every detour keeps the unfiltered set (the
+            # caller falls back to minimal candidates if those also vanish)
+            return filtered if filtered else ()
+        if topology.faulty:
             candidates = tuple(r for r in candidates if topology.route_alive(r))
         return candidates
 
@@ -143,9 +175,14 @@ class MinimalRouting(RoutingStrategy):
     name = "minimal"
 
     def select_route(
-        self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoad] = None
+        self,
+        src: int,
+        dst: int,
+        size: int = 0,
+        link_load: Optional[LinkLoad] = None,
+        view: Optional[frozenset] = None,
     ) -> Route:
-        return self._pick(self._candidates(src, dst))
+        return self._pick(self._candidates(src, dst, view))
 
 
 class ValiantRouting(RoutingStrategy):
@@ -171,11 +208,16 @@ class ValiantRouting(RoutingStrategy):
         self.count = count
 
     def select_route(
-        self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoad] = None
+        self,
+        src: int,
+        dst: int,
+        size: int = 0,
+        link_load: Optional[LinkLoad] = None,
+        view: Optional[frozenset] = None,
     ) -> Route:
-        candidates = self._alive_valiant(src, dst, self.count)
+        candidates = self._alive_valiant(src, dst, self.count, view)
         if not candidates:
-            return self._pick(self._candidates(src, dst))
+            return self._pick(self._candidates(src, dst, view))
         return self._pick(candidates)
 
 
@@ -208,17 +250,26 @@ class AdaptiveRouting(RoutingStrategy):
         self.count = count
 
     def select_route(
-        self, src: int, dst: int, size: int = 0, link_load: Optional[LinkLoad] = None
+        self,
+        src: int,
+        dst: int,
+        size: int = 0,
+        link_load: Optional[LinkLoad] = None,
+        view: Optional[frozenset] = None,
     ) -> Route:
         if self.use_cache and not callable(link_load):
-            return self._select_vectorized(src, dst, link_load)
-        return self._select_scalar(src, dst, link_load)
+            return self._select_vectorized(src, dst, link_load, view)
+        return self._select_scalar(src, dst, link_load, view)
 
     # -- legacy scalar path (use_cache=False, or callable link loads) --------
     def _select_scalar(
-        self, src: int, dst: int, link_load: Optional[LinkLoad]
+        self,
+        src: int,
+        dst: int,
+        link_load: Optional[LinkLoad],
+        view: Optional[frozenset] = None,
     ) -> Route:
-        minimal = self._candidates(src, dst)
+        minimal = self._candidates(src, dst, view)
         # random choice among cost-tied minimal candidates keeps ECMP
         # spreading alive when loads are equal (e.g. at an idle start)
         costs = [self._route_cost(r, link_load) for r in minimal]
@@ -226,7 +277,7 @@ class AdaptiveRouting(RoutingStrategy):
         best_min = self._pick([r for r, c in zip(minimal, costs) if c == min_cost])
         if link_load is None:
             return best_min
-        valiant = self._alive_valiant(src, dst, self.count)
+        valiant = self._alive_valiant(src, dst, self.count, view)
         if not valiant:
             return best_min
         best_val = min(valiant, key=lambda r: self._route_cost(r, link_load))
@@ -236,14 +287,19 @@ class AdaptiveRouting(RoutingStrategy):
 
     # -- vectorized path (route table + array loads) -------------------------
     def _select_vectorized(
-        self, src: int, dst: int, loads: Optional["np.ndarray"]
+        self,
+        src: int,
+        dst: int,
+        loads: Optional["np.ndarray"],
+        view: Optional[frozenset] = None,
     ) -> Route:
         topology = self.topology
-        table = (
-            topology.alive_table(src, dst)
-            if topology.faulty
-            else topology.route_table(src, dst)
-        )
+        if view is not None:
+            table = topology.view_table(src, dst, view)
+        elif topology.faulty:
+            table = topology.alive_table(src, dst)
+        else:
+            table = topology.route_table(src, dst)
         candidates = table.candidates
         if loads is None:
             route_loads = np.zeros(len(candidates), dtype=np.int64)
@@ -255,7 +311,7 @@ class AdaptiveRouting(RoutingStrategy):
         best_min = self._pick(tied)
         if loads is None:
             return best_min
-        valiant = self._alive_valiant(src, dst, self.count)
+        valiant = self._alive_valiant(src, dst, self.count, view)
         if not valiant:
             return best_min
         # first minimum, matching the scalar path's min(..., key=...)

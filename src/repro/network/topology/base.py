@@ -114,6 +114,11 @@ class Topology:
         self._fault_epoch = 0
         self._alive_mask = None  # numpy bool array, built lazily
         self._alive_tables: Dict[Tuple[int, int], Tuple[int, RouteTable]] = {}
+        # control-plane views: per-(pair, believed-failed set) filtered
+        # tables (see repro.network.control_plane).  Keyed by the view's
+        # frozenset, so entries never go stale — a switch whose view changes
+        # simply reads a different key.
+        self._view_tables: Dict[Tuple[int, int, frozenset], RouteTable] = {}
 
     # -- construction helpers (used by subclasses) ---------------------------
     def _new_device(self) -> int:
@@ -287,6 +292,40 @@ class Topology:
         else:
             table = RouteTable(alive, self.links)
         self._alive_tables[key] = (self._fault_epoch, table)
+        return table
+
+    def view_table(self, src_host: int, dst_host: int, believed_failed: frozenset) -> RouteTable:
+        """Like :meth:`alive_table`, filtered by a *believed*-failed link set.
+
+        Used by the control plane (see :mod:`repro.network.control_plane`):
+        a source whose first-hop switch holds a stale routing view selects
+        routes as if ``believed_failed`` were the truth — the selected route
+        may well cross a link that is actually down (that packet black-holes
+        at the stale switch).  Tables are memoized per
+        ``(pair, believed set)``; a view that believes the pair partitioned
+        falls back to the truth-alive table *uncached* (it depends on the
+        live fault epoch), modelling a switch that keeps its last usable
+        route rather than dropping at the source.
+        """
+        full = self.route_table(src_host, dst_host)
+        if not believed_failed:
+            return full
+        key = (src_host, dst_host, believed_failed)
+        table = self._view_tables.get(key)
+        if table is not None:
+            return table
+        alive = tuple(
+            route
+            for route in full.candidates
+            if not any(link in believed_failed for link in route)
+        )
+        if not alive:
+            return self.alive_table(src_host, dst_host)
+        if len(alive) == len(full.candidates):
+            table = full
+        else:
+            table = RouteTable(alive, self.links)
+        self._view_tables[key] = table
         return table
 
     def degrade_link(self, link_id: int, capacity_factor: float) -> None:

@@ -537,7 +537,7 @@ def inference_sweep(
 
 @dataclass(frozen=True)
 class ResilienceEntry:
-    """Result of one (topology, routing, failure-rate) cell of a resilience sweep."""
+    """Result of one (topology, routing, control-plane, failure-rate) cell."""
 
     topology: str
     routing: str
@@ -551,8 +551,18 @@ class ResilienceEntry:
     packets_rerouted: int
     packets_lost_to_faults: int
     #: Finish time of the healthy (rate-0) cell of the same
-    #: (topology, routing) group; the denominator of :attr:`slowdown`.
+    #: (topology, routing, control_plane) group; the denominator of
+    #: :attr:`slowdown`.
     baseline_finish_ns: int = 0
+    #: Convergence model of the cell (see repro.network.control_plane);
+    #: "oracle" keeps the legacy instantaneous behaviour.
+    control_plane: str = "oracle"
+    #: Worst per-event convergence window of the cell (0 under oracle, and
+    #: in static-only cells where no timed event fires).
+    time_to_recover_ns: int = 0
+    #: Packets lost into black holes during convergence (packet backend,
+    #: dv/ls with timed events only).
+    packets_blackholed: int = 0
 
     @property
     def slowdown(self) -> float:
@@ -568,11 +578,25 @@ class ResilienceEntry:
 
 def _run_resilience_cell(args) -> ResilienceEntry:
     """Simulate one resilience cell (module-level so workers can pickle it)."""
-    from repro.network.faults import FaultSchedule
+    from repro.network.faults import FaultEvent, FaultSchedule, LINK_DOWN, random_failed_link_ids
+    from repro.network.topology import build_topology
 
-    schedule, label, routing, config, backend, rate, seed, failed = args
-    faults = FaultSchedule(link_failure_rate=rate, failure_seed=seed)
-    cell_config = config.replace(routing=routing, faults=faults)
+    schedule, label, routing, config, backend, rate, seed, failed, control_plane, fail_time_ns = args
+    if fail_time_ns is None:
+        faults = FaultSchedule(link_failure_rate=rate, failure_seed=seed)
+    else:
+        # timed mode: the same nested cable draw, but the links die at
+        # fail_time_ns instead of time 0 — so dv/ls cells expose a real
+        # convergence window (TTR, blackholes) rather than booting converged
+        ids = random_failed_link_ids(
+            build_topology(config, schedule.num_ranks), rate, seed
+        )
+        faults = FaultSchedule(
+            events=tuple(FaultEvent(fail_time_ns, LINK_DOWN, i) for i in ids)
+        )
+    cell_config = config.replace(
+        routing=routing, faults=faults, control_plane=control_plane
+    )
     result = simulate(schedule, backend=backend, config=cell_config)
     return ResilienceEntry(
         topology=label,
@@ -586,6 +610,9 @@ def _run_resilience_cell(args) -> ResilienceEntry:
         packets_dropped=result.stats.packets_dropped,
         packets_rerouted=result.stats.packets_rerouted,
         packets_lost_to_faults=result.stats.packets_lost_to_faults,
+        control_plane=control_plane,
+        time_to_recover_ns=result.stats.time_to_recover_ns,
+        packets_blackholed=result.stats.packets_blackholed,
     )
 
 
@@ -597,6 +624,8 @@ def resilience_sweep(
     backend: str = "htsim",
     failure_seed: int = 0,
     parallel: Optional[int] = None,
+    control_planes: Sequence[str] = ("oracle",),
+    fail_time_ns: Optional[int] = None,
 ) -> List[ResilienceEntry]:
     """Simulate ``schedule`` for every (topology config) x routing x rate cell.
 
@@ -615,12 +644,34 @@ def resilience_sweep(
     partitions a communicating pair raise
     :class:`~repro.network.faults.NetworkPartitionError` — pick rates that
     leave the fabric connected, or catch the error per scenario.
+
+    ``control_planes`` adds a convergence-model axis (see
+    :mod:`repro.network.control_plane`): every (topology, routing, rate)
+    cell runs once per protocol, and entries carry the per-cell
+    ``time_to_recover_ns`` and ``packets_blackholed`` columns.  With the
+    default ``("oracle",)`` the grid and every result are exactly the
+    pre-control-plane sweep.  ``fail_time_ns`` switches the fault model
+    from static (cables down from time 0 — convergence-free by definition,
+    the views boot converged) to timed: the same nested cable draw dies at
+    ``fail_time_ns`` mid-run, which is what gives dv/ls cells a non-zero
+    convergence window.
     """
+    from repro.network.control_plane import CONTROL_PLANES
     from repro.network.faults import random_failed_link_ids
     from repro.network.topology import build_topology
 
     if not failure_rates:
         raise ValueError("need at least one failure rate")
+    if not control_planes:
+        raise ValueError("need at least one control plane")
+    for cp in control_planes:
+        if cp not in CONTROL_PLANES:
+            raise ValueError(
+                f"unknown control plane {cp!r} "
+                f"(registered: {', '.join(sorted(CONTROL_PLANES))})"
+            )
+    if fail_time_ns is not None and fail_time_ns < 0:
+        raise ValueError("fail_time_ns must be non-negative")
     rates = sorted({0.0} | {float(r) for r in failure_rates})
     # failed-link counts depend only on (topology config, rate, seed):
     # resolve them once per (label, rate) instead of once per cell
@@ -643,14 +694,17 @@ def resilience_sweep(
             rate,
             failure_seed,
             failed_counts[(label, rate)],
+            control_plane,
+            fail_time_ns,
         )
         for label, config in configs.items()
         for routing in routings
+        for control_plane in control_planes
         for rate in rates
     ]
     entries: List[ResilienceEntry] = _execute_cells(_run_resilience_cell, cells, parallel)
     baselines = {
-        (e.topology, e.routing): e.finish_time_ns
+        (e.topology, e.routing, e.control_plane): e.finish_time_ns
         for e in entries
         if e.failure_rate == 0.0
     }
@@ -658,7 +712,7 @@ def resilience_sweep(
 
     return [
         dataclasses.replace(
-            e, baseline_finish_ns=baselines[(e.topology, e.routing)]
+            e, baseline_finish_ns=baselines[(e.topology, e.routing, e.control_plane)]
         )
         for e in entries
     ]

@@ -23,12 +23,20 @@ The grid is parameterized over an optional :class:`FaultSchedule`, so the
 fault-injection paths run through the exact same invariants (the model
 ordering is skipped there: capacity-factor inflation and packet rerouting
 degrade along different axes by design).
+
+Convergence cells additionally run a timed mid-run failure under every
+registered control plane (oracle / ls / dv) and assert the convergence
+accounting: bytes are conserved *including* blackholed packets (every sent
+packet is delivered, queue-dropped, stranded or blackholed — nothing
+vanishes), the oracle's time-to-recover is exactly zero on both backends,
+and the real protocols report the same positive convergence window on both.
 """
 import pytest
 
 from repro.goal import GoalSchedule, Op
-from repro.network import FaultSchedule, SimulationConfig
+from repro.network import FaultEvent, FaultSchedule, SimulationConfig
 from repro.goal.ops import OpType
+from repro.network.faults import LINK_DOWN
 from repro.schedgen import all_to_all, incast, ring_allreduce_microbenchmark
 from repro.scheduler import simulate
 
@@ -127,6 +135,30 @@ _GRID = [
     ("inference-fattree-faulted", _inference, "fat_tree", False, _FAULTS),
 ]
 
+#: A core cable fails mid-run (while all-to-all traffic crosses it).
+_CONVERGENCE_FAULTS = FaultSchedule(
+    events=(
+        FaultEvent(3_000, LINK_DOWN, "tor0->core0"),
+        FaultEvent(3_000, LINK_DOWN, "core0->tor0"),
+    )
+)
+
+# convergence cells: same invariants plus control-plane accounting; the 6th
+# field selects the control plane (absent = oracle, the default)
+_CONVERGENCE_CELL_IDS = []
+for _cp_name in ("oracle", "ls", "dv"):
+    _GRID.append(
+        (
+            f"alltoall-fattree-cp-{_cp_name}",
+            lambda: all_to_all(8, 1 << 14),
+            "fat_tree",
+            False,
+            _CONVERGENCE_FAULTS,
+            _cp_name,
+        )
+    )
+    _CONVERGENCE_CELL_IDS.append(f"alltoall-fattree-cp-{_cp_name}")
+
 _CELL_IDS = [cell[0] for cell in _GRID]
 
 
@@ -154,9 +186,13 @@ def _record_bytes(result):
 
 
 def _run_cell(cell):
-    _, make_schedule, topology, _, faults = cell
+    _, make_schedule, topology, _, faults = cell[:5]
     schedule = make_schedule()
     config = _parity_config(topology, faults)
+    if len(cell) > 5:
+        # convergence cell: a slow control plane so the stale window is
+        # wide enough to blackhole live all-to-all traffic
+        config = config.replace(control_plane=cell[5], cp_propagation_ns=50_000)
     lgs = simulate(schedule, backend="lgs", config=config)
     pkt = simulate(schedule, backend="htsim", config=config)
     return schedule, lgs, pkt
@@ -223,7 +259,8 @@ def test_lgs_lower_bounds_packet_when_uncongested(cell_results, cell_id):
 
 
 @pytest.mark.parametrize(
-    "cell_id", [cell[0] for cell in _GRID if cell[4] is not None]
+    "cell_id",
+    [cell[0] for cell in _GRID if cell[4] is not None and cell[0].endswith("-faulted")],
 )
 def test_fault_cells_degrade_both_backends(cell_results, cell_id):
     """Fault cells slow both models relative to their healthy twin cell."""
@@ -232,3 +269,46 @@ def test_fault_cells_degrade_both_backends(cell_results, cell_id):
     _, lgs_f, pkt_f = cell_results[cell_id]
     assert lgs_f.finish_time_ns >= lgs_h.finish_time_ns
     assert pkt_f.finish_time_ns >= pkt_h.finish_time_ns
+
+
+@pytest.mark.parametrize("cell_id", _CONVERGENCE_CELL_IDS)
+def test_convergence_cells_conserve_packets_including_blackholed(
+    cell_results, cell_id
+):
+    """Every sent packet is accounted for: nothing vanishes silently.
+
+    On the packet backend, a DATA packet ends in exactly one of four
+    ledgers — delivered, queue-dropped, stranded by a fault with no
+    surviving continuation, or blackholed by a stale switch — and lost
+    packets are recovered by retransmission (each retransmission is a new
+    sent packet), so the books balance exactly.
+    """
+    _, lgs, pkt = cell_results[cell_id]
+    s = pkt.stats
+    assert s.packets_sent == (
+        s.packets_delivered
+        + s.packets_dropped
+        + s.packets_lost_to_faults
+        + s.packets_blackholed
+    ), f"{cell_id}: packet ledgers do not balance"
+    # the message-level backend models convergence as a capacity ramp; it
+    # forwards no packets and therefore blackholes none
+    assert lgs.stats.packets_blackholed == 0
+
+
+@pytest.mark.parametrize("cell_id", _CONVERGENCE_CELL_IDS)
+def test_convergence_accounting_across_backends(cell_results, cell_id):
+    """Oracle TTR is exactly zero; real protocols agree across backends."""
+    _, lgs, pkt = cell_results[cell_id]
+    if cell_id.endswith("oracle"):
+        assert lgs.stats.time_to_recover_ns == 0
+        assert pkt.stats.time_to_recover_ns == 0
+        assert pkt.stats.packets_blackholed == 0
+    else:
+        # the convergence window is a property of the fabric and protocol,
+        # not of the traffic model: both backends report the same positive
+        # time-to-recover
+        assert lgs.stats.time_to_recover_ns > 0
+        assert lgs.stats.time_to_recover_ns == pkt.stats.time_to_recover_ns
+        # the mid-run failure crosses live traffic: stale ToRs blackhole
+        assert pkt.stats.packets_blackholed > 0

@@ -120,6 +120,51 @@ class TestFaultsErrors:
         message = _exit_message(excinfo)
         assert "switch" in message and "device id" in message
 
+    def test_unknown_control_plane(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "incast:4:1024", "--control-plane", "bgp"])
+        message = _exit_message(excinfo)
+        assert "bgp" in message and "registered" in message
+        assert "dv" in message and "ls" in message and "oracle" in message
+
+    def test_empty_control_plane_list(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "incast:4:1024", "--control-plane", ","])
+        assert "no protocols" in _exit_message(excinfo)
+
+    def test_negative_propagation_delay(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "incast:4:1024", "--cp-propagation-ns", "-5"])
+        message = _exit_message(excinfo)
+        assert "--cp-propagation-ns" in message and "non-negative" in message
+
+    def test_negative_processing_delay(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "incast:4:1024", "--cp-processing-ns", "-1"])
+        message = _exit_message(excinfo)
+        assert "--cp-processing-ns" in message and "non-negative" in message
+
+    def test_negative_fail_time(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "incast:4:1024", "--fail-time-ns", "-10"])
+        message = _exit_message(excinfo)
+        assert "--fail-time-ns" in message and "non-negative" in message
+
+    def test_scenario_mode_accepts_only_one_protocol(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "faults",
+                    "alltoall:8:4096",
+                    "--fail-links",
+                    "tor0->core0",
+                    "--control-plane",
+                    "ls,dv",
+                ]
+            )
+        message = _exit_message(excinfo)
+        assert "several protocols" in message and "rate-sweep" in message
+
     def test_partitioning_scenario_is_actionable(self):
         # failing both uplinks of tor0 (2 hosts per ToR -> 2 cores)
         # disconnects every cross-ToR pair of the all-to-all
@@ -185,6 +230,69 @@ class TestFaultsHappyPaths:
         assert payload["scenario"]["failed_links"] == ["tor0->core0", "core0->tor0"]
         assert payload["healthy_time_ms"] > 0
         assert payload["faulted_time_ms"] > 0
+        # the default control plane is the instantaneous oracle
+        assert payload["control_plane"] == "oracle"
+        assert payload["time_to_recover_ns"] == 0
+        assert payload["packets_blackholed"] == 0
+
+    def test_convergent_scenario_reports_recovery_metrics(self, capsys):
+        import json
+
+        rc = main(
+            [
+                "faults",
+                "alltoall:8:65536",
+                "--backend",
+                "htsim",
+                "--nodes-per-tor",
+                "4",
+                "--link-down",
+                "tor0->core0@3000",
+                "--link-down",
+                "core0->tor0@3000",
+                "--control-plane",
+                "dv",
+                "--cp-propagation-ns",
+                "50000",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["control_plane"] == "dv"
+        assert payload["time_to_recover_ns"] > 0
+        assert payload["packets_blackholed"] > 0
+
+    def test_timed_sweep_compares_control_planes(self, capsys):
+        import json
+
+        rc = main(
+            [
+                "faults",
+                "alltoall:8:65536",
+                "--rates",
+                "0,0.25",
+                "--nodes-per-tor",
+                "4",
+                "--backend",
+                "lgs",
+                "--control-plane",
+                "oracle,ls",
+                "--fail-time-ns",
+                "3000",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fail_time_ns"] == 3000
+        # rates x protocols cells, each tagged with its protocol and metrics
+        assert len(payload["cells"]) == 4
+        assert {c["control_plane"] for c in payload["cells"]} == {"oracle", "ls"}
+        for cell in payload["cells"]:
+            assert "time_to_recover_ns" in cell and "packets_blackholed" in cell
+            if cell["control_plane"] == "oracle" or cell["failure_rate"] == 0.0:
+                assert cell["time_to_recover_ns"] == 0
+            else:
+                assert cell["time_to_recover_ns"] > 0
 
 
 class TestInferenceErrors:

@@ -66,7 +66,8 @@ class TestFaultScheduleSpec:
         a = FaultEvent(5, LINK_DOWN, "a")
         b = FaultEvent(5, LINK_DOWN, "b")
         c = FaultEvent(1, LINK_UP, "c")
-        assert FaultSchedule(events=(a, b, c)).sorted_events() == (c, a, b)
+        fs = FaultSchedule(events=(a, b, c), failed_links=("c",))
+        assert fs.sorted_events() == (c, a, b)
 
     def test_accepts_lists(self):
         fs = FaultSchedule(
@@ -77,6 +78,94 @@ class TestFaultScheduleSpec:
         assert isinstance(fs.events, tuple)
         assert fs.failed_links == ("a", 2)
         assert fs.degraded_links == (("b", 0.5),)
+
+
+class TestContradictorySchedules:
+    """Contradictory timed sequences are rejected with actionable errors.
+
+    A duplicate link_down would need two link_ups to undo (the topology
+    reference-counts failure causes), and a link_up/undrain with no prior
+    down/drain is a no-op masking a schedule bug — both are almost
+    certainly authoring mistakes, so construction fails fast.
+    """
+
+    def test_duplicate_link_down(self):
+        with pytest.raises(ValueError, match="already down.*link_up for it first"):
+            FaultSchedule(
+                events=(
+                    FaultEvent(10, LINK_DOWN, "tor0->core0"),
+                    FaultEvent(20, LINK_DOWN, "tor0->core0"),
+                )
+            )
+
+    def test_link_down_already_in_failed_links(self):
+        with pytest.raises(ValueError, match="contradictory.*already down"):
+            FaultSchedule(
+                failed_links=("tor0->core0",),
+                events=(FaultEvent(10, LINK_DOWN, "tor0->core0"),),
+            )
+
+    def test_link_up_without_prior_down(self):
+        with pytest.raises(ValueError, match="not down.*prior link_down"):
+            FaultSchedule(events=(FaultEvent(10, LINK_UP, "tor0->core0"),))
+
+    def test_double_link_up(self):
+        with pytest.raises(ValueError, match="not down at that time"):
+            FaultSchedule(
+                failed_links=("tor0->core0",),
+                events=(
+                    FaultEvent(10, LINK_UP, "tor0->core0"),
+                    FaultEvent(20, LINK_UP, "tor0->core0"),
+                ),
+            )
+
+    def test_duplicate_drain_and_spurious_undrain(self):
+        with pytest.raises(ValueError, match="already drained.*switch_undrain"):
+            FaultSchedule(
+                events=(
+                    FaultEvent(10, SWITCH_DRAIN, 8),
+                    FaultEvent(20, SWITCH_DRAIN, 8),
+                )
+            )
+        with pytest.raises(ValueError, match="not drained.*prior.*switch_drain"):
+            FaultSchedule(events=(FaultEvent(10, SWITCH_UNDRAIN, 8),))
+
+    def test_contradiction_checked_in_time_order_not_declaration_order(self):
+        # declared out of order, but the *applied* sequence is legal
+        fs = FaultSchedule(
+            events=(
+                FaultEvent(30, LINK_DOWN, "tor0->core0"),
+                FaultEvent(20, LINK_UP, "tor0->core0"),
+                FaultEvent(10, LINK_DOWN, "tor0->core0"),
+            )
+        )
+        assert len(fs.sorted_events()) == 3
+
+    def test_flap_and_redown_are_legal(self):
+        fs = FaultSchedule(
+            failed_links=("core0->tor0",),
+            events=(
+                FaultEvent(10, LINK_DOWN, "tor0->core0"),
+                FaultEvent(20, LINK_UP, "tor0->core0"),
+                FaultEvent(25, LINK_UP, "core0->tor0"),
+                FaultEvent(30, LINK_DOWN, "tor0->core0"),
+                FaultEvent(40, SWITCH_DRAIN, 8),
+                FaultEvent(50, SWITCH_UNDRAIN, 8),
+                FaultEvent(60, SWITCH_DRAIN, 8),
+            ),
+        )
+        assert len(fs.events) == 7
+
+    def test_same_link_by_name_and_id_tracked_per_spelling(self):
+        # best-effort: without a topology the two spellings cannot be
+        # unified, so this does not raise (documented limitation)
+        fs = FaultSchedule(
+            events=(
+                FaultEvent(10, LINK_DOWN, "tor0->core0"),
+                FaultEvent(20, LINK_DOWN, 7),
+            )
+        )
+        assert len(fs.events) == 2
 
 
 # --------------------------------------------------------------------- resolution
@@ -257,6 +346,41 @@ class TestEmptyScheduleBitIdentity:
         r1 = simulate(schedule, backend=backend, config=base.replace(faults=FaultSchedule()))
         assert r0.finish_time_ns == r1.finish_time_ns
         assert r0.message_records == r1.message_records
+
+    @pytest.mark.parametrize("backend", ["htsim", "lgs"])
+    def test_oracle_control_plane_is_the_default_behaviour(self, backend):
+        """``control_plane="oracle"`` is bit-identical to the pre-convergence
+        code path, with and without faults, at any delay setting (the delay
+        knobs must be dead parameters under the oracle)."""
+        schedule = all_to_all(8, 1 << 16)
+        fs = FaultSchedule(
+            events=(
+                FaultEvent(3_000, LINK_DOWN, "tor0->core0"),
+                FaultEvent(3_000, LINK_DOWN, "core0->tor0"),
+            )
+        )
+        for faults in (None, fs):
+            base = _fat_tree_config(seed=3) if faults is None else _fat_tree_config(
+                seed=3, faults=faults
+            )
+            r0 = simulate(schedule, backend=backend, config=base)
+            r1 = simulate(
+                schedule, backend=backend, config=base.replace(control_plane="oracle")
+            )
+            r2 = simulate(
+                schedule,
+                backend=backend,
+                config=base.replace(control_plane="oracle", cp_propagation_ns=999_999),
+            )
+            assert r0.finish_time_ns == r1.finish_time_ns == r2.finish_time_ns
+            assert r0.message_records == r1.message_records == r2.message_records
+            assert vars(r0.stats) == vars(r1.stats) == vars(r2.stats)
+
+    def test_unknown_control_plane_rejected_by_config(self):
+        with pytest.raises(ValueError, match="unknown control plane 'bgp'"):
+            SimulationConfig(control_plane="bgp")
+        with pytest.raises(ValueError, match="non-negative"):
+            SimulationConfig(cp_propagation_ns=-1)
 
 
 # ------------------------------------------------------------------ packet backend
