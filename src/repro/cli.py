@@ -74,6 +74,14 @@ def _add_network_args(parser: argparse.ArgumentParser) -> None:
         "--oversubscription", type=float, default=1.0, help="fat tree: ToR downlink:uplink ratio"
     )
     group.add_argument(
+        "--fattree-planes", type=int, default=2,
+        help="fat_tree_multiplane: number of drainable core planes",
+    )
+    group.add_argument(
+        "--fattree-rails", type=int, default=4,
+        help="fat_tree_rail: GPUs (rails) per server",
+    )
+    group.add_argument(
         "--torus-dims", type=_parse_dims, default=(4, 4), metavar="X,Y[,Z]",
         help="torus: ring length per dimension (e.g. 4,4 or 4,4,2)",
     )
@@ -89,6 +97,10 @@ def _add_network_args(parser: argparse.ArgumentParser) -> None:
         "--cc", choices=["mprdma", "swift", "dctcp", "ndp", "fixed"], default="mprdma",
         help="congestion control (packet backend)",
     )
+    group.add_argument(
+        "--route-cache-entries", type=int, default=16384,
+        help="LRU budget per route-table cache (0 = unbounded; see docs/scaling.md)",
+    )
     group.add_argument("--seed", type=int, default=0, help="seed for stochastic choices")
 
 
@@ -98,6 +110,9 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         routing=args.routing,
         nodes_per_tor=args.nodes_per_tor,
         oversubscription=args.oversubscription,
+        fattree_planes=args.fattree_planes,
+        fattree_rails=args.fattree_rails,
+        route_cache_entries=args.route_cache_entries,
         torus_dims=args.torus_dims,
         torus_hosts_per_node=args.torus_hosts_per_node,
         slimfly_q=args.slimfly_q,
@@ -791,9 +806,22 @@ def _cmd_topologies(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the benchmark suite, write BENCH_<rev>.json, compare to a baseline."""
-    from repro.perf import compare_to_baseline, load_bench, run_suite, write_bench
+    from repro.perf import (
+        compare_to_baseline,
+        default_suite,
+        load_bench,
+        run_suite,
+        write_bench,
+    )
 
-    results = run_suite(quick=args.quick)
+    cases = None
+    if args.cases:
+        cases = [c for c in default_suite(args.quick) if args.cases in c.name]
+        if not cases:
+            known = ", ".join(c.name for c in default_suite(args.quick))
+            print(f"error: --cases {args.cases!r} matches no case (have: {known})")
+            return 2
+    results = run_suite(quick=args.quick, cases=cases)
     rows = []
     for name, case in results["cases"].items():
         eps = case["events_per_s"]
@@ -809,20 +837,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.baseline:
         comparison = compare_to_baseline(
-            results, load_bench(args.baseline), max_regression=args.max_regression
+            results,
+            load_bench(args.baseline),
+            max_regression=args.max_regression,
+            max_rss_regression=args.max_rss_regression,
         )
         for entry in comparison.entries:
             marker = "REGRESSED" if entry.regressed else "ok"
-            print(
+            line = (
                 f"  vs baseline {entry.name:28s} {entry.speedup:5.2f}x "
-                f"({entry.baseline_wall_s*1e3:.1f} ms -> {entry.current_wall_s*1e3:.1f} ms)  {marker}"
+                f"({entry.baseline_wall_s*1e3:.1f} ms -> {entry.current_wall_s*1e3:.1f} ms)"
             )
+            if entry.rss_ratio is not None:
+                rss_marker = " RSS-REGRESSED" if entry.rss_regressed else ""
+                line += (
+                    f"  rss {entry.rss_ratio:4.2f}x "
+                    f"({entry.baseline_rss_kb} -> {entry.current_rss_kb} KiB)"
+                    f"{rss_marker}"
+                )
+            print(f"{line}  {marker}")
         for name in comparison.missing:
             print(f"  vs baseline {name:28s} (present on one side only, skipped)")
         if not comparison.ok:
             print(
-                f"FAIL: {len(comparison.regressions)} case(s) regressed more than "
-                f"{args.max_regression}x vs {args.baseline}"
+                f"FAIL: {len(comparison.regressions)} case(s) regressed "
+                f"(wall clock > {args.max_regression}x"
+                + (
+                    f" or peak RSS > {args.max_rss_regression}x"
+                    if args.max_rss_regression
+                    else ""
+                )
+                + f") vs {args.baseline}"
             )
             return 1
         print(f"baseline check passed (threshold {args.max_regression}x)")
@@ -1130,6 +1175,12 @@ def build_parser() -> argparse.ArgumentParser:
         description=_first_doc_line(_cmd_bench),
     )
     p.add_argument("--quick", action="store_true", help="tiny workloads (CI smoke job)")
+    p.add_argument(
+        "--cases",
+        default=None,
+        help="only run cases whose name contains this substring "
+        "(e.g. 'allreduce16k' for the scale cases alone)",
+    )
     p.add_argument("--output", default=None, help="output path (default BENCH_<rev>.json)")
     p.add_argument("--baseline", default=None, help="baseline BENCH_*.json to compare against")
     p.add_argument(
@@ -1137,6 +1188,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=2.0,
         help="fail when a case's wall clock exceeds this multiple of the baseline",
+    )
+    p.add_argument(
+        "--max-rss-regression",
+        type=float,
+        default=None,
+        help="fail when a case's peak RSS exceeds this multiple of the baseline "
+        "(requires a baseline recorded with RSS; 1.2 = the CI memory gate)",
     )
     p.set_defaults(func=_cmd_bench)
 

@@ -88,6 +88,12 @@ class NetworkStats:
     #: Worst per-event convergence window (last stale switch catch-up time
     #: minus fault event time); 0 under the oracle control plane.
     time_to_recover_ns: int = 0
+    #: Route-table LRU cache counters (see docs/scaling.md): lookups served
+    #: from / missing the bounded per-pair route caches, and entries evicted
+    #: to stay within ``SimulationConfig.route_cache_entries``.
+    route_cache_hits: int = 0
+    route_cache_misses: int = 0
+    route_cache_evictions: int = 0
     queue_drop_events: Dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "NetworkStats") -> "NetworkStats":
@@ -108,6 +114,10 @@ class NetworkStats:
             + other.packets_lost_to_faults,
             packets_blackholed=self.packets_blackholed + other.packets_blackholed,
             time_to_recover_ns=max(self.time_to_recover_ns, other.time_to_recover_ns),
+            route_cache_hits=self.route_cache_hits + other.route_cache_hits,
+            route_cache_misses=self.route_cache_misses + other.route_cache_misses,
+            route_cache_evictions=self.route_cache_evictions
+            + other.route_cache_evictions,
         )
         merged.queue_drop_events = dict(self.queue_drop_events)
         for k, v in other.queue_drop_events.items():

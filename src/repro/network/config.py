@@ -150,12 +150,21 @@ class SimulationConfig:
         legacy code path but must produce bit-identical simulated results
         for the same seed.  They exist for A/B determinism tests and for
         bisecting perf regressions, not as accuracy knobs.
+    route_cache_entries / route_synthesis:
+        Route-table memory model (see ``docs/scaling.md``).  Per-pair
+        route/alive/view tables live in LRU caches bounded to
+        ``route_cache_entries`` entries each (0 = unbounded);
+        ``route_synthesis`` builds candidates structurally from coordinates
+        instead of the enumeration reference.  Both are exact: any setting
+        produces bit-identical simulated results for the same seed.
     """
 
     # topology
     topology: str = "fat_tree"
     nodes_per_tor: int = 16
     oversubscription: float = 1.0
+    fattree_planes: int = 2  # fat_tree_multiplane: drainable core planes
+    fattree_rails: int = 4  # fat_tree_rail: GPUs (rails) per server
     dragonfly_groups: int = 4
     dragonfly_routers_per_group: int = 4
     dragonfly_nodes_per_router: int = 4
@@ -190,6 +199,16 @@ class SimulationConfig:
     route_caching: bool = True
     packet_batching: bool = True
     loggops_batching: bool = True
+
+    # route-table memory model (see docs/scaling.md): per-pair route/alive/
+    # view tables live in LRU caches bounded to this many entries per cache
+    # (0 = unbounded, the pre-bounded memo behaviour).  Eviction is exact —
+    # evicted tables are rebuilt bit-identically on the next lookup.
+    # route_synthesis selects structural candidate synthesis (closed-form
+    # link ids from coordinates) over the enumeration reference; both are
+    # bit-identical by construction and A/B-tested.
+    route_cache_entries: int = 16384
+    route_synthesis: bool = True
 
     # fault injection: static degraded-fabric state plus timed link/switch
     # failure events, honored by both backends (see repro.network.faults).
@@ -237,6 +256,14 @@ class SimulationConfig:
             raise ValueError("oversubscription must be >= 1.0")
         if self.nodes_per_tor <= 0:
             raise ValueError("nodes_per_tor must be positive")
+        if self.fattree_planes <= 0:
+            raise ValueError("fattree_planes must be positive")
+        if self.fattree_rails <= 0:
+            raise ValueError("fattree_rails must be positive")
+        if self.route_cache_entries < 0:
+            raise ValueError(
+                "route_cache_entries must be non-negative (0 = unbounded)"
+            )
         if self.torus_hosts_per_node <= 0:
             raise ValueError("torus_hosts_per_node must be positive")
         if self.slimfly_hosts_per_router < 0:

@@ -63,8 +63,11 @@ class NetworkPartitionError(RuntimeError):
     Raised by :meth:`repro.network.topology.base.Topology.alive_table` when a
     fault schedule disconnects a communicating pair, and by the LogGOPS
     backend when the surviving fabric capacity reaches zero.  The message
-    names the pair and the failed links so degraded-fabric experiments fail
-    loudly instead of deadlocking.
+    names the pair, the fault epoch, the surviving-candidate count per hop
+    prefix (how many candidates are still alive through their first ``k``
+    hops — localizing the cut to a tier) and the failed links (capped at
+    datacenter scale), so degraded-fabric experiments fail loudly and
+    actionably instead of deadlocking.
     """
 
 

@@ -162,6 +162,8 @@ class LogGOPSBackend(NetworkBackend):
         self._link_bytes: Optional[np.ndarray] = None
         if config.loggops_topology_enabled():
             self.topology = build_topology(config, num_ranks)
+            self.topology.set_route_cache_budget(config.route_cache_entries)
+            self.topology.use_synthesis = config.route_synthesis
             self.routing = create_routing(
                 config.routing,
                 self.topology,
@@ -186,6 +188,8 @@ class LogGOPSBackend(NetworkBackend):
             fault_topo = self.topology
             if fault_topo is None:
                 fault_topo = build_topology(config, num_ranks)
+                fault_topo.set_route_cache_budget(config.route_cache_entries)
+                fault_topo.use_synthesis = config.route_synthesis
             self._fault_topology = fault_topo
             domain = [
                 link.link_id
@@ -665,6 +669,14 @@ class LogGOPSBackend(NetworkBackend):
             self.stats.time_to_recover_ns = max(
                 r.time_to_recover_ns for r in self.convergence_events
             )
+        topo = self.topology
+        if topo is None:
+            topo = getattr(self, "_fault_topology", None)
+        if topo is not None:
+            cache = topo.route_cache_stats()
+            self.stats.route_cache_hits = cache["hits"]
+            self.stats.route_cache_misses = cache["misses"]
+            self.stats.route_cache_evictions = cache["evictions"]
         return self.stats
 
     def convergence_report(self) -> List:

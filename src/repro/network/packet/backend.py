@@ -116,6 +116,8 @@ class PacketBackend(NetworkBackend):
         self.matcher = MessageMatcher()
         self.rng = np.random.default_rng(config.seed)
         self.topology = build_topology(config, num_ranks)
+        self.topology.set_route_cache_budget(config.route_cache_entries)
+        self.topology.use_synthesis = config.route_synthesis
         self.routing = create_routing(
             config.routing, self.topology, self.rng, use_cache=config.route_caching
         )
@@ -202,7 +204,11 @@ class PacketBackend(NetworkBackend):
         self._load_view = (
             np.zeros(len(self.topology.links), dtype=np.int64) if self._needs_load else None
         )
-        self._rtt_cache: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], int] = {}
+        # (route, ack_route) -> base RTT, bounded like the per-pair route
+        # caches: its key space is O(pairs x candidates)
+        from repro.network.topology.base import LruCache
+
+        self._rtt_cache = LruCache(config.route_cache_entries)
         self._packet_free: List[Packet] = []
         # multi-job attribution (observational only; see SimulationConfig)
         self._job_stride = config.job_tag_stride
@@ -303,7 +309,7 @@ class PacketBackend(NetworkBackend):
             max(1, int(round(cfg.ack_size / links[l].bandwidth))) for l in ack_route
         )
         rtt = prop + prop_back + ser + ser_back
-        self._rtt_cache[key] = rtt
+        self._rtt_cache.put(key, rtt)
         return rtt
 
     def _alloc_packet(
@@ -865,6 +871,10 @@ class PacketBackend(NetworkBackend):
             self.stats.time_to_recover_ns = max(
                 r.time_to_recover_ns for r in self.convergence_events
             )
+        cache = self.topology.route_cache_stats()
+        self.stats.route_cache_hits = cache["hits"]
+        self.stats.route_cache_misses = cache["misses"]
+        self.stats.route_cache_evictions = cache["evictions"]
         return self.stats
 
     def convergence_report(self) -> List:

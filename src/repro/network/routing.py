@@ -37,14 +37,18 @@ healthy fabric the filter is a single boolean read, and the selected routes
 
 Hot path
 --------
-Strategies read the topology's memoized
-:class:`~repro.network.topology.base.RouteTable` instead of rebuilding the
-candidate tuples per message, and the UGAL cost of all candidates is
-evaluated in one numpy gather + ``reduceat`` instead of one Python call per
-link per candidate.  Both optimizations are exact: candidate order and RNG
-consumption are unchanged, so results are bit-identical to the legacy
-scalar path (``SimulationConfig.route_caching=False``), which the
-determinism tests verify.
+Strategies read the topology's lazily built, LRU-bounded
+:class:`~repro.network.topology.base.RouteTable` caches instead of
+rebuilding the candidate tuples per message, and the UGAL cost of all
+candidates is evaluated in one numpy gather + ``reduceat`` instead of one
+Python call per link per candidate.  Both optimizations are exact:
+candidate order and RNG consumption are unchanged, so results are
+bit-identical to the legacy scalar path
+(``SimulationConfig.route_caching=False``), which the determinism tests
+verify.  Cache eviction is equally invisible here — an evicted table is
+rebuilt bit-identically (from structural synthesis or the enumeration
+reference, per ``SimulationConfig.route_synthesis``) on the next lookup,
+so strategies never observe cache state (see docs/scaling.md).
 """
 from __future__ import annotations
 

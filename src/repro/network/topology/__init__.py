@@ -13,6 +13,11 @@ Available topologies (see :data:`TOPOLOGY_BUILDERS`):
 * :class:`~repro.network.topology.fattree.FatTreeTopology` — two-level fat
   tree with a configurable ToR→core oversubscription ratio (the topology used
   throughout the paper's evaluation),
+* :class:`~repro.network.topology.fattree.MultiPlaneFatTreeTopology` — fat
+  tree whose core tier is split into independently drainable planes,
+* :class:`~repro.network.topology.fattree.RailOptimizedFatTreeTopology` —
+  rail-optimized fat tree (GPU ``k`` of every server on the rail-``k``
+  switch of its pod),
 * :class:`~repro.network.topology.dragonfly.DragonflyTopology` — the Alps-style
   dragonfly used for AI trace collection,
 * :class:`~repro.network.topology.torus.TorusTopology` — 2D/3D wrap-around
@@ -26,9 +31,13 @@ flag, and shows up in ``atlahs topologies``.
 """
 from typing import Callable, Dict, Tuple
 
-from repro.network.topology.base import Link, Topology
+from repro.network.topology.base import Link, LruCache, RouteTable, Topology
 from repro.network.topology.single import SingleSwitchTopology
-from repro.network.topology.fattree import FatTreeTopology
+from repro.network.topology.fattree import (
+    FatTreeTopology,
+    MultiPlaneFatTreeTopology,
+    RailOptimizedFatTreeTopology,
+)
 from repro.network.topology.dragonfly import DragonflyTopology
 from repro.network.topology.torus import TorusTopology
 from repro.network.topology.slimfly import SlimFlyTopology
@@ -75,6 +84,30 @@ register_topology(
         latency=config.link_latency,
     ),
     description="two-level fat tree with configurable ToR-to-core oversubscription",
+)
+register_topology(
+    "fat_tree_multiplane",
+    lambda config, num_hosts: MultiPlaneFatTreeTopology(
+        num_hosts,
+        nodes_per_tor=config.nodes_per_tor,
+        planes=config.fattree_planes,
+        oversubscription=config.oversubscription,
+        bandwidth=config.link_bandwidth,
+        latency=config.link_latency,
+    ),
+    description="fat tree with the core tier split into drainable planes",
+)
+register_topology(
+    "fat_tree_rail",
+    lambda config, num_hosts: RailOptimizedFatTreeTopology(
+        num_hosts,
+        rails=config.fattree_rails,
+        nodes_per_tor=config.nodes_per_tor,
+        oversubscription=config.oversubscription,
+        bandwidth=config.link_bandwidth,
+        latency=config.link_latency,
+    ),
+    description="rail-optimized fat tree: GPU k of every server on rail-k switch",
 )
 register_topology(
     "dragonfly",
@@ -133,9 +166,13 @@ def build_topology(config, num_hosts: int) -> Topology:
 
 __all__ = [
     "Link",
+    "LruCache",
+    "RouteTable",
     "Topology",
     "SingleSwitchTopology",
     "FatTreeTopology",
+    "MultiPlaneFatTreeTopology",
+    "RailOptimizedFatTreeTopology",
     "DragonflyTopology",
     "TorusTopology",
     "SlimFlyTopology",

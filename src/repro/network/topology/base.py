@@ -4,17 +4,88 @@ Devices are integer ids.  Hosts occupy ``0 .. num_hosts - 1``; switches use
 ids at and above ``num_hosts``.  Links are directed — a full-duplex cable is
 modelled as two links — because each direction has its own output queue.
 
-Routes are precomputed per ``(source ToR/switch layout)`` by the concrete
-topology classes and returned as tuples of link ids; the packet backend
-attaches one queue per link.
+Routes are computed per host pair by the concrete topology classes and
+returned as tuples of link ids; the packet backend attaches one queue per
+link.  Regular topologies additionally provide *structural synthesis*
+(:meth:`Topology.synthesized_routes`): candidates derived from coordinates
+in closed form, so route lookup needs no per-pair precomputation at all.
+
+Derived per-pair state (route tables, alive/view-filtered tables, latency
+sums) lives in bounded LRU caches — an unbounded memo is O(N²) in hosts and
+does not survive datacenter-scale runs (see docs/scaling.md).
 """
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # avoid a hard numpy dependency at import time
     import numpy as np
+
+#: Default LRU budget (entries) for each per-pair route cache.  Sized so
+#: every workload at ≤128 ranks is fully cached (128² = 16384 pairs) while a
+#: 16k-endpoint run stays within a few hundred MB of table memory.
+DEFAULT_ROUTE_CACHE_BUDGET = 16384
+
+
+class LruCache:
+    """Bounded least-recently-used mapping for per-pair route memos.
+
+    A ``budget`` of 0 (or negative) disables eviction — the cache degrades
+    to a plain memo, which is the pre-bounded behaviour and the A/B
+    reference for determinism tests.  Hit/miss/eviction counters feed
+    :meth:`Topology.route_cache_stats` and ultimately ``NetworkStats``.
+    """
+
+    __slots__ = ("budget", "hits", "misses", "evictions", "_data")
+
+    def __init__(self, budget: int = DEFAULT_ROUTE_CACHE_BUDGET) -> None:
+        self.budget = budget
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict" = OrderedDict()
+
+    def get(self, key):
+        """Return the cached value (marking it most-recent) or ``None``."""
+        data = self._data
+        value = data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert ``key`` as most-recent, evicting LRU entries over budget."""
+        data = self._data
+        data[key] = value
+        data.move_to_end(key)
+        budget = self.budget
+        if budget > 0:
+            while len(data) > budget:
+                data.popitem(last=False)
+                self.evictions += 1
+
+    def set_budget(self, budget: int) -> None:
+        """Change the budget, trimming LRU entries if the cache shrank."""
+        self.budget = budget
+        if budget > 0:
+            data = self._data
+            while len(data) > budget:
+                data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
 
 
 def pick_route(candidates: Sequence[Tuple[int, ...]], rng: "np.random.Generator") -> Tuple[int, ...]:
@@ -99,26 +170,51 @@ class Topology:
         self.links: List[Link] = []
         self._out_links: Dict[int, List[int]] = {}
         self.num_devices = num_hosts
-        # lazily built per-pair candidate tables and per-route latency sums
-        self._route_tables: Dict[Tuple[int, int], RouteTable] = {}
-        self._route_latency: Dict[Tuple[int, ...], int] = {}
+        # Structural synthesis toggle: when True (default) route tables are
+        # built from :meth:`synthesized_routes`; when False, from the
+        # enumeration reference :meth:`routes`.  Both must be bit-identical
+        # (check_routes / tests/test_route_synthesis.py enforce it).
+        self.use_synthesis = True
+        # Lazily built per-pair candidate tables and per-route latency sums,
+        # all bounded LRU caches — the per-pair key space is O(N²) in hosts.
+        self.route_cache_budget = DEFAULT_ROUTE_CACHE_BUDGET
+        self._route_tables = LruCache()
+        self._route_latency = LruCache()
         # fault state (see repro.network.faults): failure counts per link id
         # (a link can be failed by several overlapping causes — a static
         # failure plus a drain of either endpoint — and stays down until
         # every cause is restored), a monotone epoch bumped on every change,
-        # and per-epoch memoized alive-filtered route tables.  ``faulty``
-        # stays False for the lifetime of a healthy topology, so the
-        # no-fault hot paths pay a single attribute read.
+        # and alive-filtered route tables evicted wholesale at each epoch
+        # change.  ``faulty`` stays False for the lifetime of a healthy
+        # topology, so the no-fault hot paths pay a single attribute read.
         self.faulty = False
         self._failed_links: Dict[int, int] = {}
         self._fault_epoch = 0
         self._alive_mask = None  # numpy bool array, built lazily
-        self._alive_tables: Dict[Tuple[int, int], Tuple[int, RouteTable]] = {}
+        # bumped by every per-link state change (faults *and* degradations);
+        # lazily derived link-state views key off it for invalidation
+        self.link_state_version = 0
+        self._alive_tables = LruCache()
         # control-plane views: per-(pair, believed-failed set) filtered
-        # tables (see repro.network.control_plane).  Keyed by the view's
-        # frozenset, so entries never go stale — a switch whose view changes
-        # simply reads a different key.
-        self._view_tables: Dict[Tuple[int, int, frozenset], RouteTable] = {}
+        # tables (see repro.network.control_plane).  Evicted wholesale on
+        # every true fault-epoch change: the partition fallback below bakes
+        # the live truth into an entry, and long convergence runs would
+        # otherwise accumulate stale believed-sets without bound.
+        self._view_tables = LruCache()
+        # caches included in the configurable budget; subclasses append
+        # their own per-pair memos (e.g. torus DOR path cache).  The first
+        # three also feed the hit/miss/eviction stats.
+        self._stat_caches: List[LruCache] = [
+            self._route_tables,
+            self._alive_tables,
+            self._view_tables,
+        ]
+        self._bounded_caches: List[LruCache] = [
+            self._route_tables,
+            self._alive_tables,
+            self._view_tables,
+            self._route_latency,
+        ]
 
     # -- construction helpers (used by subclasses) ---------------------------
     def _new_device(self) -> int:
@@ -158,30 +254,75 @@ class Topology:
         """
         raise NotImplementedError
 
-    def route_table(self, src_host: int, dst_host: int) -> RouteTable:
-        """Memoized :class:`RouteTable` of the pair's minimal candidates.
+    def synthesized_routes(self, src_host: int, dst_host: int) -> Sequence[Tuple[int, ...]]:
+        """Candidate routes computed structurally from coordinates.
 
-        The table is built from :meth:`routes` on first use and cached for
-        the lifetime of the topology; candidate order is preserved exactly,
-        so strategies that tie-break with a shared RNG consume the same
-        random stream whether they read the cache or call :meth:`routes`
-        directly.
+        Regular topologies (fat tree family, torus, dragonfly) override this
+        with closed-form link-id arithmetic so a candidate set costs O(path
+        length) to produce and nothing to store — the foundation of
+        datacenter-scale route lookup.  The result must be *bit-identical*
+        to :meth:`routes` (same candidates, same order); ``check_routes``
+        and the differential suite enforce this.  The base implementation
+        simply defers to :meth:`routes`.
+        """
+        return self.routes(src_host, dst_host)
+
+    def route_table(self, src_host: int, dst_host: int) -> RouteTable:
+        """Lazily built, LRU-cached :class:`RouteTable` of the pair's candidates.
+
+        The table is built from :meth:`synthesized_routes` (or from the
+        :meth:`routes` enumeration reference when synthesis is disabled) on
+        first use and kept in a bounded LRU cache — see
+        :meth:`set_route_cache_budget`.  Candidate order is preserved
+        exactly, so strategies that tie-break with a shared RNG consume the
+        same random stream whether they read the cache or call
+        :meth:`routes` directly, and regardless of evictions.
         """
         key = (src_host, dst_host)
         table = self._route_tables.get(key)
         if table is None:
-            table = RouteTable(tuple(self.routes(src_host, dst_host)), self.links)
-            self._route_tables[key] = table
+            source = self.synthesized_routes if self.use_synthesis else self.routes
+            table = RouteTable(tuple(source(src_host, dst_host)), self.links)
+            self._route_tables.put(key, table)
         return table
 
     def route_latency(self, route: Tuple[int, ...]) -> int:
-        """Memoized propagation latency (ns) summed along ``route``."""
+        """LRU-cached propagation latency (ns) summed along ``route``."""
         latency = self._route_latency.get(route)
         if latency is None:
             links = self.links
             latency = sum(links[l].latency for l in route)
-            self._route_latency[route] = latency
+            self._route_latency.put(route, latency)
         return latency
+
+    # -- cache management (see docs/scaling.md) ------------------------------
+    def set_route_cache_budget(self, budget: int) -> None:
+        """Bound every per-pair route cache to ``budget`` entries (0 = unbounded).
+
+        Applies to the route/alive/view table caches, the per-route latency
+        memo, and any subclass-registered per-pair memo (e.g. the torus DOR
+        path cache).  Shrinking trims least-recently-used entries
+        immediately.  Eviction never changes results — evicted tables are
+        rebuilt bit-identically on the next lookup.
+        """
+        self.route_cache_budget = budget
+        for cache in self._bounded_caches:
+            cache.set_budget(budget)
+
+    def route_cache_stats(self) -> Dict[str, int]:
+        """Aggregate hit/miss/eviction counters across the route-table caches.
+
+        ``entries`` counts live entries across *all* bounded caches (the
+        memory-relevant number); hits/misses/evictions cover the three
+        route-table caches that back :meth:`route_table`,
+        :meth:`alive_table` and :meth:`view_table`.
+        """
+        return {
+            "hits": sum(c.hits for c in self._stat_caches),
+            "misses": sum(c.misses for c in self._stat_caches),
+            "evictions": sum(c.evictions for c in self._stat_caches),
+            "entries": sum(len(c) for c in self._bounded_caches),
+        }
 
     # -- fault state (see repro.network.faults) ------------------------------
     def fail_links(self, link_ids: Sequence[int]) -> None:
@@ -222,7 +363,24 @@ class Topology:
     def _fault_change(self) -> None:
         self._fault_epoch += 1
         self.faulty = bool(self._failed_links)
+        # Per-fault-epoch eviction: alive tables are only valid for the
+        # epoch they were filtered under, and view tables may embed the
+        # live-truth fallback — both are dropped wholesale so a long
+        # FaultSchedule cannot accumulate stale entries.
+        self._alive_tables.clear()
+        self._view_tables.clear()
+        self._link_state_change()
+
+    def _link_state_change(self) -> None:
+        """Invalidate lazily derived per-link state (mask, version-keyed views).
+
+        Called on every fault transition *and* on non-fault link mutations
+        such as :meth:`degrade_link`, so consumers that key off
+        ``link_state_version`` (or hold the numpy alive mask) never read a
+        stale view of the link array.
+        """
         self._alive_mask = None
+        self.link_state_version += 1
 
     @property
     def failed_links(self) -> frozenset:
@@ -259,9 +417,9 @@ class Topology:
 
         Returns the full table while the fabric is healthy.  With failed
         links, a filtered :class:`RouteTable` (candidate order preserved) is
-        built once per (pair, fault epoch) and memoized until the next
-        fault-state change — the "cached-route invalidation" the packet
-        backend relies on.  Raises
+        built lazily per pair and LRU-cached; every fault-state change
+        evicts the whole cache (see :meth:`_fault_change`) — the
+        "cached-route invalidation" the packet backend relies on.  Raises
         :class:`~repro.network.faults.NetworkPartitionError` when no
         candidate survives.
         """
@@ -269,9 +427,9 @@ class Topology:
         if not self.faulty:
             return full
         key = (src_host, dst_host)
-        cached = self._alive_tables.get(key)
-        if cached is not None and cached[0] == self._fault_epoch:
-            return cached[1]
+        table = self._alive_tables.get(key)
+        if table is not None:
+            return table
         failed = self._failed_links
         alive = tuple(
             route
@@ -279,20 +437,48 @@ class Topology:
             if not any(link in failed for link in route)
         )
         if not alive:
-            from repro.network.faults import NetworkPartitionError
-
-            names = sorted(self.links[l].name for l in failed)
-            raise NetworkPartitionError(
-                f"no surviving route from host {src_host} to host {dst_host}: "
-                f"all {len(full.candidates)} candidate route(s) cross failed links "
-                f"(failed: {', '.join(names)})"
-            )
+            raise self._partition_error(src_host, dst_host, full)
         if len(alive) == len(full.candidates):
             table = full
         else:
             table = RouteTable(alive, self.links)
-        self._alive_tables[key] = (self._fault_epoch, table)
+        self._alive_tables.put(key, table)
         return table
+
+    def _partition_error(self, src_host: int, dst_host: int, full: RouteTable):
+        """Build the :class:`NetworkPartitionError` for a fully dead pair.
+
+        At datacenter scale "all N candidates cross failed links" is not
+        actionable by itself, so the message also carries the fault epoch
+        and the surviving-candidate count per hop prefix — how many
+        candidates are still alive through their first ``k`` hops — which
+        localizes the cut (e.g. all candidates alive through 1 hop but dead
+        at 2 means the uplink tier, not the NIC, is severed).  Failed-link
+        names are capped to keep 16k-host reports readable.
+        """
+        from repro.network.faults import NetworkPartitionError
+
+        failed = self._failed_links
+        max_hops = max(len(route) for route in full.candidates)
+        prefix_parts = []
+        for k in range(1, max_hops + 1):
+            surviving = sum(
+                1
+                for route in full.candidates
+                if not any(link in failed for link in route[:k])
+            )
+            prefix_parts.append(f"{surviving} alive through hop {k}")
+        names = sorted(self.links[l].name for l in failed)
+        shown = names[:12]
+        more = len(names) - len(shown)
+        suffix = f", +{more} more" if more > 0 else ""
+        return NetworkPartitionError(
+            f"no surviving route from host {src_host} to host {dst_host} "
+            f"at fault epoch {self._fault_epoch}: "
+            f"all {len(full.candidates)} candidate route(s) cross failed links; "
+            f"surviving candidates by hop prefix: {'; '.join(prefix_parts)} "
+            f"(failed: {', '.join(shown)}{suffix})"
+        )
 
     def view_table(self, src_host: int, dst_host: int, believed_failed: frozenset) -> RouteTable:
         """Like :meth:`alive_table`, filtered by a *believed*-failed link set.
@@ -301,8 +487,10 @@ class Topology:
         a source whose first-hop switch holds a stale routing view selects
         routes as if ``believed_failed`` were the truth — the selected route
         may well cross a link that is actually down (that packet black-holes
-        at the stale switch).  Tables are memoized per
-        ``(pair, believed set)``; a view that believes the pair partitioned
+        at the stale switch).  Tables are LRU-cached per
+        ``(pair, believed set)`` and evicted wholesale on every true
+        fault-epoch change, so convergence runs with many advertisement
+        waves stay bounded.  A view that believes the pair partitioned
         falls back to the truth-alive table *uncached* (it depends on the
         live fault epoch), modelling a switch that keeps its last usable
         route rather than dropping at the source.
@@ -325,7 +513,7 @@ class Topology:
             table = full
         else:
             table = RouteTable(alive, self.links)
-        self._view_tables[key] = table
+        self._view_tables.put(key, table)
         return table
 
     def degrade_link(self, link_id: int, capacity_factor: float) -> None:
@@ -346,6 +534,7 @@ class Topology:
         self.links[link_id] = dataclasses.replace(
             link, bandwidth=link.bandwidth * capacity_factor
         )
+        self._link_state_change()
 
     def valiant_routes(
         self, src_host: int, dst_host: int, rng: "np.random.Generator", count: int = 4
@@ -460,7 +649,10 @@ class Topology:
 
         Every candidate route must start at the source host, end at the
         destination host, and chain contiguously through the link graph.
-        Candidate sets must additionally be *reverse-symmetric*:
+        Structurally synthesized candidates (:meth:`synthesized_routes`)
+        must be bit-identical — same tuples, same order — to the
+        :meth:`routes` enumeration reference.  Candidate sets must
+        additionally be *reverse-symmetric*:
 
         * every hop of every candidate must have a reverse-direction twin
           link, so the mirrored device path is realizable (cables are full
@@ -480,6 +672,13 @@ class Topology:
                 if src == dst:
                     continue
                 forward = self.routes(src, dst)
+                synthesized = tuple(self.synthesized_routes(src, dst))
+                if synthesized != tuple(forward):
+                    raise AssertionError(
+                        f"synthesized routes diverge from the enumeration "
+                        f"reference for (src={src}, dst={dst}): "
+                        f"synthesized={synthesized} enumerated={tuple(forward)}"
+                    )
                 for route in forward:
                     self.validate_route(route, src, dst)
                     for link_id in route:

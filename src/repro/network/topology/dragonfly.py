@@ -110,6 +110,7 @@ class DragonflyTopology(Topology):
         return g, rem // self.nodes_per_router, rem % self.nodes_per_router
 
     def routes(self, src_host: int, dst_host: int) -> Sequence[Tuple[int, ...]]:
+        """Enumeration reference: candidates read from the built link maps."""
         if src_host == dst_host:
             raise ValueError("no route from a host to itself")
         sg, sr, _ = self._locate(src_host)
@@ -133,6 +134,52 @@ class DragonflyTopology(Topology):
             hops.append(down)
             candidates.append(tuple(hops))
         return tuple(candidates)
+
+    def synthesized_routes(self, src_host: int, dst_host: int) -> Sequence[Tuple[int, ...]]:
+        """Structural synthesis: link ids in closed form from coordinates.
+
+        Construction order fixes every link id: host duplex pairs first
+        (uplink ``2h``, downlink ``2h + 1``), then the per-group local full
+        meshes in (group, src, dst) order — ``R·(R-1)`` links per group —
+        then one duplex global cable per unordered group pair in row-major
+        pair order, attached round-robin (pair ``p`` lands on router
+        ``p mod R`` of the lower group and ``(p+1) mod R`` of the higher).
+        """
+        if src_host == dst_host:
+            raise ValueError("no route from a host to itself")
+        R = self.routers_per_group
+        sg, sr, _ = self._locate(src_host)
+        dg, dr, _ = self._locate(dst_host)
+        up = 2 * src_host
+        down = 2 * dst_host + 1
+        local_base = 2 * self.num_hosts
+        per_group = R * (R - 1)
+
+        def local(g: int, a: int, b: int) -> int:
+            return local_base + g * per_group + a * (R - 1) + (b if b < a else b - 1)
+
+        if sg == dg:
+            if sr == dr:
+                return ((up, down),)
+            return ((up, local(sg, sr, dr), down),)
+
+        ga, gb = (sg, dg) if sg < dg else (dg, sg)
+        pair = ga * self.groups - ga * (ga + 1) // 2 + (gb - ga - 1)
+        a_r = pair % R  # cable endpoint in the lower-numbered group
+        b_r = (pair + 1) % R  # cable endpoint in the higher-numbered group
+        global_base = local_base + self.groups * per_group
+        if sg < dg:
+            gsrc_r, gdst_r, glink = a_r, b_r, global_base + 2 * pair
+        else:
+            gsrc_r, gdst_r, glink = b_r, a_r, global_base + 2 * pair + 1
+        hops: List[int] = [up]
+        if sr != gsrc_r:
+            hops.append(local(sg, sr, gsrc_r))
+        hops.append(glink)
+        if gdst_r != dr:
+            hops.append(local(dg, gdst_r, dr))
+        hops.append(down)
+        return (tuple(hops),)
 
     def describe(self) -> Dict[str, object]:
         d = super().describe()

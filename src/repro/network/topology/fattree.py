@@ -54,7 +54,7 @@ class FatTreeTopology(Topology):
         if oversubscription < 1.0:
             raise ValueError("oversubscription must be >= 1.0")
         self.nodes_per_tor = nodes_per_tor
-        self.num_tors = math.ceil(num_hosts / nodes_per_tor)
+        self.num_tors = self._num_tors()
         self.num_cores = max(1, int(round(nodes_per_tor / oversubscription)))
         self.oversubscription = nodes_per_tor / self.num_cores
 
@@ -88,14 +88,16 @@ class FatTreeTopology(Topology):
                 self._tor_up[(t, c)] = up
                 self._tor_down[(t, c)] = down
 
-        # route cache: (src_tor, dst_tor) -> tuple of (uplink, downlink) pairs
-        self._inter_tor_cache: Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]] = {}
+    def _num_tors(self) -> int:
+        """ToR count; the rail-optimized variant overrides (pods × rails)."""
+        return math.ceil(self.num_hosts / self.nodes_per_tor)
 
     def tor_of(self, host: int) -> int:
         """Index of the ToR switch ``host`` is attached to."""
         return host // self.nodes_per_tor
 
     def routes(self, src_host: int, dst_host: int) -> Sequence[Tuple[int, ...]]:
+        """Enumeration reference: candidates read from the built link maps."""
         if src_host == dst_host:
             raise ValueError("no route from a host to itself")
         src_tor = self.tor_of(src_host)
@@ -104,15 +106,37 @@ class FatTreeTopology(Topology):
         down = self._host_down[dst_host]
         if src_tor == dst_tor:
             return ((up, down),)
-        key = (src_tor, dst_tor)
-        middles = self._inter_tor_cache.get(key)
-        if middles is None:
-            middles = tuple(
-                (self._tor_up[(src_tor, c)], self._tor_down[(dst_tor, c)])
-                for c in range(self.num_cores)
-            )
-            self._inter_tor_cache[key] = middles
-        return tuple((up, mid_up, mid_down, down) for mid_up, mid_down in middles)
+        return tuple(
+            (up, self._tor_up[(src_tor, c)], self._tor_down[(dst_tor, c)], down)
+            for c in range(self.num_cores)
+        )
+
+    def synthesized_routes(self, src_host: int, dst_host: int) -> Sequence[Tuple[int, ...]]:
+        """Structural synthesis: link ids in closed form from coordinates.
+
+        Link ids follow directly from construction order — host duplex pairs
+        first in host order (uplink ``2h``, downlink ``2h + 1``), then
+        ToR–core duplex pairs nested ToR-major (uplink
+        ``2·num_hosts + 2·(t·num_cores + c)``, downlink one above) — so no
+        per-pair state is consulted at all.  Shared by the multi-plane and
+        rail-optimized variants, which keep the same construction order and
+        only reshape ``tor_of`` / the core tier.
+        """
+        if src_host == dst_host:
+            raise ValueError("no route from a host to itself")
+        up = 2 * src_host
+        down = 2 * dst_host + 1
+        src_tor = self.tor_of(src_host)
+        dst_tor = self.tor_of(dst_host)
+        if src_tor == dst_tor:
+            return ((up, down),)
+        num_cores = self.num_cores
+        core_base = 2 * self.num_hosts
+        src_up = core_base + 2 * src_tor * num_cores
+        dst_down = core_base + 2 * dst_tor * num_cores + 1
+        return tuple(
+            (up, src_up + 2 * c, dst_down + 2 * c, down) for c in range(num_cores)
+        )
 
     def core_uplinks(self, tor: int) -> List[int]:
         """Link ids of the uplinks of ToR ``tor`` (useful for drop statistics)."""
@@ -126,6 +150,157 @@ class FatTreeTopology(Topology):
                 "num_cores": self.num_cores,
                 "nodes_per_tor": self.nodes_per_tor,
                 "oversubscription": self.oversubscription,
+            }
+        )
+        return d
+
+
+class MultiPlaneFatTreeTopology(FatTreeTopology):
+    """Fat tree whose core tier is split into independent planes.
+
+    Real AI clusters deploy the spine as several parallel *planes* that can
+    be drained, upgraded, or lost as a unit.  Each ToR spreads its uplinks
+    evenly over the planes: with ``planes`` planes the core tier holds
+    ``planes × cores_per_plane`` switches, where ``cores_per_plane`` is the
+    per-ToR uplink budget (``round(nodes_per_tor / oversubscription)``)
+    divided by ``planes``.  Core switch ``c`` belongs to plane
+    ``c // cores_per_plane``; :meth:`plane_links` names every ToR–core link
+    of one plane so a `FaultSchedule` can take a whole plane down.
+
+    Routing is unchanged from the base fat tree — ECMP over all surviving
+    cores — so losing one plane degrades bisection by ``1/planes`` instead
+    of partitioning anything.
+    """
+
+    def __init__(
+        self,
+        num_hosts: int,
+        nodes_per_tor: int = 16,
+        planes: int = 2,
+        oversubscription: float = 1.0,
+        bandwidth: float = 25.0,
+        latency: int = 500,
+    ) -> None:
+        if planes <= 0:
+            raise ValueError("planes must be positive")
+        if oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1.0")
+        total_uplinks = max(1, int(round(nodes_per_tor / oversubscription)))
+        cores_per_plane = max(1, total_uplinks // planes)
+        if planes * cores_per_plane > nodes_per_tor:
+            raise ValueError(
+                f"planes ({planes}) exceed the per-ToR uplink budget "
+                f"({total_uplinks} uplinks at oversubscription "
+                f"{oversubscription} with {nodes_per_tor} nodes per ToR)"
+            )
+        self.planes = planes
+        self.cores_per_plane = cores_per_plane
+        super().__init__(
+            num_hosts,
+            nodes_per_tor=nodes_per_tor,
+            oversubscription=nodes_per_tor / (planes * cores_per_plane),
+            bandwidth=bandwidth,
+            latency=latency,
+        )
+
+    def plane_of_core(self, core_index: int) -> int:
+        """Plane that core switch ``core_index`` belongs to."""
+        return core_index // self.cores_per_plane
+
+    def plane_cores(self, plane: int) -> List[int]:
+        """Core switch indices of ``plane``."""
+        if not (0 <= plane < self.planes):
+            raise ValueError(f"plane must be in [0, {self.planes}), got {plane}")
+        start = plane * self.cores_per_plane
+        return list(range(start, start + self.cores_per_plane))
+
+    def plane_links(self, plane: int) -> List[int]:
+        """Every ToR–core link id (both directions) of ``plane``.
+
+        Failing exactly these links models draining or losing the plane.
+        """
+        links: List[int] = []
+        for t in range(self.num_tors):
+            for c in self.plane_cores(plane):
+                links.append(self._tor_up[(t, c)])
+                links.append(self._tor_down[(t, c)])
+        return links
+
+    def describe(self) -> Dict[str, object]:
+        d = super().describe()
+        d.update({"planes": self.planes, "cores_per_plane": self.cores_per_plane})
+        return d
+
+
+class RailOptimizedFatTreeTopology(FatTreeTopology):
+    """Rail-optimized fat tree for GPU servers.
+
+    Hosts are GPUs: server ``s`` owns hosts ``s·rails .. s·rails+rails-1``,
+    and GPU ``k`` ("rail ``k``") of every server in a pod attaches to the
+    pod's rail-``k`` ToR switch.  Same-rail traffic inside a pod therefore
+    stays one switch away regardless of server — the layout NCCL-style
+    collectives assume — while cross-rail or cross-pod traffic climbs to the
+    shared core tier.
+
+    ``nodes_per_tor`` keeps its base meaning as hosts per ToR, which here
+    equals servers per pod (each server contributes one GPU per rail
+    switch).  ``num_hosts`` must be divisible by ``rails``.
+    """
+
+    def __init__(
+        self,
+        num_hosts: int,
+        rails: int = 4,
+        nodes_per_tor: int = 16,
+        oversubscription: float = 1.0,
+        bandwidth: float = 25.0,
+        latency: int = 500,
+    ) -> None:
+        if rails <= 0:
+            raise ValueError("rails must be positive")
+        if num_hosts % rails != 0:
+            raise ValueError(
+                f"num_hosts ({num_hosts}) must be divisible by rails ({rails}): "
+                f"every server contributes one GPU per rail"
+            )
+        self.rails = rails
+        self.servers_per_pod = nodes_per_tor
+        self.num_pods = max(1, math.ceil((num_hosts // rails) / nodes_per_tor))
+        super().__init__(
+            num_hosts,
+            nodes_per_tor=nodes_per_tor,
+            oversubscription=oversubscription,
+            bandwidth=bandwidth,
+            latency=latency,
+        )
+
+    def _num_tors(self) -> int:
+        return self.num_pods * self.rails
+
+    def server_of(self, host: int) -> int:
+        """Server that GPU ``host`` belongs to."""
+        return host // self.rails
+
+    def rail_of(self, host: int) -> int:
+        """Rail (GPU index within its server) of ``host``."""
+        return host % self.rails
+
+    def pod_of(self, host: int) -> int:
+        """Pod of ``host``'s server."""
+        return self.server_of(host) // self.servers_per_pod
+
+    def tor_of(self, host: int) -> int:
+        """Rail switch of ``host``: pod-major, rail-minor."""
+        server, rail = divmod(host, self.rails)
+        return (server // self.servers_per_pod) * self.rails + rail
+
+    def describe(self) -> Dict[str, object]:
+        d = super().describe()
+        d.update(
+            {
+                "rails": self.rails,
+                "num_pods": self.num_pods,
+                "servers_per_pod": self.servers_per_pod,
             }
         )
         return d

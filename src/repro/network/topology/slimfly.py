@@ -160,8 +160,12 @@ class SlimFlyTopology(Topology):
                     c = (y - m * x) % q
                     connect(a_index(x, y), b_index(m, c))
 
-        # (src_router, dst_router) -> tuple of router-level paths (<= 2 hops)
-        self._path_cache: Dict[Tuple[int, int], Tuple[Tuple[int, ...], ...]] = {}
+        # (src_router, dst_router) -> tuple of router-level paths (<= 2
+        # hops), bounded LRU: the key space is O(routers²)
+        from repro.network.topology.base import LruCache
+
+        self._path_cache = LruCache()
+        self._bounded_caches.append(self._path_cache)
 
     def router_of(self, host: int) -> int:
         """Router index ``host`` is attached to."""
@@ -186,7 +190,7 @@ class SlimFlyTopology(Topology):
                     raise AssertionError(
                         f"MMS graph violated diameter 2 between routers {r1} and {r2}"
                     )
-            self._path_cache[key] = cached
+            self._path_cache.put(key, cached)
         return cached
 
     def routes(self, src_host: int, dst_host: int) -> Sequence[Tuple[int, ...]]:

@@ -111,8 +111,12 @@ class TorusTopology(Topology):
                     )
                     self._dim_link[(node, dim, sign)] = link
 
-        # (src_node, dst_node) -> unique DOR router paths over all dim orders
-        self._path_cache: Dict[Tuple[int, int], Tuple[Tuple[int, ...], ...]] = {}
+        # (src_node, dst_node) -> unique DOR router paths over all dim
+        # orders, bounded LRU: the key space is O(nodes²)
+        from repro.network.topology.base import LruCache
+
+        self._path_cache = LruCache()
+        self._bounded_caches.append(self._path_cache)
 
     # -- coordinate helpers ---------------------------------------------------
     def _index(self, coords: Tuple[int, ...]) -> int:
@@ -153,22 +157,32 @@ class TorusTopology(Topology):
                 coords[dim] = (coords[dim] + sign) % size
         return tuple(hops)
 
+    def _synthesize_router_paths(self, src_node: int, dst_node: int) -> Tuple[Tuple[int, ...], ...]:
+        """Unique DOR paths over all dimension orders, computed on demand.
+
+        Pure coordinate arithmetic against the O(links) ``_dim_link`` map —
+        no per-pair state, so this is the structural-synthesis primitive.
+        """
+        seen = set()
+        paths: List[Tuple[int, ...]] = []
+        for order in itertools.permutations(range(len(self.dims))):
+            path = self._dor_path(src_node, dst_node, order)
+            if path not in seen:
+                seen.add(path)
+                paths.append(path)
+        return tuple(paths)
+
     def _router_paths(self, src_node: int, dst_node: int) -> Tuple[Tuple[int, ...], ...]:
         key = (src_node, dst_node)
         cached = self._path_cache.get(key)
         if cached is None:
-            seen = set()
-            paths: List[Tuple[int, ...]] = []
-            for order in itertools.permutations(range(len(self.dims))):
-                path = self._dor_path(src_node, dst_node, order)
-                if path not in seen:
-                    seen.add(path)
-                    paths.append(path)
-            cached = tuple(paths)
-            self._path_cache[key] = cached
+            cached = self._synthesize_router_paths(src_node, dst_node)
+            self._path_cache.put(key, cached)
         return cached
 
-    def routes(self, src_host: int, dst_host: int) -> Sequence[Tuple[int, ...]]:
+    def _host_routes(
+        self, src_host: int, dst_host: int, router_paths
+    ) -> Sequence[Tuple[int, ...]]:
         if src_host == dst_host:
             raise ValueError("no route from a host to itself")
         up = self._host_up[src_host]
@@ -177,7 +191,15 @@ class TorusTopology(Topology):
         dst_node = self.node_of(dst_host)
         if src_node == dst_node:
             return ((up, down),)
-        return tuple((up,) + path + (down,) for path in self._router_paths(src_node, dst_node))
+        return tuple((up,) + path + (down,) for path in router_paths(src_node, dst_node))
+
+    def routes(self, src_host: int, dst_host: int) -> Sequence[Tuple[int, ...]]:
+        """Enumeration reference: DOR candidates via the bounded path cache."""
+        return self._host_routes(src_host, dst_host, self._router_paths)
+
+    def synthesized_routes(self, src_host: int, dst_host: int) -> Sequence[Tuple[int, ...]]:
+        """Structural synthesis: DOR candidates recomputed from coordinates."""
+        return self._host_routes(src_host, dst_host, self._synthesize_router_paths)
 
     def valiant_routes(self, src_host, dst_host, rng, count: int = 4):
         if self.num_nodes <= 2:

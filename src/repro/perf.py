@@ -24,10 +24,20 @@ The suite:
   job-tagged stats path),
 * ``faulted_alltoall_htsim`` — the all-to-all on a fat tree with a quarter
   of the core cables failed from time 0 (measures the alive-masked route
-  tables and the per-packet fault checks of the forwarding loop).
+  tables and the per-packet fault checks of the forwarding loop),
+* ``allreduce16k_lgs`` / ``allreduce16k_htsim`` — ROADMAP item 2's
+  datacenter-scale acceptance case: a 16384-endpoint recursive-doubling
+  allreduce on a 512-ToR fat tree, on each backend.  These two cases
+  track *memory* as much as speed: they run with the default bounded
+  route caches and structural synthesis, and their ``peak_rss_kb`` is
+  gated in CI against the committed baseline (see docs/scaling.md).
+  They are deliberately ordered last — ``ru_maxrss`` is a process-lifetime
+  high-water mark, so only the largest cases' RSS numbers are meaningful.
 
 ``--quick`` shrinks every case (used by the CI smoke job); quick numbers
-are only comparable to other quick numbers.
+are only comparable to other quick numbers.  The 16k-endpoint cases keep
+their 16384 ranks in quick mode (scale is their point) and shrink only the
+payload.
 
 Use with a profiler (see ``docs/performance.md`` for the recipe)::
 
@@ -99,10 +109,37 @@ def _cotenant_schedule(quick: bool):
     return plan.schedule
 
 
+def _allreduce16k_schedule(quick: bool):
+    """16384-endpoint recursive-doubling allreduce (ROADMAP item 2 acceptance).
+
+    Recursive doubling costs ``N·log2(N)`` messages (~229k at 16k ranks) —
+    tractable on both backends — while touching a fresh set of ~16k host
+    pairs every round, which is exactly the access pattern the bounded LRU
+    route caches must absorb.
+    """
+    from repro.collectives import build_collective_schedule
+
+    return build_collective_schedule(
+        "allreduce",
+        "recursive_doubling",
+        16384,
+        64 if quick else 1024,
+        name="allreduce16k",
+    )
+
+
 def default_suite(quick: bool = False) -> List[BenchCase]:
     """The standard bench suite (shrunk sizes when ``quick``)."""
     lgs_cfg = SimulationConfig(loggops=LogGOPSParams.ai_cluster())
     pkt_cfg = SimulationConfig(topology="fat_tree", nodes_per_tor=4)
+    # 16k endpoints: 512 ToRs x 32 hosts, fully provisioned; message records
+    # off (229k records would measure the recorder, not the route caches)
+    scale_cfg = SimulationConfig(
+        topology="fat_tree",
+        nodes_per_tor=32,
+        loggops=LogGOPSParams.ai_cluster(),
+        collect_message_records=False,
+    )
     return [
         BenchCase(
             "fig8_ai_lgs", "lgs", lambda: _fig8_schedule(quick), lgs_cfg, repeats=5
@@ -133,6 +170,23 @@ def default_suite(quick: bool = False) -> List[BenchCase]:
             lambda: _alltoall_schedule(quick),
             pkt_cfg.replace(faults=FaultSchedule(link_failure_rate=0.25)),
             repeats=3,
+        ),
+        # keep the 16k-endpoint cases LAST: peak RSS is a process-lifetime
+        # high-water mark, so their recorded numbers are only meaningful
+        # when no later case can dominate them
+        BenchCase(
+            "allreduce16k_lgs",
+            "lgs",
+            lambda: _allreduce16k_schedule(quick),
+            scale_cfg.replace(loggops_use_topology=True),
+            repeats=1,
+        ),
+        BenchCase(
+            "allreduce16k_htsim",
+            "htsim",
+            lambda: _allreduce16k_schedule(quick),
+            scale_cfg,
+            repeats=1,
         ),
     ]
 
@@ -225,12 +279,20 @@ def load_bench(path: str) -> Dict[str, object]:
 
 @dataclass
 class CaseComparison:
-    """Wall-clock comparison of one case against a baseline run."""
+    """Wall-clock (and optionally peak-RSS) comparison of one case.
+
+    RSS fields stay ``None`` when either side lacks ``peak_rss_kb`` (older
+    baselines, non-POSIX platforms) or when no RSS threshold was requested;
+    ``regressed`` then covers wall clock only.
+    """
 
     name: str
     baseline_wall_s: float
     current_wall_s: float
     regressed: bool
+    baseline_rss_kb: Optional[int] = None
+    current_rss_kb: Optional[int] = None
+    rss_regressed: bool = False
 
     @property
     def speedup(self) -> float:
@@ -238,6 +300,15 @@ class CaseComparison:
         if self.current_wall_s <= 0:
             return float("inf")
         return self.baseline_wall_s / self.current_wall_s
+
+    @property
+    def rss_ratio(self) -> Optional[float]:
+        """Current peak RSS over baseline, or ``None`` when not compared."""
+        if self.baseline_rss_kb is None or self.current_rss_kb is None:
+            return None
+        if self.baseline_rss_kb <= 0:
+            return float("inf")
+        return self.current_rss_kb / self.baseline_rss_kb
 
 
 @dataclass
@@ -249,7 +320,7 @@ class BaselineComparison:
 
     @property
     def regressions(self) -> List[CaseComparison]:
-        return [e for e in self.entries if e.regressed]
+        return [e for e in self.entries if e.regressed or e.rss_regressed]
 
     @property
     def ok(self) -> bool:
@@ -260,8 +331,9 @@ def compare_to_baseline(
     current: Dict[str, object],
     baseline: Dict[str, object],
     max_regression: float = 2.0,
+    max_rss_regression: Optional[float] = None,
 ) -> BaselineComparison:
-    """Compare wall clocks case-by-case against a baseline document.
+    """Compare wall clocks (and optionally peak RSS) against a baseline.
 
     A case *regresses* when its wall clock exceeds ``max_regression`` times
     the baseline's.  The default threshold of 2.0 is deliberately tolerant:
@@ -269,9 +341,18 @@ def compare_to_baseline(
     flaking on machine noise, not to police single-digit percentages.
     Cases present on only one side are reported in ``missing`` and do not
     fail the comparison.
+
+    When ``max_rss_regression`` is set (the CI memory gate uses 1.2, i.e.
+    fail on >20% growth), a case additionally regresses when its
+    ``peak_rss_kb`` exceeds that multiple of the baseline's.  RSS is a
+    process-lifetime high-water mark, so the gate is meaningful only for
+    the dominant (last-ordered, largest) cases of a suite; cases lacking
+    RSS on either side are compared on wall clock alone.
     """
     if max_regression <= 0:
         raise ValueError("max_regression must be positive")
+    if max_rss_regression is not None and max_rss_regression <= 0:
+        raise ValueError("max_rss_regression must be positive")
     comparison = BaselineComparison()
     base_cases = baseline.get("cases", {})
     cur_cases = current.get("cases", {})
@@ -281,12 +362,20 @@ def compare_to_baseline(
             continue
         base_wall = float(base_cases[name]["wall_clock_s"])
         cur_wall = float(cur_cases[name]["wall_clock_s"])
-        comparison.entries.append(
-            CaseComparison(
-                name=name,
-                baseline_wall_s=base_wall,
-                current_wall_s=cur_wall,
-                regressed=cur_wall > max_regression * base_wall,
-            )
+        entry = CaseComparison(
+            name=name,
+            baseline_wall_s=base_wall,
+            current_wall_s=cur_wall,
+            regressed=cur_wall > max_regression * base_wall,
         )
+        if max_rss_regression is not None:
+            base_rss = base_cases[name].get("peak_rss_kb")
+            cur_rss = cur_cases[name].get("peak_rss_kb")
+            if base_rss is not None and cur_rss is not None:
+                entry.baseline_rss_kb = int(base_rss)
+                entry.current_rss_kb = int(cur_rss)
+                entry.rss_regressed = (
+                    entry.current_rss_kb > max_rss_regression * entry.baseline_rss_kb
+                )
+        comparison.entries.append(entry)
     return comparison

@@ -105,6 +105,11 @@ def default_topology_configs(
     needed to *fit* ``num_hosts`` endpoints are adjusted:
 
     * ``fat_tree`` — fits any host count as-is,
+    * ``fat_tree_multiplane`` — same, with the core tier split into the
+      configured ``fattree_planes`` planes (clamped to the per-ToR uplink
+      budget),
+    * ``fat_tree_rail`` — rails shrink to the largest of {4, 2, 1} dividing
+      ``num_hosts`` (every server must contribute one GPU per rail),
     * ``dragonfly`` — ``nodes_per_router`` grows to reach capacity,
     * ``torus`` — a near-square 2D torus over the configured
       ``torus_hosts_per_node``,
@@ -127,8 +132,16 @@ def default_topology_configs(
     sf_routers = 2 * base.slimfly_q * base.slimfly_q
     sf_hosts_per_router = max(1, math.ceil(num_hosts / sf_routers))
 
+    rails = next(r for r in (base.fattree_rails, 4, 2, 1) if num_hosts % r == 0)
+    uplinks = max(1, int(round(base.nodes_per_tor / base.oversubscription)))
+    planes = max(1, min(base.fattree_planes, uplinks))
+
     return {
         "fat_tree": base.replace(topology="fat_tree"),
+        "fat_tree_multiplane": base.replace(
+            topology="fat_tree_multiplane", fattree_planes=planes
+        ),
+        "fat_tree_rail": base.replace(topology="fat_tree_rail", fattree_rails=rails),
         "dragonfly": base.replace(
             topology="dragonfly", dragonfly_nodes_per_router=df_nodes_per_router
         ),

@@ -61,12 +61,14 @@ def test_docs_cross_reference_each_other():
         "docs/performance.md",
         "docs/collectives.md",
         "docs/inference.md",
+        "docs/scaling.md",
         "docs/cli.md",
     ):
         assert name in readme, f"README does not link {name}"
     architecture = (REPO_ROOT / "docs" / "architecture.md").read_text()
     assert "collectives.md" in architecture
     assert "inference.md" in architecture
+    assert "scaling.md" in architecture
 
 
 def test_collectives_doc_names_only_registered_algorithms():

@@ -281,6 +281,29 @@ class TestTopologyFaultState:
         # intra-ToR pairs are unaffected
         assert self.topo.alive_table(0, 1).candidates
 
+    def test_partition_error_reports_epoch_and_hop_prefixes(self):
+        # four fail_links calls -> fault epoch 4; all 4 candidates die at
+        # hop 2 (the ToR uplink tier), so the hop-prefix profile localizes
+        # the cut: alive through the NIC hop, dead from the uplinks on
+        for core in range(self.topo.num_cores):
+            self.topo.fail_links([_link_id(self.topo, f"tor0->core{core}")])
+        with pytest.raises(NetworkPartitionError, match=r"at fault epoch 4"):
+            self.topo.alive_table(0, 4)
+        with pytest.raises(
+            NetworkPartitionError,
+            match=r"4 alive through hop 1; 0 alive through hop 2",
+        ):
+            self.topo.alive_table(0, 4)
+
+    def test_partition_error_caps_failed_link_names(self):
+        # a 16k-host report must not dump thousands of link names: beyond
+        # 12 the message summarizes with "+N more"
+        big = FatTreeTopology(64, nodes_per_tor=4)  # 16 tors x 4 cores
+        failed = [f"tor{t}->core{c}" for t in (0, 1, 2, 3) for c in range(4)]
+        big.fail_links([_link_id(big, name) for name in failed])
+        with pytest.raises(NetworkPartitionError, match=r"\+4 more"):
+            big.alive_table(0, 60)
+
     def test_overlapping_causes_are_reference_counted(self):
         # drain two switches sharing a cable, undrain one: the shared cable
         # must stay down until the second cause is also restored

@@ -84,6 +84,40 @@ class TestBaselineComparison:
         with pytest.raises(ValueError):
             compare_to_baseline(self._doc(1.0), self._doc(1.0), max_regression=0)
 
+    def _rss_doc(self, wall, rss):
+        return {"cases": {"a": {"wall_clock_s": wall, "peak_rss_kb": rss}}}
+
+    def test_rss_regression_detected(self):
+        cmp_ = compare_to_baseline(
+            self._rss_doc(1.0, 1300), self._rss_doc(1.0, 1000),
+            max_rss_regression=1.2,
+        )
+        assert not cmp_.ok
+        entry = cmp_.regressions[0]
+        assert entry.rss_regressed and not entry.regressed
+        assert entry.rss_ratio == pytest.approx(1.3)
+
+    def test_rss_below_threshold_passes(self):
+        cmp_ = compare_to_baseline(
+            self._rss_doc(1.0, 1100), self._rss_doc(1.0, 1000),
+            max_rss_regression=1.2,
+        )
+        assert cmp_.ok
+
+    def test_rss_gate_tolerates_baselines_without_rss(self):
+        """Pre-gate baselines lack peak_rss_kb; the gate must skip, not crash."""
+        cmp_ = compare_to_baseline(
+            self._rss_doc(1.0, 1000), self._doc(1.0), max_rss_regression=1.2
+        )
+        assert cmp_.ok
+        assert cmp_.entries[0].rss_ratio is None
+
+    def test_bad_rss_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_to_baseline(
+                self._rss_doc(1.0, 1), self._rss_doc(1.0, 1), max_rss_regression=0
+            )
+
 
 class TestCommittedBaseline:
     def test_committed_baselines_parse(self):
@@ -105,13 +139,27 @@ class TestCli:
         from repro.perf import BenchCase  # noqa: F401  (import sanity)
 
         out = tmp_path / "BENCH_cli.json"
-        # run against itself as baseline: speedup ~1x, never a regression
-        code = main(["bench", "--quick", "--output", str(out)])
+        # --cases keeps the 16k scale cases out of the unit suite; they run
+        # in the CI bench-smoke job (and locally via --cases allreduce16k)
+        code = main(["bench", "--quick", "--cases", "fig8", "--output", str(out)])
         assert code == 0
         assert out.exists()
+        # run against itself as baseline: speedup ~1x, never a regression
         code = main(
-            ["bench", "--quick", "--output", str(out), "--baseline", str(out)]
+            [
+                "bench", "--quick", "--cases", "fig8",
+                "--output", str(out), "--baseline", str(out),
+                "--max-rss-regression", "1.2",
+            ]
         )
         assert code == 0
         captured = capsys.readouterr().out
         assert "baseline check passed" in captured
+        assert "rss 1.00x" in captured
+
+    def test_bench_cli_rejects_unknown_case_filter(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["bench", "--quick", "--cases", "nonesuch"])
+        assert code == 2
+        assert "matches no case" in capsys.readouterr().out
