@@ -101,6 +101,11 @@ def _add_network_args(parser: argparse.ArgumentParser) -> None:
         "--route-cache-entries", type=int, default=16384,
         help="LRU budget per route-table cache (0 = unbounded; see docs/scaling.md)",
     )
+    group.add_argument(
+        "--shards", type=int, default=1,
+        help="parallel shards for the packet backend (1 = single-process; "
+        "see docs/scaling.md for the conservative-window engine)",
+    )
     group.add_argument("--seed", type=int, default=0, help="seed for stochastic choices")
 
 
@@ -118,6 +123,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         slimfly_q=args.slimfly_q,
         slimfly_hosts_per_router=args.slimfly_hosts_per_router,
         cc_algorithm=args.cc,
+        shards=args.shards,
         seed=args.seed,
     )
 

@@ -157,6 +157,13 @@ class SimulationConfig:
         ``route_synthesis`` builds candidates structurally from coordinates
         instead of the enumeration reference.  Both are exact: any setting
         produces bit-identical simulated results for the same seed.
+    shards:
+        Conservative-window parallel packet engine (see ``docs/scaling.md``):
+        partition the fabric into this many shards, one event loop each,
+        exchanging boundary packets at lookahead barriers.  ``1`` (the
+        default) is the single-process engine, bit-identical to previous
+        releases; ``>1`` is deterministic and shard-count-invariant.
+        Packet backend only.
     """
 
     # topology
@@ -209,6 +216,19 @@ class SimulationConfig:
     # bit-identical by construction and A/B-tested.
     route_cache_entries: int = 16384
     route_synthesis: bool = True
+
+    # conservative-window parallel packet engine (see docs/scaling.md):
+    # shards > 1 partitions hosts/switches into that many shards, runs one
+    # event loop per shard (in worker processes when spawnable, serially
+    # in-process otherwise) and exchanges boundary-crossing packets at
+    # lookahead barriers.  shards=1 (the default) is today's single-process
+    # engine, bit-identical to previous releases — the same A/B-flag
+    # contract as packet_batching/route_caching/route_synthesis.  Sharded
+    # runs are deterministic and shard-count-invariant (stochastic choices
+    # are keyed by flow / queue identity rather than drawn from one global
+    # stream), and coincide with shards=1 exactly on configurations that
+    # consume no randomness.  Packet backend only.
+    shards: int = 1
 
     # fault injection: static degraded-fabric state plus timed link/switch
     # failure events, honored by both backends (see repro.network.faults).
@@ -295,6 +315,8 @@ class SimulationConfig:
             raise ValueError("initial_window_packets must be positive")
         if self.job_tag_stride < 0:
             raise ValueError("job_tag_stride must be non-negative (0 disables attribution)")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1 (1 = single-process engine)")
         from repro.network.control_plane import CONTROL_PLANES
 
         if self.control_plane not in CONTROL_PLANES:

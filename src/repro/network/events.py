@@ -82,8 +82,15 @@ class EventQueue:
 
         ``depart`` is the instant the packet left its link's transmitter;
         per link departures are strictly increasing, so the key is unique
-        and identical no matter which engine computed it.
+        and identical no matter which engine computed it.  Like
+        :meth:`schedule`, delivery times must not lie in the past —
+        ``pop()`` would silently move the simulation clock backwards.
         """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule delivery (link {link_id}) at {time} ns "
+                f"before current time {self._now} ns"
+            )
         heapq.heappush(self._heap, (int(time), 1, depart, link_id, callback, payload))
 
     def schedule_finish(
@@ -94,7 +101,13 @@ class EventQueue:
         Runs after every same-time handler and delivery event, which is
         exactly when the batched engine's lazy occupancy ledger retires a
         departed packet — keeping both engines' occupancy views aligned.
+        Past-time scheduling raises like the other entry kinds.
         """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule transmission-finish (link {link_id}) at "
+                f"{time} ns before current time {self._now} ns"
+            )
         heapq.heappush(self._heap, (int(time), 2, link_id, callback, payload))
 
     def schedule_after(self, delay: int, callback: EventCallback, payload: Any = None) -> None:

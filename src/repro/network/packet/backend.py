@@ -744,7 +744,7 @@ class PacketBackend(NetworkBackend):
             return self.events.run()
         return self._run_merged()
 
-    def _run_merged(self) -> int:
+    def _run_merged(self, until: Optional[int] = None) -> int:
         """Specialized event loop for the burst engine.
 
         Per-queue deliveries are already time-sorted FIFOs, so instead of
@@ -756,6 +756,12 @@ class PacketBackend(NetworkBackend):
         ``(time, klass, depart, link)`` order of
         :class:`~repro.network.events.EventQueue`, which the A/B
         determinism tests verify against the legacy engine.
+
+        When ``until`` is given the loop stops *before* executing any event
+        scheduled after it (events at exactly ``until`` still run), leaving
+        the clock at the last executed event — the sharded engine advances
+        each shard to its lookahead window edge this way and resumes the
+        loop after the barrier.
         """
         from heapq import heappop, heappush
 
@@ -770,10 +776,13 @@ class PacketBackend(NetworkBackend):
         handle_drop = self._handle_data_drop
         try_send = self._try_send
         faults_enabled = self._faults_enabled
+        bounded = until is not None
         executed = 0
         while True:
             st = streams[0][0] if streams else None
             if heap and (st is None or heap[0][0] <= st):
+                if bounded and heap[0][0] > until:
+                    break
                 # handler events run first on timestamp ties (klass 0 < 1)
                 entry = heappop(heap)
                 t = entry[0]
@@ -782,6 +791,8 @@ class PacketBackend(NetworkBackend):
                 executed += 1
                 continue
             if st is None:
+                break
+            if bounded and st > until:
                 break
             t, depart, link = heappop(streams)
             q = queues[link]
@@ -840,6 +851,9 @@ class PacketBackend(NetworkBackend):
                     break
                 nd = out[0].depart
                 nt = nd + lat
+                if bounded and nt > until:
+                    heappush(streams, (nt, nd, link))
+                    break
                 # keep draining this stream only while its next delivery
                 # precedes every other pending event (handlers win ties)
                 if heap and heap[0][0] <= nt:

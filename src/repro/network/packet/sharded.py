@@ -1,0 +1,758 @@
+"""Conservative-window parallel packet engine (``SimulationConfig.shards``).
+
+Partitioned discrete-event simulation of the packet backend: the topology's
+devices are split into ``shards`` contiguous host blocks (switches follow
+their first attached host), each shard runs an independent
+:class:`~repro.network.packet.backend.PacketBackend` over the *full*
+topology but only its own ranks' GOAL DAGs, and the driver advances all
+shards in lockstep lookahead windows:
+
+1. every shard reports the timestamp of its next pending event,
+2. the driver computes ``T = min(next events, pending boundary messages)``
+   and the window edge ``U = T + L`` where the lookahead ``L`` is the
+   minimum propagation latency over *cut links* (links whose endpoints live
+   on different shards),
+3. every shard executes its events up to and including ``U``,
+4. packets that crossed a cut link are exchanged at the barrier and applied
+   before the next window.
+
+This is the classic conservative (Chandy–Misra style) window protocol: a
+packet leaving shard A at time ``t >= T`` arrives on shard B no earlier
+than ``t + 1 + L > U`` (serialisation takes at least 1 ns), so nothing
+exchanged at the barrier can ever land in a shard's executed past.
+
+Determinism contract
+--------------------
+``shards=1`` (the default) never enters this module — the single-process
+engine runs byte-identically to previous releases.  ``shards>1`` replaces
+the backend's single event-order-consumed RNG stream with *keyed* streams
+whose draws depend only on simulated identities, never on engine
+interleaving:
+
+* route choice (ECMP/Valiant ties) draws from a per-flow generator seeded
+  by ``(seed, 0x5A, src, dst, pair_occurrence)``,
+* ECN marking draws from a per-link generator seeded by
+  ``(seed, 0xEC, link_id)``.
+
+Results are therefore bit-identical across *any* shard count >= 2, and
+coincide with ``shards=1`` exactly on configurations that consume no
+randomness (single-candidate routes, traffic outside the probabilistic ECN
+band) — which is what ``tests/test_sharded_parity.py`` locks in.  Merged
+``message_records`` are sorted by ``(completion_time, src, dst, tag)``;
+the relative order of same-instant records is unspecified.
+
+v1 restrictions (a clear ``ValueError`` at setup): adaptive routing (needs
+a global live-load view), fault schedules, and convergent control planes
+are only available single-process.  ``min_retransmit_timeout`` must exceed
+the lookahead so cross-shard loss notifications always fire in a later
+window.
+"""
+from __future__ import annotations
+
+import time as _time
+import warnings
+from dataclasses import dataclass
+from heapq import heappush
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.goal.schedule import GoalSchedule
+from repro.network.backend import JobStats, NetworkStats, SimulationResult
+from repro.network.config import SimulationConfig
+from repro.network.congestion import create_congestion_control
+from repro.network.packet.backend import PacketBackend
+from repro.network.packet.flow import Flow
+from repro.network.packet.linkqueue import BurstLinkQueue, LinkQueue
+from repro.network.packet.packet import Packet
+from repro.network.topology import build_topology
+from repro.network.topology.base import Topology
+from repro.scheduler.scheduler import GoalScheduler
+
+# SeedSequence stream tags separating the keyed RNG families
+_FLOW_STREAM = 0x5A
+_ECN_STREAM = 0xEC
+
+# lookahead sentinel when no link crosses a shard boundary: one window
+# covers the whole simulation
+_NO_CUT = 1 << 60
+
+# boundary message kinds
+_MSG_PACKET = 0
+_MSG_LOSS = 1
+
+# flow key: (src, dst, pair_occurrence) — globally unique and invariant
+# under the shard count (occurrence numbers follow the canonical event
+# order of the src rank's shard, which every shard count reproduces)
+_FlowKey = Tuple[int, int, int]
+
+
+# ---------------------------------------------------------------------- plan
+@dataclass(frozen=True)
+class ShardPlan:
+    """Static device partition shared by the driver and every shard."""
+
+    num_shards: int
+    #: device id -> owning shard
+    device_owner: Tuple[int, ...]
+    #: rank -> owning shard (prefix of ``device_owner``: ranks are hosts)
+    rank_owner: Tuple[int, ...]
+    #: ranks each shard schedules
+    shard_ranks: Tuple[Tuple[int, ...], ...]
+    #: min propagation latency over cut links (ns); ``_NO_CUT`` when none
+    lookahead: int
+    num_cut_links: int
+
+
+def plan_shards(topology: Topology, num_ranks: int, shards: int) -> ShardPlan:
+    """Partition ``topology`` into ``shards`` contiguous host blocks.
+
+    Hosts split evenly in id order (``h * shards // num_hosts``); a switch
+    joins the shard of its first attached host so every host uplink stays
+    shard-local whenever the block boundary does not cut through a ToR;
+    switches with no attached host (e.g. fat-tree cores) round-robin across
+    shards to spread relay work.
+    """
+    hosts = topology.num_hosts
+    if not 1 <= shards <= hosts:
+        raise ValueError(f"shards must be in [1, num_hosts={hosts}], got {shards}")
+    owner = [0] * topology.num_devices
+    for h in range(hosts):
+        owner[h] = h * shards // hosts
+    attach_owner: Dict[int, int] = {}
+    for h in range(hosts):
+        attach_owner.setdefault(topology.attachment(h), owner[h])
+    hostless = 0
+    for dev in range(hosts, topology.num_devices):
+        assigned = attach_owner.get(dev)
+        if assigned is None:
+            assigned = hostless % shards
+            hostless += 1
+        owner[dev] = assigned
+    cut = [l.latency for l in topology.links if owner[l.src] != owner[l.dst]]
+    shard_ranks: List[List[int]] = [[] for _ in range(shards)]
+    for r in range(num_ranks):
+        shard_ranks[owner[r]].append(r)
+    return ShardPlan(
+        num_shards=shards,
+        device_owner=tuple(owner),
+        rank_owner=tuple(owner[:num_ranks]),
+        shard_ranks=tuple(tuple(rs) for rs in shard_ranks),
+        lookahead=min(cut) if cut else _NO_CUT,
+        num_cut_links=len(cut),
+    )
+
+
+def _validate_sharded(config: SimulationConfig, plan: ShardPlan) -> None:
+    """Reject configurations the v1 sharded engine cannot partition."""
+    from repro.network.routing import ROUTING_STRATEGIES
+
+    strategy = ROUTING_STRATEGIES.get(config.routing)
+    if strategy is not None and strategy.needs_link_load:
+        raise ValueError(
+            f"shards > 1 does not support load-adaptive routing "
+            f"({config.routing!r}): it reads a global live queue-occupancy "
+            "view that no shard owns; use minimal/ecmp or valiant, or shards=1"
+        )
+    if config.faults:
+        raise ValueError(
+            "shards > 1 does not support fault schedules yet: fault events "
+            "mutate the global topology mid-run; use shards=1"
+        )
+    if config.control_plane != "oracle":
+        raise ValueError(
+            f"shards > 1 requires control_plane='oracle', got "
+            f"{config.control_plane!r}: convergence waves span shards"
+        )
+    if plan.num_cut_links and config.min_retransmit_timeout <= plan.lookahead:
+        raise ValueError(
+            f"min_retransmit_timeout ({config.min_retransmit_timeout} ns) "
+            f"must exceed the shard lookahead ({plan.lookahead} ns) so "
+            "cross-shard loss notifications always fire in a later window"
+        )
+
+
+# ------------------------------------------------------------ boundary queues
+class _BoundaryBurstQueue(BurstLinkQueue):
+    """Burst queue of a cut link at its owning (transmitting) shard.
+
+    ``live`` is pinned True so the base enqueue never registers the stream
+    in the local merge heap; every accepted packet is immediately diverted
+    from ``out`` to the shard's outbox (deliveries happen on the receiving
+    shard).  Drop/trim/ECN decisions still run here, at the link's owner,
+    exactly as in the serial engine.
+    """
+
+    __slots__ = ("outbox",)
+
+    def __init__(self, *args: Any, outbox: List[Tuple[int, Packet]], **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.outbox = outbox
+        self.live = True
+
+    def enqueue(self, packet: Packet, now: int) -> bool:
+        if not BurstLinkQueue.enqueue(self, packet, now):
+            return False
+        self.outbox.append((self._link_id, self.out.pop()))
+        return True
+
+
+class _BoundaryLinkQueue(LinkQueue):
+    """Legacy-engine variant: transmission completes into the outbox."""
+
+    __slots__ = ("outbox",)
+
+    def __init__(self, *args: Any, outbox: List[Tuple[int, Packet]], **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.outbox = outbox
+
+    def _finish_transmission(self, now: int, packet: Packet) -> None:
+        popped = self.queue.popleft()
+        assert popped is packet, "link queue transmitted out of order"
+        self.queued_bytes -= packet.size
+        packet.depart = now
+        self.outbox.append((self.link.link_id, packet))
+        if self.queue:
+            self._start_transmission(now)
+        else:
+            self.busy = False
+
+
+# ----------------------------------------------------------------- the shard
+class ShardPacketBackend(PacketBackend):
+    """Packet backend of one shard: keyed RNGs, boundary diversion, replicas.
+
+    A flow whose packets cross shards is *replicated* lazily: the first
+    boundary packet of a flow sent toward a shard carries the flow's spec
+    (route, sizes, base RTT, ...), and the receiving shard materialises a
+    replica ``Flow`` holding the receiver-side state.  Sender-side state
+    (window, retransmissions, pull credits) only ever lives at the origin;
+    ACK/NACK/PULL packets crossing back resolve to the original flow by
+    key.  Drops are routed to the flow's origin shard as loss messages so
+    loss timeouts run where the sender state lives, applied in a canonical
+    ``(fire_time, key, seq)`` order that no shard count perturbs.
+    """
+
+    def __init__(self, plan: ShardPlan, shard_id: int) -> None:
+        super().__init__()
+        self.plan = plan
+        self.shard_id = shard_id
+
+    # ------------------------------------------------------------------ setup
+    def setup(self, num_ranks: int, config: SimulationConfig) -> None:
+        _validate_sharded(config, self.plan)
+        super().setup(num_ranks, config)
+        plan = self.plan
+        seed = int(config.seed)
+        # keyed ECN draws: per-link streams make marking decisions a
+        # function of (seed, link, arrival order at that link) only
+        for q in self.queues:
+            q.rng = np.random.default_rng((seed, _ECN_STREAM, q.link.link_id))
+        # boundary diversion: replace the local queue of every outgoing cut
+        # link (queues are untouched pre-traffic, so swapping objects is
+        # exact); the queue object of an *incoming* cut link doubles as the
+        # mailbox its deliveries are replayed from
+        self._out_packets: List[Tuple[int, Packet]] = []
+        self._boundary_dest: Dict[int, int] = {}
+        owner = plan.device_owner
+        me = self.shard_id
+        for link in self.topology.links:
+            if owner[link.src] == me and owner[link.dst] != me:
+                self._boundary_dest[link.link_id] = owner[link.dst]
+                old = self.queues[link.link_id]
+                if self._batching:
+                    nq: Any = _BoundaryBurstQueue(
+                        link,
+                        self.events,
+                        self.stats,
+                        capacity=old.capacity,
+                        kmin=old.kmin,
+                        kmax=old.kmax,
+                        rng=old.rng,
+                        outbox=self._out_packets,
+                    )
+                    nq._streams = self._stream_heads
+                else:
+                    nq = _BoundaryLinkQueue(
+                        link,
+                        self.events,
+                        self.stats,
+                        self._on_link_delivery,
+                        capacity=old.capacity,
+                        kmin=old.kmin,
+                        kmax=old.kmax,
+                        rng=old.rng,
+                        outbox=self._out_packets,
+                    )
+                self.queues[link.link_id] = nq
+        # flow identity and replica registry (Flow is slotted, so keys are
+        # tracked in side tables rather than on the object)
+        self._key_by_flow: Dict[int, _FlowKey] = {}
+        self._flow_by_key: Dict[_FlowKey, Flow] = {}
+        self._pair_seq: Dict[Tuple[int, int], int] = {}
+        self._spec_sent: set = set()
+        self._n_replicas = 0
+        # (dest shard, key, seq, fire_time) loss notifications of the window
+        self._loss_out: List[Tuple[int, _FlowKey, int, int]] = []
+        # without cut links no packet is ever foreign, so drops keep the
+        # serial immediate-schedule path (the window covers all of time and
+        # a deferred drop could land in the past)
+        self._defer_drops = plan.num_cut_links > 0
+
+    # ------------------------------------------------------------- keyed flows
+    def _start_flow(self, time: int, payload: Any) -> None:
+        rank, dst = payload[0], payload[1]
+        pair = (rank, dst)
+        occurrence = self._pair_seq.get(pair, 0)
+        self._pair_seq[pair] = occurrence + 1
+        # route ties draw from the flow-keyed stream: identical for every
+        # shard count, independent of global event interleaving
+        routing = self.routing
+        saved = routing.rng
+        routing.rng = np.random.default_rng(
+            (int(self.config.seed), _FLOW_STREAM, rank, dst, occurrence)
+        )
+        try:
+            super()._start_flow(time, payload)
+        finally:
+            routing.rng = saved
+        flow = self.flows[-1]
+        key = (rank, dst, occurrence)
+        self._key_by_flow[id(flow)] = key
+        self._flow_by_key[key] = flow
+
+    def _flow_spec(self, flow: Flow) -> Tuple:
+        """Picklable flow description a peer shard can build a replica from."""
+        return (
+            flow.size,
+            flow.tag,
+            flow.op_id,
+            flow.stream,
+            flow.post_time,
+            flow.mtu,
+            flow.route,
+            flow.ack_route,
+            flow.job,
+            # shipped, not recomputed: replica shards must not touch their
+            # route/RTT caches for foreign pairs (counter parity)
+            flow.cc.base_rtt_ns,
+        )
+
+    def _resolve_flow(self, key: _FlowKey, spec: Optional[Tuple]) -> Flow:
+        flow = self._flow_by_key.get(key)
+        if flow is not None:
+            return flow
+        if spec is None:
+            raise RuntimeError(
+                f"boundary packet for unknown flow {key} arrived without its spec"
+            )
+        size, tag, op_id, stream, post_time, mtu, route, ack_route, job, rtt = spec
+        cfg = self.config
+        cc = create_congestion_control(
+            cfg.cc_algorithm,
+            mtu=mtu,
+            initial_window_packets=cfg.initial_window_packets,
+            base_rtt_ns=rtt,
+        )
+        self._n_replicas += 1
+        flow = Flow(
+            flow_id=-self._n_replicas,  # negative: never collides with local ids
+            src=key[0],
+            dst=key[1],
+            size=size,
+            tag=tag,
+            op_id=op_id,
+            stream=stream,
+            post_time=post_time,
+            mtu=mtu,
+            cc=cc,
+            route=route,
+            ack_route=ack_route,
+        )
+        flow.route_q0 = self.queues[route[0]]
+        flow.ack_q0 = self.queues[ack_route[0]]
+        flow.job = job
+        self._key_by_flow[id(flow)] = key
+        self._flow_by_key[key] = flow
+        return flow
+
+    # -------------------------------------------------------------------- loss
+    def _handle_data_drop(self, packet: Packet, now: int) -> None:
+        if not self._defer_drops:
+            super()._handle_data_drop(packet, now)
+            return
+        # all loss timeouts (local and foreign) funnel through the barrier
+        # so their insertion order is canonical under every shard count;
+        # min_retransmit_timeout > lookahead guarantees the fire time lies
+        # beyond the current window edge
+        flow = packet.flow
+        key = self._key_by_flow[id(flow)]
+        self._loss_out.append(
+            (
+                self.plan.rank_owner[flow.src],
+                key,
+                packet.seq,
+                now + self.config.min_retransmit_timeout,
+            )
+        )
+
+    # ---------------------------------------------------------------- windows
+    def next_event_time(self) -> Optional[int]:
+        """Timestamp of this shard's earliest pending event (None when idle)."""
+        t = self.events.peek_time()
+        if self._batching and self._stream_heads:
+            st = self._stream_heads[0][0]
+            if t is None or st < t:
+                return st
+        return t
+
+    def advance_window(self, until: int, inbox: Sequence[Tuple]) -> None:
+        """Apply barrier messages, then run all events up to ``until``."""
+        if inbox:
+            self._apply_inbox(inbox)
+        if self._batching:
+            self._run_merged(until)
+        else:
+            self.events.run(until=until)
+
+    def _apply_inbox(self, inbox: Sequence[Tuple]) -> None:
+        packets: List[Tuple] = []
+        losses: List[Tuple] = []
+        for _deliver, kind, payload in inbox:
+            (packets if kind == _MSG_PACKET else losses).append(payload)
+        # canonical application orders — both shard-count-invariant
+        losses.sort(key=lambda p: (p[2], p[0], p[1]))  # (fire, key, seq)
+        for key, seq, fire in losses:
+            self.events.schedule(fire, self._on_loss_timeout, (self._flow_by_key[key], seq))
+        packets.sort(key=lambda p: (p[1], p[0]))  # (depart, link)
+        batching = self._batching
+        streams = self._stream_heads
+        for payload in packets:
+            link_id, depart, pkind, seq, size, rf, hop, sent, ecn, trimmed, key, spec = payload
+            flow = self._resolve_flow(key, spec)
+            route = flow.route if rf == 0 else (flow.ack_route if rf == 1 else rf)
+            pkt = self._alloc_packet(flow, pkind, seq, size, route, sent)
+            pkt.hop = hop
+            pkt.ecn = ecn
+            pkt.trimmed = trimmed
+            pkt.depart = depart
+            latency = self.topology.links[link_id].latency
+            if batching:
+                # the cut link's local queue object is the mailbox: per-link
+                # departures are monotone, so appends keep ``out`` sorted
+                q = self.queues[link_id]
+                q.out.append(pkt)
+                if not q.live:
+                    q.live = True
+                    heappush(streams, (depart + latency, depart, link_id))
+            else:
+                self.events.schedule_delivery(
+                    depart + latency, depart, link_id, self._boundary_arrive, pkt
+                )
+
+    def _boundary_arrive(self, now: int, packet: Packet) -> None:
+        self._on_link_delivery(packet, now)
+
+    def drain_outbox(self) -> List[Tuple[int, Tuple]]:
+        """Encode and clear the window's boundary traffic as (dest, message).
+
+        A message is ``(deliver_time, kind, payload)``; the driver only
+        reads ``deliver_time`` (for the next window's floor) and routes the
+        payload to ``dest``'s inbox.
+        """
+        msgs: List[Tuple[int, Tuple]] = []
+        links = self.topology.links
+        spec_sent = self._spec_sent
+        key_of = self._key_by_flow
+        for link_id, pkt in self._out_packets:
+            dest = self._boundary_dest[link_id]
+            flow = pkt.flow
+            key = key_of[id(flow)]
+            spec = None
+            sk = (key, dest)
+            if sk not in spec_sent:
+                spec_sent.add(sk)
+                spec = self._flow_spec(flow)
+            # common routes ship as flags, not tuples (pickle weight)
+            route = pkt.route
+            rf: Any = 0 if route is flow.route else (1 if route is flow.ack_route else route)
+            deliver = pkt.depart + links[link_id].latency
+            msgs.append(
+                (
+                    dest,
+                    (
+                        deliver,
+                        _MSG_PACKET,
+                        (
+                            link_id,
+                            pkt.depart,
+                            pkt.kind,
+                            pkt.seq,
+                            pkt.size,
+                            rf,
+                            pkt.hop,
+                            pkt.sent_time,
+                            pkt.ecn,
+                            pkt.trimmed,
+                            key,
+                            spec,
+                        ),
+                    ),
+                )
+            )
+            self._packet_free.append(pkt)
+        self._out_packets.clear()
+        for dest, key, seq, fire in self._loss_out:
+            msgs.append((dest, (fire, _MSG_LOSS, (key, seq, fire))))
+        self._loss_out.clear()
+        return msgs
+
+
+# ---------------------------------------------------------------- the runner
+class ShardRunner:
+    """One shard's scheduler + backend, driven window-by-window."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        plan: ShardPlan,
+        schedule: GoalSchedule,
+        config: SimulationConfig,
+        op_groups: Optional[List[List[int]]],
+    ) -> None:
+        self.backend = ShardPacketBackend(plan, shard_id)
+        self.scheduler = GoalScheduler(
+            schedule,
+            backend=self.backend,
+            config=config,
+            validate=False,  # the driving scheduler already validated
+            op_groups=op_groups,
+            ranks=plan.shard_ranks[shard_id],
+        )
+
+    def start(self) -> Optional[int]:
+        self.scheduler.start()
+        self.backend._on_complete = self.scheduler.completion_callback()
+        return self.backend.next_event_time()
+
+    def advance(
+        self, until: int, inbox: Sequence[Tuple]
+    ) -> Tuple[List[Tuple[int, Tuple]], Optional[int]]:
+        self.backend.advance_window(until, inbox)
+        return self.backend.drain_outbox(), self.backend.next_event_time()
+
+    def collect(self) -> Tuple[SimulationResult, int]:
+        return self.scheduler.finish(0.0), self.backend.events.executed
+
+
+# worker-process entry points: one ShardRunner pinned per single-worker pool
+_RUNNER: Optional[ShardRunner] = None
+
+# Boot payload for fork-started workers.  A GoalSchedule can be tens of MB
+# pickled; on platforms with fork() the children inherit this module global
+# at fork time (copy-on-write) so the driver never serialises the schedule
+# at all.  Spawn-based platforms pass the payload through ``submit`` instead.
+_BOOT: Optional[Tuple] = None
+
+
+def _worker_start(args: Tuple) -> Optional[int]:
+    global _RUNNER
+    shard_id, boot = args
+    if boot is None:
+        boot = _BOOT  # inherited from the driver process at fork() time
+    plan, schedule, config, op_groups = boot
+    _RUNNER = ShardRunner(shard_id, plan, schedule, config, op_groups)
+    return _RUNNER.start()
+
+
+def _worker_advance(args: Tuple) -> Tuple[List[Tuple[int, Tuple]], Optional[int]]:
+    return _RUNNER.advance(*args)
+
+
+def _worker_collect(_arg: Any) -> Tuple[SimulationResult, int]:
+    return _RUNNER.collect()
+
+
+# ---------------------------------------------------------------- the driver
+def run_sharded(
+    schedule: GoalSchedule,
+    config: SimulationConfig,
+    op_groups: Optional[List[List[int]]] = None,
+) -> Tuple[SimulationResult, int]:
+    """Simulate ``schedule`` across ``config.shards`` processes.
+
+    Returns ``(result, events_executed)`` where the event count sums every
+    shard's loop.  Spawns one single-worker process pool per shard (the
+    same infrastructure — and fallback error set — as the sweep executor);
+    when worker processes cannot be spawned the shards run round-robin in
+    this process, which preserves results exactly (the window protocol is
+    deterministic either way) at single-core speed.
+    """
+    from repro.sweep import pool_fallback_errors
+
+    wall_start = _time.perf_counter()
+    topology = build_topology(config, schedule.num_ranks)
+    shards = min(config.shards, topology.num_hosts)
+    plan = plan_shards(topology, schedule.num_ranks, shards)
+    _validate_sharded(config, plan)
+    if shards < 2:
+        # degenerate clamp (single-host topology): serial engine, exact
+        scheduler = GoalScheduler(
+            schedule,
+            backend="htsim",
+            config=config.replace(shards=1),
+            validate=False,
+            op_groups=op_groups,
+        )
+        result = scheduler.run()
+        return result, scheduler.events_executed
+
+    global _BOOT
+    runners: Optional[List[ShardRunner]] = None
+    pools: List[Any] = []
+    next_times: List[Optional[int]]
+    boot = (plan, schedule, config, op_groups)
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        fork_ctx = None
+        try:
+            import multiprocessing
+
+            fork_ctx = multiprocessing.get_context("fork")
+        except (ImportError, ValueError):
+            fork_ctx = None
+        if fork_ctx is not None:
+            # fork-started workers read _BOOT from their copy-on-write image
+            _BOOT = boot
+            pools = [
+                ProcessPoolExecutor(max_workers=1, mp_context=fork_ctx)
+                for _ in range(shards)
+            ]
+            futures = [
+                pools[i].submit(_worker_start, (i, None)) for i in range(shards)
+            ]
+        else:
+            pools = [ProcessPoolExecutor(max_workers=1) for _ in range(shards)]
+            futures = [
+                pools[i].submit(_worker_start, (i, boot)) for i in range(shards)
+            ]
+        next_times = [f.result() for f in futures]
+    except (ImportError,) + pool_fallback_errors() as exc:
+        for pool in pools:
+            pool.shutdown(wait=False)
+        pools = []
+        warnings.warn(
+            f"sharded packet engine: worker pool unavailable ({exc!r}); "
+            "running shards in-process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        runners = [
+            ShardRunner(i, plan, schedule, config, op_groups) for i in range(shards)
+        ]
+        next_times = [r.start() for r in runners]
+
+    lookahead = plan.lookahead
+    inboxes: List[List[Tuple]] = [[] for _ in range(shards)]
+    try:
+        while True:
+            window_floor: Optional[int] = None
+            for t in next_times:
+                if t is not None and (window_floor is None or t < window_floor):
+                    window_floor = t
+            for box in inboxes:
+                for msg in box:
+                    if window_floor is None or msg[0] < window_floor:
+                        window_floor = msg[0]
+            if window_floor is None:
+                break  # every shard idle, no traffic in flight: done
+            until = window_floor + lookahead
+            if runners is not None:
+                outs = [r.advance(until, inboxes[i]) for i, r in enumerate(runners)]
+            else:
+                futures = [
+                    pools[i].submit(_worker_advance, (until, inboxes[i]))
+                    for i in range(shards)
+                ]
+                outs = [f.result() for f in futures]
+            inboxes = [[] for _ in range(shards)]
+            next_times = []
+            for out_msgs, nt in outs:
+                next_times.append(nt)
+                for dest, msg in out_msgs:
+                    inboxes[dest].append(msg)
+        if runners is not None:
+            collected = [r.collect() for r in runners]
+        else:
+            futures = [pools[i].submit(_worker_collect, None) for i in range(shards)]
+            collected = [f.result() for f in futures]
+    finally:
+        # always reap the children: their peak RSS must be visible to
+        # RUSAGE_CHILDREN by the time the bench harness measures
+        for pool in pools:
+            pool.shutdown()
+        _BOOT = None
+
+    wall = _time.perf_counter() - wall_start
+    return _merge_results(collected, schedule, wall), sum(c[1] for c in collected)
+
+
+def _merge_results(
+    collected: Sequence[Tuple[SimulationResult, int]],
+    schedule: GoalSchedule,
+    wall: float,
+) -> SimulationResult:
+    """Fold per-shard results into one :class:`SimulationResult`.
+
+    Counters sum (each event is counted at exactly one shard), per-rank and
+    per-group finish times max-merge (each rank completes at one shard),
+    and message records concatenate in a canonical sort.
+    """
+    results = [c[0] for c in collected]
+    stats: NetworkStats = results[0].stats
+    for r in results[1:]:
+        stats = stats.merge(r.stats)
+    rank_finish = [0] * schedule.num_ranks
+    groups: Dict[int, int] = {}
+    jobs: Dict[int, JobStats] = {}
+    records: List = []
+    finish = 0
+    ops = 0
+    for r in results:
+        if r.finish_time_ns > finish:
+            finish = r.finish_time_ns
+        ops += r.ops_completed
+        for i, t in enumerate(r.rank_finish_times_ns):
+            if t > rank_finish[i]:
+                rank_finish[i] = t
+        for g, t in r.group_finish_times_ns.items():
+            if t > groups.get(g, -1):
+                groups[g] = t
+        for job, js in r.job_stats.items():
+            agg = jobs.get(job)
+            if agg is None:
+                jobs[job] = JobStats(
+                    job=job,
+                    messages_delivered=js.messages_delivered,
+                    bytes_delivered=js.bytes_delivered,
+                    link_bytes=dict(js.link_bytes),
+                )
+            else:
+                agg.messages_delivered += js.messages_delivered
+                agg.bytes_delivered += js.bytes_delivered
+                for name, b in js.link_bytes.items():
+                    agg.link_bytes[name] = agg.link_bytes.get(name, 0) + b
+        records.extend(r.message_records)
+    records.sort(key=lambda m: (m.completion_time, m.src, m.dst, m.tag))
+    return SimulationResult(
+        finish_time_ns=finish,
+        rank_finish_times_ns=rank_finish,
+        stats=stats,
+        message_records=records,
+        ops_completed=ops,
+        backend="htsim",
+        wall_clock_s=wall,
+        job_stats=jobs,
+        group_finish_times_ns=groups,
+    )

@@ -29,6 +29,10 @@ if TYPE_CHECKING:  # avoid a hard numpy dependency at import time
 DEFAULT_ROUTE_CACHE_BUDGET = 16384
 
 
+#: Sentinel distinguishing "absent" from "cached None" in LruCache.get.
+_MISS = object()
+
+
 class LruCache:
     """Bounded least-recently-used mapping for per-pair route memos.
 
@@ -47,13 +51,20 @@ class LruCache:
         self.evictions = 0
         self._data: "OrderedDict" = OrderedDict()
 
-    def get(self, key):
-        """Return the cached value (marking it most-recent) or ``None``."""
+    def get(self, key, default=None):
+        """Return the cached value (marking it most-recent) or ``default``.
+
+        Lookup misses are detected with a private sentinel rather than by
+        comparing against ``None``, so a key whose cached value is
+        legitimately ``None`` still counts as a hit (and keeps its LRU
+        recency) instead of being re-missed — and rebuilt — on every
+        lookup.
+        """
         data = self._data
-        value = data.get(key)
-        if value is None:
+        value = data.get(key, _MISS)
+        if value is _MISS:
             self.misses += 1
-            return None
+            return default
         data.move_to_end(key)
         self.hits += 1
         return value

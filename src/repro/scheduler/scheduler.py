@@ -13,7 +13,7 @@ the :class:`~repro.network.backend.NetworkBackend` API.
 from __future__ import annotations
 
 import time as _time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.goal.ops import OpType
 from repro.goal.schedule import GoalSchedule
@@ -57,6 +57,13 @@ class GoalScheduler:
         engine uses groups to attribute per-job completion even when several
         jobs share a rank.  Completion tracking adds one dict update per
         finished op, so the hot path is untouched when the mapping is absent.
+    ranks:
+        Restrict issuing (and the completion ledger) to this subset of
+        ranks.  Used by the sharded packet engine, where each shard's
+        scheduler walks only the DAGs of the ranks it owns — global op ids
+        and tags stay identical to the unrestricted scheduler because the
+        full schedule still defines the offsets.  ``None`` (the default)
+        schedules every rank.
     """
 
     def __init__(
@@ -66,6 +73,7 @@ class GoalScheduler:
         config: Optional[SimulationConfig] = None,
         validate: bool = True,
         op_groups: Optional[List[List[int]]] = None,
+        ranks: Optional[Sequence[int]] = None,
     ) -> None:
         self.schedule = schedule
         self.config = config if config is not None else SimulationConfig()
@@ -73,13 +81,23 @@ class GoalScheduler:
         if validate:
             validate_schedule(schedule)
 
-        # Global vertex ids: rank r, vertex v  ->  offset[r] + v
+        # Global vertex ids: rank r, vertex v  ->  offset[r] + v.  Offsets
+        # always cover the full schedule so op ids are identical whether or
+        # not issuing is restricted to a rank subset.
         self._offsets: List[int] = []
         total = 0
         for rank in schedule.ranks:
             self._offsets.append(total)
             total += len(rank)
-        self._total_ops = total
+        self._ranks = (
+            list(range(schedule.num_ranks)) if ranks is None else sorted(ranks)
+        )
+        self._rank_set = None if ranks is None else frozenset(self._ranks)
+        self._total_ops = (
+            total
+            if ranks is None
+            else sum(len(schedule.ranks[r]) for r in self._ranks)
+        )
 
         self._indegree: List[List[int]] = [rank.in_degrees() for rank in schedule.ranks]
         self._successors: List[List[List[int]]] = [rank.successors() for rank in schedule.ranks]
@@ -91,6 +109,7 @@ class GoalScheduler:
         self._completed = 0
         self._issued: List[List[bool]] = [[False] * len(rank) for rank in schedule.ranks]
         self._finish_time = 0
+        self._sharded_events: Optional[int] = None
 
         self._op_groups = op_groups
         self._group_finish: Dict[int, int] = {}
@@ -106,19 +125,52 @@ class GoalScheduler:
     # ------------------------------------------------------------------ public
     def run(self) -> SimulationResult:
         """Simulate the schedule to completion and return the result."""
-        wall_start = _time.perf_counter()
-        self.backend.setup(self.schedule.num_ranks, self.config)
+        if self.config.shards > 1:
+            # conservative-window parallel packet engine (docs/scaling.md):
+            # the driver builds one rank-restricted scheduler per shard and
+            # steps their event loops in lookahead windows via start()/
+            # finish() — never run(), so this dispatch cannot recurse.
+            if getattr(self.backend, "name", "") != "htsim":
+                raise ValueError(
+                    f"shards > 1 requires the packet backend ('htsim'), got "
+                    f"{getattr(self.backend, 'name', '?')!r}; the message-level "
+                    "backend is already fast enough single-process"
+                )
+            from repro.network.packet.sharded import run_sharded
 
-        for rank in self.schedule.ranks:
+            result, self._sharded_events = run_sharded(
+                self.schedule, self.config, op_groups=self._op_groups
+            )
+            return result
+        wall_start = _time.perf_counter()
+        self.start()
+        self.backend.run(self.completion_callback())
+        wall_elapsed = _time.perf_counter() - wall_start
+        return self.finish(wall_elapsed)
+
+    def start(self) -> None:
+        """Set up the backend and issue every root vertex (ready at t=0).
+
+        Together with :meth:`completion_callback` and :meth:`finish` this is
+        the decomposed form of :meth:`run` for callers that drive the
+        backend's event loop themselves (the sharded engine advances it in
+        lookahead windows between barriers).
+        """
+        self.backend.setup(self.schedule.num_ranks, self.config)
+        ranks = self.schedule.ranks
+        for r in self._ranks:
+            rank = ranks[r]
             for vertex in rank.roots():
                 self._issue(rank.rank, vertex, ready_time=0)
 
-        on_complete = (
+    def completion_callback(self):
+        """The ``eventOver`` callback the backend must call per finished op."""
+        return (
             self._on_complete if self._op_groups is None else self._on_complete_grouped
         )
-        self.backend.run(on_complete)
-        wall_elapsed = _time.perf_counter() - wall_start
 
+    def finish(self, wall_elapsed: float = 0.0) -> SimulationResult:
+        """Verify completion after the event loop drained; assemble the result."""
         if self._completed != self._total_ops:
             stuck = self._stuck_per_rank()
             raise SchedulerDeadlockError(
@@ -144,6 +196,14 @@ class GoalScheduler:
             job_stats=self.backend.per_job_stats(),
             group_finish_times_ns=dict(self._group_finish),
         )
+
+    @property
+    def events_executed(self) -> int:
+        """Events executed by the backend's loop(s); sharded runs sum shards."""
+        if self._sharded_events is not None:
+            return self._sharded_events
+        events = getattr(self.backend, "events", None)
+        return getattr(events, "executed", 0)
 
     # ---------------------------------------------------------------- internals
     def _issue(self, rank: int, vertex: int, ready_time: int) -> None:
@@ -183,10 +243,10 @@ class GoalScheduler:
 
     def _stuck_per_rank(self) -> Dict[int, int]:
         stuck: Dict[int, int] = {}
-        for rank in self.schedule.ranks:
-            count = sum(1 for issued in self._issued[rank.rank] if not issued)
+        for r in self._ranks:
+            count = sum(1 for issued in self._issued[r] if not issued)
             if count:
-                stuck[rank.rank] = count
+                stuck[r] = count
         return stuck
 
 

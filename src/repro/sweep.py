@@ -152,6 +152,27 @@ def default_topology_configs(
     }
 
 
+def pool_fallback_errors() -> Tuple[type, ...]:
+    """Exception types that mean "worker processes are unavailable here".
+
+    Shared by the sweep executor and the sharded packet engine
+    (:mod:`repro.network.packet.sharded`): both fall back to in-process
+    execution when spawning — or talking to — pool workers fails for
+    environmental reasons (sandboxed spawn, missing POSIX semaphores,
+    OOM-killed workers, unpicklable work).
+    """
+    import pickle
+
+    errors: List[type] = [NotImplementedError, OSError, pickle.PicklingError]
+    try:
+        from concurrent.futures import BrokenExecutor
+    except (ImportError, NotImplementedError):
+        pass
+    else:
+        errors.append(BrokenExecutor)  # workers died (sandboxed spawn, OOM, ...)
+    return tuple(errors)
+
+
 def _execute_cells(fn: Callable, cells: List, parallel: Optional[int]) -> List:
     """Map ``fn`` over ``cells``, optionally on a process pool.
 
@@ -160,24 +181,16 @@ def _execute_cells(fn: Callable, cells: List, parallel: Optional[int]) -> List:
     ``fn`` must be a module-level callable (workers pickle it by name).
     """
     if parallel is not None and parallel > 1 and len(cells) > 1:
-        import pickle
-
         exc: Optional[BaseException] = None
         try:
-            from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+            from concurrent.futures import ProcessPoolExecutor
         except (ImportError, NotImplementedError) as imp_exc:
             exc = imp_exc
         else:
             try:
                 with ProcessPoolExecutor(max_workers=min(parallel, len(cells))) as pool:
                     return list(pool.map(fn, cells))
-            except (
-                NotImplementedError,
-                OSError,
-                PermissionError,
-                BrokenExecutor,  # workers died (sandboxed spawn, OOM-killed, ...)
-                pickle.PicklingError,
-            ) as pool_exc:
+            except pool_fallback_errors() as pool_exc:
                 exc = pool_exc
         warnings.warn(
             f"parallel sweep unavailable ({exc!r}); falling back to serial",

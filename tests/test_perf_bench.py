@@ -41,6 +41,49 @@ class TestRunCase:
         result = run_case(_tiny_case(backend="htsim"))
         assert result["events"] > 0 and result["finish_time_ns"] > 0
 
+    def test_best_repeat_keeps_its_own_event_count(self, monkeypatch):
+        # regression: the harness used to pair the best wall clock with the
+        # *last* repeat's event count, skewing events_per_s whenever repeats
+        # executed different event totals
+        import repro.perf as perf
+
+        class _StubResult:
+            def __init__(self, finish):
+                self.finish_time_ns = finish
+
+        runs = [
+            {"wall": 10.0, "events": 100, "finish": 555},
+            {"wall": 2.0, "events": 222, "finish": 777},
+            {"wall": 6.0, "events": 333, "finish": 999},
+        ]
+        state = {"repeat": 0, "clock": 0.0}
+
+        class _StubScheduler:
+            def __init__(self, schedule, backend, config, validate):
+                self._spec = runs[state["repeat"]]
+                state["repeat"] += 1
+
+            def run(self):
+                state["clock"] += self._spec["wall"]
+                self.events_executed = self._spec["events"]
+                return _StubResult(self._spec["finish"])
+
+        class _StubTime:
+            @staticmethod
+            def perf_counter():
+                return state["clock"]
+
+        monkeypatch.setattr(perf, "GoalScheduler", _StubScheduler)
+        monkeypatch.setattr(perf, "time", _StubTime)
+        case = BenchCase(
+            "stub", "htsim", lambda: None, SimulationConfig(), repeats=3
+        )
+        result = run_case(case)
+        assert result["wall_clock_s"] == 2.0
+        assert result["events"] == 222
+        assert result["finish_time_ns"] == 777
+        assert result["events_per_s"] == 111
+
 
 class TestSuite:
     def test_default_suite_covers_both_backends(self):

@@ -74,6 +74,26 @@ class TestLruCache:
         cache.clear()
         assert len(cache) == 0 and cache.get("a") is None
 
+    def test_cached_none_counts_as_hit(self):
+        # regression: get() used to detect misses by comparing the stored
+        # value against None, so a legitimately-None entry was re-missed
+        # (and its recency never refreshed) on every lookup
+        cache = LruCache(budget=2)
+        cache.put("a", None)
+        assert cache.get("a") is None
+        assert cache.hits == 1 and cache.misses == 0
+        cache.put("b", 2)
+        cache.get("a")  # refresh: "b" becomes the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "b" not in cache
+
+    def test_cached_none_distinct_from_default(self):
+        cache = LruCache(budget=2)
+        sentinel = object()
+        assert cache.get("missing", sentinel) is sentinel
+        cache.put("present", None)
+        assert cache.get("present", sentinel) is None
+
 
 # ------------------------------------------------------------ topology caches
 class TestBoundedTopologyCaches:

@@ -1,0 +1,438 @@
+"""Differential tests for the sharded packet engine (``shards > 1``).
+
+The determinism contract under test (see ``repro.network.packet.sharded``):
+
+* configurations that consume no engine randomness (single-candidate
+  routes, traffic outside the probabilistic ECN band) are **bit-identical**
+  across ``shards`` in {1, 2, 4};
+* configurations that do consume randomness (multi-candidate ECMP,
+  Valiant) are bit-identical across every shard count >= 2 (the keyed
+  streams depend only on simulated identities, never on shard layout);
+* the packet ledger ``sent == delivered + dropped + lost_to_faults +
+  blackholed`` balances for every shard count, drops included;
+* when worker pools cannot be spawned the engine falls back to running
+  shards in-process with a ``RuntimeWarning`` and the *same* results.
+"""
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.collectives import build_collective_schedule
+from repro.network.config import SimulationConfig
+from repro.network.packet.sharded import (
+    _NO_CUT,
+    plan_shards,
+    run_sharded,
+)
+from repro.network.topology import build_topology
+from repro.scheduler import GoalScheduler
+from repro.schedgen.synthetic import all_to_all
+
+
+def _allreduce(ranks=16, size=4096):
+    return build_collective_schedule(
+        "allreduce", "recursive_doubling", ranks, size, name="shard-parity"
+    )
+
+
+def _run(schedule, config):
+    scheduler = GoalScheduler(
+        schedule, backend="htsim", config=config, validate=False
+    )
+    result = scheduler.run()
+    return result, scheduler.events_executed
+
+
+def _fingerprint(result):
+    """Everything that must match bit-for-bit, minus wall clock."""
+    return (
+        result.finish_time_ns,
+        tuple(result.rank_finish_times_ns),
+        result.ops_completed,
+        sorted(result.message_records),
+        sorted(result.group_finish_times_ns.items()),
+    )
+
+
+def _stats_tuple(stats):
+    """Stats fields that are layout-invariant (cache split is not: a shard
+    cannot share its neighbour's ACK-route lookup, so only hit+miss totals
+    are comparable against the serial engine)."""
+    return (
+        stats.messages_delivered,
+        stats.bytes_delivered,
+        stats.packets_sent,
+        stats.packets_delivered,
+        stats.packets_dropped,
+        stats.packets_trimmed,
+        stats.packets_ecn_marked,
+        stats.retransmissions,
+        stats.acks_sent,
+        stats.packets_lost_to_faults,
+        stats.packets_blackholed,
+        sorted(stats.queue_drop_events.items()),
+    )
+
+
+def _assert_ledger(stats):
+    assert stats.packets_sent == (
+        stats.packets_delivered
+        + stats.packets_dropped
+        + stats.packets_lost_to_faults
+        + stats.packets_blackholed
+    ), "packet ledger must balance"
+
+
+# RNG-free configurations: serial and sharded engines must agree exactly.
+SERIAL_EXACT = [
+    pytest.param(
+        SimulationConfig(topology="fat_tree", routing="minimal", cc_algorithm="mprdma"),
+        id="fat_tree-minimal-mprdma",
+    ),
+    pytest.param(
+        SimulationConfig(topology="dragonfly", routing="minimal", cc_algorithm="swift"),
+        id="dragonfly-minimal-swift",
+    ),
+    pytest.param(
+        SimulationConfig(topology="torus", routing="minimal", cc_algorithm="ndp"),
+        id="torus-minimal-ndp",
+    ),
+    pytest.param(
+        SimulationConfig(
+            topology="fat_tree",
+            routing="minimal",
+            cc_algorithm="dctcp",
+            packet_batching=False,
+        ),
+        id="fat_tree-legacy-engine",
+    ),
+]
+
+
+class TestSerialExactParity:
+    """shards in {1, 2, 4} bit-identical on randomness-free configurations."""
+
+    @pytest.mark.parametrize("config", SERIAL_EXACT)
+    def test_bit_identical_across_shard_counts(self, config):
+        schedule = _allreduce()
+        reference = None
+        for shards in (1, 2, 4):
+            result, events = _run(schedule, config.replace(shards=shards))
+            _assert_ledger(result.stats)
+            probe = (
+                _fingerprint(result),
+                _stats_tuple(result.stats),
+                result.stats.route_cache_hits + result.stats.route_cache_misses,
+                events,
+            )
+            if reference is None:
+                reference = probe
+            else:
+                assert probe == reference, f"shards={shards} diverged"
+
+    def test_cache_totals_conserved_but_split_may_differ(self):
+        schedule = _allreduce()
+        config = SimulationConfig(
+            topology="fat_tree", routing="minimal", cc_algorithm="mprdma"
+        )
+        serial, _ = _run(schedule, config)
+        sharded, _ = _run(schedule, config.replace(shards=4))
+        assert (
+            serial.stats.route_cache_hits + serial.stats.route_cache_misses
+            == sharded.stats.route_cache_hits + sharded.stats.route_cache_misses
+        )
+
+
+class TestShardCountInvariance:
+    """RNG-consuming configs: identical across all shard counts >= 2."""
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            pytest.param(
+                SimulationConfig(
+                    topology="dragonfly",
+                    routing="valiant",
+                    cc_algorithm="mprdma",
+                    seed=7,
+                ),
+                id="dragonfly-valiant",
+            ),
+            pytest.param(
+                SimulationConfig(
+                    topology="fat_tree",
+                    nodes_per_tor=4,
+                    routing="minimal",
+                    cc_algorithm="dctcp",
+                    seed=7,
+                ),
+                id="fat_tree-multipath-ecmp",
+            ),
+        ],
+    )
+    def test_invariant_across_shard_counts(self, config):
+        schedule = _allreduce()
+        reference = None
+        for shards in (2, 3, 4):
+            result, events = _run(schedule, config.replace(shards=shards))
+            _assert_ledger(result.stats)
+            probe = (_fingerprint(result), _stats_tuple(result.stats), events)
+            if reference is None:
+                reference = probe
+            else:
+                assert probe == reference, f"shards={shards} diverged"
+
+
+class TestDropLedger:
+    """Congested fabric (tiny buffers): the ledger balances under loss and
+    delivered payload matches the serial engine (drop *timing* may shift a
+    window under the deferred-loss barrier, so no bit-identity here)."""
+
+    def test_ledger_conserved_under_drops(self):
+        schedule = all_to_all(16, 1 << 14)
+        config = SimulationConfig(
+            topology="fat_tree",
+            routing="minimal",
+            cc_algorithm="mprdma",
+            buffer_size=8192,
+        )
+        serial, _ = _run(schedule, config)
+        assert serial.stats.packets_dropped > 0, "scenario must actually drop"
+        _assert_ledger(serial.stats)
+        for shards in (2, 4):
+            result, _ = _run(schedule, config.replace(shards=shards))
+            _assert_ledger(result.stats)
+            assert result.stats.packets_dropped > 0
+            assert (
+                result.stats.messages_delivered == serial.stats.messages_delivered
+            )
+            assert result.stats.bytes_delivered == serial.stats.bytes_delivered
+
+
+class TestMergePaths:
+    def test_job_stats_merge_across_shards(self):
+        from repro.cluster import ClusterJob, build_cotenant_schedule
+
+        jobs = [
+            ClusterJob(all_to_all(4, 1 << 12, name="job-a")),
+            ClusterJob(all_to_all(4, 1 << 12, name="job-b")),
+        ]
+        plan = build_cotenant_schedule(jobs, strategy="packed")
+        config = SimulationConfig(
+            topology="fat_tree",
+            routing="minimal",
+            cc_algorithm="mprdma",
+            job_tag_stride=plan.tag_stride,
+        )
+        serial, _ = _run(plan.schedule, config)
+        # 4 shards over two 4-rank jobs: each job spans two shards, so the
+        # merge must *sum* per-shard JobStats, not just relabel them
+        sharded, _ = _run(plan.schedule, config.replace(shards=4))
+        assert serial.job_stats and set(sharded.job_stats) == set(serial.job_stats)
+        for job, js in serial.job_stats.items():
+            sj = sharded.job_stats[job]
+            assert sj.messages_delivered == js.messages_delivered
+            assert sj.bytes_delivered == js.bytes_delivered
+            assert sj.link_bytes == js.link_bytes
+        assert _fingerprint(sharded) == _fingerprint(serial)
+
+    def test_group_finish_times_merge_across_shards(self):
+        schedule = _allreduce()
+        config = SimulationConfig(
+            topology="fat_tree", routing="minimal", cc_algorithm="mprdma"
+        )
+        op_groups = [
+            [rank % 2] * len(ops) for rank, ops in enumerate(schedule.ranks)
+        ]
+
+        def run(shards):
+            scheduler = GoalScheduler(
+                schedule,
+                backend="htsim",
+                config=config.replace(shards=shards),
+                validate=False,
+                op_groups=op_groups,
+            )
+            return scheduler.run()
+
+        serial, sharded = run(1), run(2)
+        assert set(serial.group_finish_times_ns) == {0, 1}
+        assert sharded.group_finish_times_ns == serial.group_finish_times_ns
+
+    def test_single_host_topology_clamps_to_serial_engine(self):
+        schedule = all_to_all(1, 1 << 10)
+        config = SimulationConfig(
+            topology="single_switch", routing="minimal", shards=4
+        )
+        result, events = run_sharded(schedule, config.replace(shards=4))
+        direct, direct_events = _run(schedule, config.replace(shards=1))
+        assert result.finish_time_ns == direct.finish_time_ns
+        assert events == direct_events
+
+    def test_spawned_pools_match_forked_pools(self, monkeypatch):
+        # platforms without fork() ship the boot payload through submit();
+        # results must not depend on which transport the workers used
+        import multiprocessing
+
+        schedule = _allreduce()
+        config = SimulationConfig(
+            topology="fat_tree", routing="minimal", cc_algorithm="mprdma", shards=2
+        )
+        forked, forked_events = _run(schedule, config)
+
+        real = multiprocessing.get_context
+
+        def no_fork(method=None):
+            if method == "fork":
+                raise ValueError("fork start method unavailable")
+            return real(method)
+
+        monkeypatch.setattr(multiprocessing, "get_context", no_fork)
+        spawned, spawned_events = run_sharded(schedule, config)
+        assert _fingerprint(spawned) == _fingerprint(forked)
+        assert spawned_events == forked_events
+
+
+class TestSerialFallback:
+    def test_broken_pool_falls_back_in_process(self, monkeypatch):
+        import concurrent.futures
+
+        class _NoPool:
+            def __init__(self, *args, **kwargs):
+                raise NotImplementedError("no process support on this platform")
+
+        schedule = _allreduce()
+        config = SimulationConfig(
+            topology="fat_tree", routing="minimal", cc_algorithm="mprdma", shards=2
+        )
+        pooled, pooled_events = _run(schedule, config)
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", _NoPool)
+        with pytest.warns(RuntimeWarning, match="running shards in-process"):
+            inline, inline_events = run_sharded(schedule, config)
+        assert _fingerprint(inline) == _fingerprint(pooled)
+        assert _stats_tuple(inline.stats) == _stats_tuple(pooled.stats)
+        assert inline_events == pooled_events
+
+    def test_pool_fallback_error_set_shared_with_sweep(self):
+        import pickle
+
+        from repro.sweep import pool_fallback_errors
+
+        errs = pool_fallback_errors()
+        assert NotImplementedError in errs
+        assert OSError in errs
+        assert pickle.PicklingError in errs
+
+
+class TestValidation:
+    def _scheduler(self, config):
+        return GoalScheduler(
+            _allreduce(), backend="htsim", config=config, validate=False
+        )
+
+    def test_adaptive_routing_rejected(self):
+        config = SimulationConfig(topology="fat_tree", routing="adaptive", shards=2)
+        with pytest.raises(ValueError, match="load-adaptive routing"):
+            self._scheduler(config).run()
+
+    def test_faults_rejected(self):
+        from repro.network.faults import FaultEvent, FaultSchedule
+
+        config = SimulationConfig(
+            topology="fat_tree",
+            shards=2,
+            faults=FaultSchedule([FaultEvent(time_ns=1000, kind="link_down", target=0)]),
+        )
+        with pytest.raises(ValueError, match="fault schedules"):
+            self._scheduler(config).run()
+
+    def test_convergent_control_plane_rejected(self):
+        config = SimulationConfig(topology="fat_tree", shards=2, control_plane="dv")
+        with pytest.raises(ValueError, match="control_plane"):
+            self._scheduler(config).run()
+
+    def test_short_retransmit_timeout_rejected(self):
+        config = SimulationConfig(
+            topology="fat_tree", shards=2, min_retransmit_timeout=1
+        )
+        with pytest.raises(ValueError, match="min_retransmit_timeout"):
+            self._scheduler(config).run()
+
+    def test_non_packet_backend_rejected(self):
+        config = SimulationConfig(shards=2)
+        with pytest.raises(ValueError, match="packet backend"):
+            GoalScheduler(
+                _allreduce(), backend="lgs", config=config, validate=False
+            ).run()
+
+    def test_shards_below_one_rejected(self):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            SimulationConfig(shards=0)
+
+
+class TestShardPlan:
+    def test_hosts_partition_contiguously(self):
+        config = SimulationConfig(topology="fat_tree")
+        topology = build_topology(config, 16)
+        plan = plan_shards(topology, 16, 4)
+        owners = plan.rank_owner
+        assert sorted(owners) == list(owners), "host blocks must be contiguous"
+        assert set(owners) == {0, 1, 2, 3}
+        assert sorted(r for rs in plan.shard_ranks for r in rs) == list(range(16))
+
+    def test_switch_follows_first_attached_host(self):
+        config = SimulationConfig(topology="fat_tree")
+        topology = build_topology(config, 16)
+        plan = plan_shards(topology, 16, 2)
+        for host in range(topology.num_hosts):
+            tor = topology.attachment(host)
+            first = min(
+                h for h in range(topology.num_hosts) if topology.attachment(h) == tor
+            )
+            assert plan.device_owner[tor] == plan.rank_owner[first]
+
+    def test_lookahead_is_min_cut_latency(self):
+        config = SimulationConfig(topology="fat_tree")
+        topology = build_topology(config, 16)
+        plan = plan_shards(topology, 16, 4)
+        owner = plan.device_owner
+        cut = [
+            link.latency
+            for link in topology.links
+            if owner[link.src] != owner[link.dst]
+        ]
+        assert cut, "4-way split of a fat tree must cut links"
+        assert plan.lookahead == min(cut)
+        assert plan.num_cut_links == len(cut)
+
+    def test_single_shard_has_no_cut(self):
+        config = SimulationConfig(topology="fat_tree")
+        topology = build_topology(config, 16)
+        plan = plan_shards(topology, 16, 1)
+        assert plan.num_cut_links == 0
+        assert plan.lookahead == _NO_CUT
+
+    def test_oversharding_rejected(self):
+        config = SimulationConfig(topology="fat_tree")
+        topology = build_topology(config, 16)
+        with pytest.raises(ValueError, match="shards must be in"):
+            plan_shards(topology, 16, topology.num_hosts + 1)
+
+    def test_run_clamps_shards_to_host_count(self):
+        schedule = _allreduce(ranks=2, size=1024)
+        config = SimulationConfig(
+            topology="fat_tree", routing="minimal", cc_algorithm="mprdma"
+        )
+        serial, serial_events = _run(schedule, config)
+        topology = build_topology(config, schedule.num_ranks)
+        # asking for more shards than hosts clamps to num_hosts and still
+        # matches a direct run; every rank finishes either way
+        over = config.replace(shards=topology.num_hosts + 8)
+        clamped, clamped_events = run_sharded(schedule, over)
+        assert clamped.finish_time_ns == serial.finish_time_ns
+        assert tuple(clamped.rank_finish_times_ns) == tuple(
+            serial.rank_finish_times_ns
+        )
