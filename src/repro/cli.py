@@ -104,12 +104,32 @@ def _add_network_args(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--shards", type=int, default=1,
         help="parallel shards for the packet backend (1 = single-process; "
-        "see docs/scaling.md for the conservative-window engine)",
+        "requires --backend htsim; see docs/scaling.md for the "
+        "conservative-window engine)",
+    )
+    group.add_argument(
+        "--load-snapshot-ns", type=int, default=0,
+        help="sharded adaptive routing: barrier load-snapshot cadence in ns "
+        "(0 = auto: the topology's minimum link latency)",
     )
     group.add_argument("--seed", type=int, default=0, help="seed for stochastic choices")
 
 
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    if args.shards > 1 and args.backend != "htsim":
+        # the analytic LogGOPS backend has no packet events to shard; a
+        # silently ignored --shards would misreport single-process runs as
+        # parallel ones, so reject the combination up front
+        raise SystemExit(
+            f"--shards {args.shards} requires the packet backend: pass "
+            f"--backend htsim (the {args.backend!r} backend is analytic "
+            "and runs single-process)"
+        )
+    if args.load_snapshot_ns < 0:
+        raise SystemExit(
+            f"--load-snapshot-ns must be non-negative, got {args.load_snapshot_ns} "
+            "(0 = auto: the topology's minimum link latency)"
+        )
     return SimulationConfig(
         topology=args.topology,
         routing=args.routing,
@@ -124,6 +144,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         slimfly_hosts_per_router=args.slimfly_hosts_per_router,
         cc_algorithm=args.cc,
         shards=args.shards,
+        load_snapshot_ns=args.load_snapshot_ns,
         seed=args.seed,
     )
 

@@ -214,6 +214,12 @@ class SimulationResult:
     group_finish_times_ns:
         Per-group completion times when the scheduler was given an op→group
         mapping (the co-tenancy engine maps groups to jobs); empty otherwise.
+    convergence_records:
+        Per-fault-event :class:`~repro.network.control_plane.ConvergenceRecord`
+        list; empty under ``control_plane="oracle"`` or when the backend
+        tracks no convergence.  Sharded runs carry the records through the
+        merge (the wave is replayed identically on every shard, so one
+        shard's copy is canonical).
     """
 
     finish_time_ns: int
@@ -225,6 +231,7 @@ class SimulationResult:
     wall_clock_s: float = 0.0
     job_stats: Dict[int, JobStats] = field(default_factory=dict)
     group_finish_times_ns: Dict[int, int] = field(default_factory=dict)
+    convergence_records: List = field(default_factory=list)
 
     @property
     def finish_time_s(self) -> float:

@@ -49,6 +49,13 @@ Overlapping waves for the *same* link resolve in event order (identical
 origins give identical wave shapes, so a later event's learn times dominate
 an earlier one's at every switch); waves for disjoint links commute because
 views are reference-counted like the topology's own failed-link state.
+
+Because a wave is a pure function of (topology, protocol, fault event) —
+it never reads traffic state — the sharded packet engine replays it
+identically on every shard's full-topology replica: per-switch learn times,
+``time_to_recover_ns``, ``packets_blackholed`` and the record list are
+bit-identical between ``shards=1`` and any shard count (see
+``docs/scaling.md``).
 """
 from __future__ import annotations
 

@@ -136,8 +136,7 @@ class PacketBackend(NetworkBackend):
             if static:
                 self.topology.fail_links(static)
                 self._fault_mask = self.topology.alive_mask()
-            for time_ns, kind, ids in self._faults.resolved_events(self.topology):
-                self.events.schedule(time_ns, self._apply_fault, (kind, ids))
+            self._schedule_fault_events()
         # control-plane convergence (see repro.network.control_plane): under
         # "oracle" (the default) no ControlPlane object exists and every
         # fault path below is byte-identical to the legacy instantaneous
@@ -473,6 +472,46 @@ class PacketBackend(NetworkBackend):
                     self._send_data_packet(flow, seq_to_send, now, retransmission=True)
 
     # ------------------------------------------------------------------ faults
+    def _schedule_fault_events(self) -> None:
+        """Self-schedule every timed fault event on the local event queue.
+
+        Overridable: the sharded engine's driver owns the fault clock
+        instead, folding epoch times into the lookahead-window bounds and
+        applying each epoch at the barrier on every shard (see
+        :mod:`repro.network.packet.sharded`).
+        """
+        for time_ns, kind, ids in self._faults.resolved_events(self.topology):
+            self.events.schedule(time_ns, self._apply_fault, (kind, ids))
+
+    def _fault_flow_live(self, flow: Flow) -> bool:
+        """Whether a fault/learn event should re-pick ``flow``'s route.
+
+        The serial engine uses delivery knowledge (a fully delivered message
+        needs no routing).  The sharded engine overrides this with a
+        sender-observed predicate because delivery happens on the
+        destination's shard.
+        """
+        return not flow.message_delivered
+
+    def _fault_repick(self, flow: Flow) -> None:
+        """Re-pick ``flow``'s route after a fabric change (fault or learn).
+
+        Overridable: the sharded engine wraps the pick in a flow-keyed RNG
+        stream so ECMP/Valiant ties stay shard-count-invariant, and marks
+        the flow so replicas stop trusting their shipped route.
+        """
+        flow.route = self._pick_route(flow.src, flow.dst, flow.size)
+        flow.route_q0 = self.queues[flow.route[0]]
+
+    def _reroute_pick(self, pkt: Packet, hop: int, now: int, n: int) -> int:
+        """Tie-break index among ``n`` surviving reroute candidates.
+
+        Serial: the backend's event-order-consumed RNG (mirrors injection
+        ECMP).  Sharded override: a draw keyed by the packet's simulated
+        identity, invariant under shard layout.
+        """
+        return int(self.rng.integers(n))
+
     def _apply_fault(self, time: int, payload: Tuple[str, List[int]]) -> None:
         """Apply one timed fault event and invalidate every affected route.
 
@@ -511,14 +550,12 @@ class PacketBackend(NetworkBackend):
             return
         if mask is None:
             return
-        queues = self.queues
         for flow in self.flows:
-            if flow.message_delivered:
+            if not self._fault_flow_live(flow):
                 continue
             for link in flow.route:
                 if not mask[link]:
-                    flow.route = self._pick_route(flow.src, flow.dst, flow.size)
-                    flow.route_q0 = queues[flow.route[0]]
+                    self._fault_repick(flow)
                     break
 
     def _cp_switch_learn(self, time: int, payload: Tuple[str, Tuple[int, ...], Tuple[int, ...]]) -> None:
@@ -536,13 +573,11 @@ class PacketBackend(NetworkBackend):
         self._cp_stale -= 1
         learned = set(switches)
         attach = self._host_attach
-        queues = self.queues
         for flow in self.flows:
-            if flow.message_delivered:
+            if not self._fault_flow_live(flow):
                 continue
             if attach[flow.src] in learned:
-                flow.route = self._pick_route(flow.src, flow.dst, flow.size)
-                flow.route_q0 = queues[flow.route[0]]
+                self._fault_repick(flow)
 
     def _reroute_packet(self, pkt: Packet, hop: int, now: int) -> bool:
         """Force an in-flight DATA packet onto a surviving candidate route.
@@ -570,7 +605,7 @@ class PacketBackend(NetworkBackend):
         if len(matching) == 1:
             route = matching[0]
         else:
-            route = matching[int(self.rng.integers(len(matching)))]
+            route = matching[self._reroute_pick(pkt, hop, now, len(matching))]
         pkt.route = route
         pkt.hops = len(route)
         self.stats.packets_rerouted += 1

@@ -32,7 +32,11 @@ interleaving:
 * route choice (ECMP/Valiant ties) draws from a per-flow generator seeded
   by ``(seed, 0x5A, src, dst, pair_occurrence)``,
 * ECN marking draws from a per-link generator seeded by
-  ``(seed, 0xEC, link_id)``.
+  ``(seed, 0xEC, link_id)``,
+* post-fault route re-picks draw from a per-flow generator seeded by
+  ``(seed, 0x9E, src, dst, pair_occurrence, nth_repick)``,
+* in-flight reroute tie-breaks draw from a per-packet generator seeded by
+  ``(seed, 0xF7, src, dst, pair_occurrence, seq, hop, now)``.
 
 Results are therefore bit-identical across *any* shard count >= 2, and
 coincide with ``shards=1`` exactly on configurations that consume no
@@ -41,11 +45,45 @@ band) — which is what ``tests/test_sharded_parity.py`` locks in.  Merged
 ``message_records`` are sorted by ``(completion_time, src, dst, tag)``;
 the relative order of same-instant records is unspecified.
 
-v1 restrictions (a clear ``ValueError`` at setup): adaptive routing (needs
-a global live-load view), fault schedules, and convergent control planes
-are only available single-process.  ``min_retransmit_timeout`` must exceed
-the lookahead so cross-shard loss notifications always fire in a later
-window.
+Faults, adaptive routing, and convergent control planes (v2)
+------------------------------------------------------------
+The v1 restrictions are lifted; the three features shard as follows.
+
+**Fault epochs** are known a priori (``FaultSchedule`` is static data), so
+the *driver* owns the fault clock: timed events are grouped into epochs,
+window edges never cross an unconsumed epoch, and when the global window
+floor reaches an epoch's time the driver applies it at the barrier on
+*every* shard — after all events before the epoch ran anywhere, before any
+same-time traffic event runs, which is exactly the serial engine's
+fault-first tie-break.  Alive-table eviction, reroutes, and
+``packets_lost_to_faults`` accounting replay bit-identically.
+
+**Convergent control planes** (``ls``/``dv``) replicate: every shard holds
+the full switch graph, so the advertisement wave originated by an epoch
+computes identical per-switch learn instants and
+:class:`~repro.network.control_plane.ConvergenceRecord` lists on every
+shard; learn events replay inside each shard's windows at the same
+``(time, insertion)`` positions as serial, making ``time_to_recover_ns``
+and ``packets_blackholed`` exact.
+
+**Load-adaptive routing** reads global link-load *snapshots* exchanged at
+barriers on a fixed cadence (``SimulationConfig.load_snapshot_ns``; 0 =
+the topology's min link latency — layout-independent either way).  The
+snapshot at ``S`` governs every route draw in ``(S, S + cadence]``, so the
+semantics are shard-count-invariant — but they deliberately *approximate*
+serial's live queue depths; ``tests/test_sharded_parity.py`` locks
+invariance across shard counts with an A/B test instead of serial parity.
+
+Serial equality under faults additionally assumes the run has no
+congestion drops concurrent with a fault transition: the sharded engine
+decides "does this flow still need its route re-picked" by sender-side
+retirement (all packets ACKed) while serial uses receiver-side delivery,
+and the two differ only for a delivered-but-unACKed flow holding a
+pending spurious retransmission.  Shard-count invariance is unconditional.
+
+``min_retransmit_timeout`` must exceed the lookahead so cross-shard loss
+notifications always fire in a later window (a ``ValueError`` names both
+computed values).
 """
 from __future__ import annotations
 
@@ -72,6 +110,8 @@ from repro.scheduler.scheduler import GoalScheduler
 # SeedSequence stream tags separating the keyed RNG families
 _FLOW_STREAM = 0x5A
 _ECN_STREAM = 0xEC
+_REPICK_STREAM = 0x9E
+_REROUTE_STREAM = 0xF7
 
 # lookahead sentinel when no link crosses a shard boundary: one window
 # covers the whole simulation
@@ -144,26 +184,7 @@ def plan_shards(topology: Topology, num_ranks: int, shards: int) -> ShardPlan:
 
 
 def _validate_sharded(config: SimulationConfig, plan: ShardPlan) -> None:
-    """Reject configurations the v1 sharded engine cannot partition."""
-    from repro.network.routing import ROUTING_STRATEGIES
-
-    strategy = ROUTING_STRATEGIES.get(config.routing)
-    if strategy is not None and strategy.needs_link_load:
-        raise ValueError(
-            f"shards > 1 does not support load-adaptive routing "
-            f"({config.routing!r}): it reads a global live queue-occupancy "
-            "view that no shard owns; use minimal/ecmp or valiant, or shards=1"
-        )
-    if config.faults:
-        raise ValueError(
-            "shards > 1 does not support fault schedules yet: fault events "
-            "mutate the global topology mid-run; use shards=1"
-        )
-    if config.control_plane != "oracle":
-        raise ValueError(
-            f"shards > 1 requires control_plane='oracle', got "
-            f"{config.control_plane!r}: convergence waves span shards"
-        )
+    """Reject configurations whose sharded timing contract cannot hold."""
     if plan.num_cut_links and config.min_retransmit_timeout <= plan.lookahead:
         raise ValueError(
             f"min_retransmit_timeout ({config.min_retransmit_timeout} ns) "
@@ -298,6 +319,30 @@ class ShardPacketBackend(PacketBackend):
         # serial immediate-schedule path (the window covers all of time and
         # a deferred drop could land in the past)
         self._defer_drops = plan.num_cut_links > 0
+        self._seed = seed
+        # flows whose route was re-picked after a fault/learn event: their
+        # replicas hold the originally shipped route, so boundary packets of
+        # these flows always carry an explicit route tuple (identity against
+        # ``flow.route`` no longer proves the peer would decode the same)
+        self._repicked: set = set()
+        self._repick_seq: Dict[_FlowKey, int] = {}
+        # once any fault epoch has applied, a replica's ``flow.route`` may
+        # silently disagree with the owner's (owners re-pick, replicas keep
+        # the originally shipped route), so replica-encoded boundary packets
+        # must stop using the rf=0 "decode via flow.route" compression: a
+        # packet that bounces replica->owner after the owner re-picked would
+        # otherwise swap onto the new route mid-flight
+        self._epochs_applied = False
+        # load-adaptive routing reads the merged global snapshot the driver
+        # broadcast at the last cadence boundary; this shard reports its
+        # owned links' occupancies back at each boundary
+        if self._needs_load:
+            self._snap_view = np.zeros(len(self.topology.links), dtype=np.int64)
+            self._owned_links = [
+                link.link_id
+                for link in self.topology.links
+                if owner[link.src] == me
+            ]
 
     # ------------------------------------------------------------- keyed flows
     def _start_flow(self, time: int, payload: Any) -> None:
@@ -396,6 +441,63 @@ class ShardPacketBackend(PacketBackend):
             )
         )
 
+    # ----------------------------------------------------------------- faults
+    def _schedule_fault_events(self) -> None:
+        # the driver owns the fault clock: epochs arrive through
+        # advance_window at barriers, never through the local event queue
+        pass
+
+    def _fault_flow_live(self, flow: Flow) -> bool:
+        # replicas never re-pick (the origin ships explicit routes after its
+        # own re-pick); origin flows use sender-side retirement — delivery
+        # happens on the destination's shard, so ``message_delivered`` is
+        # not observable here.  ACKed ⊆ delivered, so this re-picks a
+        # superset of serial's flows; the difference is inert unless a
+        # delivered-but-unACKed flow holds a pending spurious retransmission
+        # (see the module docstring's serial-equality caveat).
+        if flow.flow_id < 0:
+            return False
+        return not flow.all_acked()
+
+    def _fault_repick(self, flow: Flow) -> None:
+        key = self._key_by_flow[id(flow)]
+        nth = self._repick_seq.get(key, 0)
+        self._repick_seq[key] = nth + 1
+        routing = self.routing
+        saved = routing.rng
+        routing.rng = np.random.default_rng(
+            (self._seed, _REPICK_STREAM, key[0], key[1], key[2], nth)
+        )
+        try:
+            super()._fault_repick(flow)
+        finally:
+            routing.rng = saved
+        self._repicked.add(id(flow))
+
+    def _reroute_pick(self, pkt: Packet, hop: int, now: int, n: int) -> int:
+        # keyed by the packet's simulated identity: whichever shard holds
+        # the packet when the reroute happens draws the same index
+        key = self._key_by_flow[id(pkt.flow)]
+        rng = np.random.default_rng(
+            (self._seed, _REROUTE_STREAM, key[0], key[1], key[2], pkt.seq, hop, now)
+        )
+        return int(rng.integers(n))
+
+    # ----------------------------------------------------------- load snapshots
+    def _link_load(self, link_id: int) -> int:
+        return int(self._snap_view[link_id])
+
+    def _link_load_view(self) -> "np.ndarray":
+        return self._snap_view
+
+    def _collect_load_snapshot(self, at: int) -> "np.ndarray":
+        """Occupancy of every link this shard owns, as of time ``at``."""
+        view = np.zeros(len(self.queues), dtype=np.int64)
+        queues = self.queues
+        for link_id in self._owned_links:
+            view[link_id] = queues[link_id].occupancy(at)
+        return view
+
     # ---------------------------------------------------------------- windows
     def next_event_time(self) -> Optional[int]:
         """Timestamp of this shard's earliest pending event (None when idle)."""
@@ -406,14 +508,41 @@ class ShardPacketBackend(PacketBackend):
                 return st
         return t
 
-    def advance_window(self, until: int, inbox: Sequence[Tuple]) -> None:
-        """Apply barrier messages, then run all events up to ``until``."""
+    def advance_window(
+        self,
+        until: int,
+        inbox: Sequence[Tuple],
+        epochs: Sequence[Tuple[int, Sequence[Tuple[str, List[int]]]]] = (),
+        snap_at: Optional[int] = None,
+        load_view: Optional["np.ndarray"] = None,
+    ) -> Optional["np.ndarray"]:
+        """Apply barrier inputs, run all events up to ``until``, snapshot.
+
+        Barrier input order matters: the inbox is applied *before* fault
+        epochs so boundary packets flagged "use the flow's route" decode
+        against the pre-epoch route — the same route their sender encoded
+        against (both shards sat strictly before the epoch when the packet
+        crossed).  Each epoch then replays through the serial engine's
+        ``_apply_fault`` before any same-time traffic event runs.  When the
+        driver asks (``snap_at``), returns this shard's owned-link load
+        snapshot taken after the window drained.
+        """
+        if load_view is not None:
+            self._snap_view = load_view
         if inbox:
             self._apply_inbox(inbox)
+        if epochs:
+            self._epochs_applied = True
+        for time, transitions in epochs:
+            for kind, ids in transitions:
+                self._apply_fault(time, (kind, ids))
         if self._batching:
             self._run_merged(until)
         else:
             self.events.run(until=until)
+        if snap_at is None:
+            return None
+        return self._collect_load_snapshot(snap_at)
 
     def _apply_inbox(self, inbox: Sequence[Tuple]) -> None:
         packets: List[Tuple] = []
@@ -464,6 +593,7 @@ class ShardPacketBackend(PacketBackend):
         links = self.topology.links
         spec_sent = self._spec_sent
         key_of = self._key_by_flow
+        repicked = self._repicked
         for link_id, pkt in self._out_packets:
             dest = self._boundary_dest[link_id]
             flow = pkt.flow
@@ -473,9 +603,24 @@ class ShardPacketBackend(PacketBackend):
             if sk not in spec_sent:
                 spec_sent.add(sk)
                 spec = self._flow_spec(flow)
-            # common routes ship as flags, not tuples (pickle weight)
+            # common routes ship as flags, not tuples (pickle weight); a
+            # re-picked flow's replicas still hold the originally shipped
+            # route, so its packets always carry the tuple explicitly.
+            # After the first fault epoch, replica-encoded packets also ship
+            # explicit tuples: a replica cannot tell whether the owner
+            # re-picked, and rf=0 decoded against a re-picked owner route
+            # would swap an in-flight packet onto the new route
             route = pkt.route
-            rf: Any = 0 if route is flow.route else (1 if route is flow.ack_route else route)
+            if route is flow.ack_route:
+                rf: Any = 1
+            elif (
+                route is flow.route
+                and id(flow) not in repicked
+                and (flow.flow_id >= 0 or not self._epochs_applied)
+            ):
+                rf = 0
+            else:
+                rf = route
             deliver = pkt.depart + links[link_id].latency
             msgs.append(
                 (
@@ -536,10 +681,15 @@ class ShardRunner:
         return self.backend.next_event_time()
 
     def advance(
-        self, until: int, inbox: Sequence[Tuple]
-    ) -> Tuple[List[Tuple[int, Tuple]], Optional[int]]:
-        self.backend.advance_window(until, inbox)
-        return self.backend.drain_outbox(), self.backend.next_event_time()
+        self,
+        until: int,
+        inbox: Sequence[Tuple],
+        epochs: Sequence[Tuple] = (),
+        snap_at: Optional[int] = None,
+        load_view: Optional["np.ndarray"] = None,
+    ) -> Tuple[List[Tuple[int, Tuple]], Optional[int], Optional["np.ndarray"]]:
+        snap = self.backend.advance_window(until, inbox, epochs, snap_at, load_view)
+        return self.backend.drain_outbox(), self.backend.next_event_time(), snap
 
     def collect(self) -> Tuple[SimulationResult, int]:
         return self.scheduler.finish(0.0), self.backend.events.executed
@@ -565,7 +715,9 @@ def _worker_start(args: Tuple) -> Optional[int]:
     return _RUNNER.start()
 
 
-def _worker_advance(args: Tuple) -> Tuple[List[Tuple[int, Tuple]], Optional[int]]:
+def _worker_advance(
+    args: Tuple,
+) -> Tuple[List[Tuple[int, Tuple]], Optional[int], Optional["np.ndarray"]]:
     return _RUNNER.advance(*args)
 
 
@@ -578,6 +730,7 @@ def run_sharded(
     schedule: GoalSchedule,
     config: SimulationConfig,
     op_groups: Optional[List[List[int]]] = None,
+    window_log: Optional[List[Tuple[int, int, Tuple[int, ...]]]] = None,
 ) -> Tuple[SimulationResult, int]:
     """Simulate ``schedule`` across ``config.shards`` processes.
 
@@ -587,7 +740,14 @@ def run_sharded(
     when worker processes cannot be spawned the shards run round-robin in
     this process, which preserves results exactly (the window protocol is
     deterministic either way) at single-core speed.
+
+    ``window_log``, when given a list, receives one
+    ``(floor, until, epoch_times)`` triple per barrier window —
+    ``epoch_times`` names the fault epochs applied at that barrier.  The
+    property suite uses it to check that no window edge ever crosses an
+    unconsumed fault epoch and that every edge respects the lookahead.
     """
+    from repro.network.routing import ROUTING_STRATEGIES
     from repro.sweep import pool_fallback_errors
 
     wall_start = _time.perf_counter()
@@ -655,6 +815,52 @@ def run_sharded(
 
     lookahead = plan.lookahead
     inboxes: List[List[Tuple]] = [[] for _ in range(shards)]
+
+    # fault epochs, resolved once on the driver's pristine planning topology
+    # (resolution is name -> link ids, independent of applied fault state)
+    epochs = config.faults.grouped_events(topology) if config.faults else []
+    epoch_idx = 0
+
+    # load snapshots only exist when the routing strategy reads link loads;
+    # the cadence default is a property of the topology alone, never of the
+    # shard layout, so results stay shard-count-invariant
+    strategy = ROUTING_STRATEGIES.get(config.routing)
+    snap_interval = 0
+    if strategy is not None and strategy.needs_link_load:
+        snap_interval = config.load_snapshot_ns or topology.min_link_latency()
+    snap_time = 0  # cadence boundary of the view the shards currently hold
+    pending_view: Optional["np.ndarray"] = None  # merged, awaiting broadcast
+
+    def _advance_all(
+        until: int, window_epochs: Tuple, snap_at: Optional[int]
+    ) -> List["np.ndarray"]:
+        nonlocal inboxes, next_times, pending_view
+        if runners is not None:
+            outs = [
+                r.advance(until, inboxes[i], window_epochs, snap_at, pending_view)
+                for i, r in enumerate(runners)
+            ]
+        else:
+            futs = [
+                pools[i].submit(
+                    _worker_advance,
+                    (until, inboxes[i], window_epochs, snap_at, pending_view),
+                )
+                for i in range(shards)
+            ]
+            outs = [f.result() for f in futs]
+        pending_view = None
+        inboxes = [[] for _ in range(shards)]
+        next_times = []
+        views: List["np.ndarray"] = []
+        for out_msgs, nt, snap in outs:
+            next_times.append(nt)
+            if snap is not None:
+                views.append(snap)
+            for dest, msg in out_msgs:
+                inboxes[dest].append(msg)
+        return views
+
     try:
         while True:
             window_floor: Optional[int] = None
@@ -665,23 +871,54 @@ def run_sharded(
                 for msg in box:
                     if window_floor is None or msg[0] < window_floor:
                         window_floor = msg[0]
-            if window_floor is None:
-                break  # every shard idle, no traffic in flight: done
-            until = window_floor + lookahead
-            if runners is not None:
-                outs = [r.advance(until, inboxes[i]) for i, r in enumerate(runners)]
-            else:
-                futures = [
-                    pools[i].submit(_worker_advance, (until, inboxes[i]))
-                    for i in range(shards)
-                ]
-                outs = [f.result() for f in futures]
-            inboxes = [[] for _ in range(shards)]
-            next_times = []
-            for out_msgs, nt in outs:
-                next_times.append(nt)
-                for dest, msg in out_msgs:
-                    inboxes[dest].append(msg)
+            next_fault = epochs[epoch_idx][0] if epoch_idx < len(epochs) else None
+            if window_floor is None and next_fault is None:
+                break  # every shard idle, no traffic or epochs left: done
+            # earliest upcoming activity of any kind; post-traffic epochs
+            # must still apply (a convergence wave records its transition
+            # even when no packet is left to witness it)
+            effective = window_floor
+            if effective is None or (next_fault is not None and next_fault < effective):
+                effective = next_fault
+            if snap_interval:
+                # idle-gap jump: refresh the snapshot at the last cadence
+                # boundary strictly before the next activity in one empty
+                # window instead of stepping cadence-by-cadence across it
+                target = (effective - 1) // snap_interval * snap_interval
+                if target > snap_time:
+                    if window_log is not None:
+                        window_log.append((effective, target, ()))
+                    views = _advance_all(target, (), target)
+                    snap_time = target
+                    pending_view = _merge_views(views)
+                    continue
+            window_epochs: Tuple = ()
+            if next_fault is not None and (
+                window_floor is None or next_fault <= window_floor
+            ):
+                # the global floor reached the epoch: every event before it
+                # has run on every shard, none at/after it has — apply it at
+                # this barrier everywhere (the serial fault-first tie-break)
+                window_epochs = (epochs[epoch_idx],)
+                epoch_idx += 1
+            base = window_floor if window_floor is not None else next_fault
+            until = base + lookahead
+            if epoch_idx < len(epochs) and epochs[epoch_idx][0] - 1 < until:
+                # never run past an unconsumed epoch
+                until = epochs[epoch_idx][0] - 1
+            snap_at = None
+            if snap_interval and snap_time + snap_interval <= until:
+                # never run past the snapshot the window's draws must read
+                until = snap_time + snap_interval
+                snap_at = until
+            if window_log is not None:
+                window_log.append(
+                    (base, until, tuple(t for t, _ in window_epochs))
+                )
+            views = _advance_all(until, window_epochs, snap_at)
+            if snap_at is not None:
+                snap_time = snap_at
+                pending_view = _merge_views(views)
         if runners is not None:
             collected = [r.collect() for r in runners]
         else:
@@ -698,6 +935,18 @@ def run_sharded(
     return _merge_results(collected, schedule, wall), sum(c[1] for c in collected)
 
 
+def _merge_views(views: Sequence["np.ndarray"]) -> "np.ndarray":
+    """Sum per-shard owned-link snapshots into the global load view.
+
+    Every link is owned by exactly one shard (its source device's owner)
+    and each shard reports zeros elsewhere, so the sum is the exact union.
+    """
+    merged = views[0]
+    for v in views[1:]:
+        merged = merged + v
+    return merged
+
+
 def _merge_results(
     collected: Sequence[Tuple[SimulationResult, int]],
     schedule: GoalSchedule,
@@ -707,7 +956,9 @@ def _merge_results(
 
     Counters sum (each event is counted at exactly one shard), per-rank and
     per-group finish times max-merge (each rank completes at one shard),
-    and message records concatenate in a canonical sort.
+    and message records concatenate in a canonical sort.  Convergence
+    records are identical on every shard (the advertisement wave replays
+    on each one's full-topology replica), so shard 0's copy is canonical.
     """
     results = [c[0] for c in collected]
     stats: NetworkStats = results[0].stats
@@ -755,4 +1006,5 @@ def _merge_results(
         wall_clock_s=wall,
         job_stats=jobs,
         group_finish_times_ns=groups,
+        convergence_records=list(results[0].convergence_records),
     )

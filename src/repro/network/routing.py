@@ -238,6 +238,15 @@ class AdaptiveRouting(RoutingStrategy):
     minimal candidate is evaluated in a single numpy gather over the route
     table's CSR link index — one ``reduceat`` per decision instead of one
     ``link_load`` call per link per candidate per message.
+
+    Under the sharded packet engine (``SimulationConfig.shards > 1``) the
+    live ``link_load`` array is replaced by **barrier load snapshots**
+    merged from all shards on a fixed cadence
+    (``SimulationConfig.load_snapshot_ns``; ``0`` = auto: the topology's
+    minimum link latency).  Decisions then read a slightly stale global
+    view — a documented approximation whose semantics depend only on the
+    cadence, never on the shard layout, so sharded runs stay bit-identical
+    across shard counts (see ``docs/scaling.md``).
     """
 
     name = "adaptive"

@@ -306,6 +306,15 @@ class Topology:
             self._route_latency.put(route, latency)
         return latency
 
+    def min_link_latency(self) -> int:
+        """Minimum propagation latency (ns) over every link of the fabric.
+
+        A property of the topology alone — independent of any shard
+        partition — which is what makes it a safe default cadence for the
+        sharded engine's load snapshots (shard-count-invariant results).
+        """
+        return min(link.latency for link in self.links)
+
     # -- cache management (see docs/scaling.md) ------------------------------
     def set_route_cache_budget(self, budget: int) -> None:
         """Bound every per-pair route cache to ``budget`` entries (0 = unbounded).

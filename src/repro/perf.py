@@ -25,6 +25,10 @@ The suite:
 * ``faulted_alltoall_htsim`` — the all-to-all on a fat tree with a quarter
   of the core cables failed from time 0 (measures the alive-masked route
   tables and the per-packet fault checks of the forwarding loop),
+* ``faulted_allreduce_htsim_sh2`` — a recursive-doubling allreduce on the
+  two-shard conservative-window engine with a timed link flap mid-run
+  (measures the barrier fault-epoch machinery: window clamping at epochs,
+  the cross-shard re-pick sweep and boundary-route re-encoding),
 * ``allreduce16k_lgs`` / ``allreduce16k_htsim`` — ROADMAP item 2's
   datacenter-scale acceptance case: a 16384-endpoint recursive-doubling
   allreduce on a 512-ToR fat tree, on each backend.  These two cases
@@ -59,7 +63,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.network.config import LogGOPSParams, SimulationConfig
-from repro.network.faults import FaultSchedule
+from repro.network.faults import LINK_DOWN, LINK_UP, FaultEvent, FaultSchedule
 from repro.scheduler import GoalScheduler
 
 #: Format version of the BENCH json files.
@@ -112,6 +116,19 @@ def _cotenant_schedule(quick: bool):
         jobs, cluster_nodes=2 * ranks, strategy="fragmented", group_size=4
     )
     return plan.schedule
+
+
+def _faulted_allreduce_schedule(quick: bool):
+    """Recursive-doubling allreduce sized for the sharded fault-epoch case."""
+    from repro.collectives import build_collective_schedule
+
+    return build_collective_schedule(
+        "allreduce",
+        "recursive_doubling",
+        16 if quick else 64,
+        1 << 13 if quick else 1 << 15,
+        name="faulted-allreduce",
+    )
 
 
 def _allreduce16k_schedule(quick: bool):
@@ -174,6 +191,24 @@ def default_suite(quick: bool = False) -> List[BenchCase]:
             "htsim",
             lambda: _alltoall_schedule(quick),
             pkt_cfg.replace(faults=FaultSchedule(link_failure_rate=0.25)),
+            repeats=3,
+        ),
+        # the sharded engine under a timed fault: the driver clamps windows
+        # at the epoch, applies it at one barrier on every shard, and the
+        # owners re-pick live flows (docs/scaling.md, v2 support matrix)
+        BenchCase(
+            "faulted_allreduce_htsim_sh2",
+            "htsim",
+            lambda: _faulted_allreduce_schedule(quick),
+            pkt_cfg.replace(
+                shards=2,
+                faults=FaultSchedule(
+                    events=(
+                        FaultEvent(3_000, LINK_DOWN, "tor0->core0"),
+                        FaultEvent(9_000, LINK_UP, "tor0->core0"),
+                    )
+                ),
+            ),
             repeats=3,
         ),
         # keep the 16k-endpoint cases LAST: peak RSS is a process-lifetime

@@ -195,6 +195,7 @@ class GoalScheduler:
             wall_clock_s=wall_elapsed,
             job_stats=self.backend.per_job_stats(),
             group_finish_times_ns=dict(self._group_finish),
+            convergence_records=list(getattr(self.backend, "convergence_events", ())),
         )
 
     @property

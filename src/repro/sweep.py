@@ -159,7 +159,10 @@ def pool_fallback_errors() -> Tuple[type, ...]:
     (:mod:`repro.network.packet.sharded`): both fall back to in-process
     execution when spawning — or talking to — pool workers fails for
     environmental reasons (sandboxed spawn, missing POSIX semaphores,
-    OOM-killed workers, unpicklable work).
+    OOM-killed workers, unpicklable work).  The sharded differential test
+    grids lean on this fallback deliberately (it is exercised by
+    ``tests/test_sharded_parity.py`` and produces identical results) to
+    run 3–4 shard counts per cell without process spawn costs.
     """
     import pickle
 

@@ -398,3 +398,58 @@ class TestMissingFileSpecs:
             main([command, "nonexistent.goal"])
         message = _exit_message(excinfo)
         assert "nonexistent.goal" in message and "pattern:ranks:size" in message
+
+
+class TestShardingFlagErrors:
+    def test_shards_rejected_on_loggops_backend(self):
+        # --shards used to be silently ignored off the packet backend,
+        # misreporting single-process runs as parallel ones
+        with pytest.raises(SystemExit) as excinfo:
+            main(["synthetic", "allreduce", "--shards", "2"])
+        message = _exit_message(excinfo)
+        assert "--shards 2" in message
+        assert "--backend htsim" in message
+        assert "'lgs'" in message
+
+    def test_shards_rejected_on_explicit_lgs(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["synthetic", "allreduce", "--backend", "lgs", "--shards", "4"]
+            )
+        assert "--shards 4" in _exit_message(excinfo)
+
+    def test_negative_load_snapshot_cadence_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "synthetic",
+                    "allreduce",
+                    "--backend",
+                    "htsim",
+                    "--load-snapshot-ns",
+                    "-5",
+                ]
+            )
+        message = _exit_message(excinfo)
+        assert "--load-snapshot-ns" in message and "-5" in message
+
+    def test_shards_accepted_on_packet_backend(self, capsys):
+        import json
+
+        rc = main(
+            [
+                "synthetic",
+                "allreduce",
+                "--ranks",
+                "8",
+                "--message-size",
+                "1024",
+                "--backend",
+                "htsim",
+                "--shards",
+                "2",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["messages"] > 0

@@ -4,23 +4,39 @@ The determinism contract under test (see ``repro.network.packet.sharded``):
 
 * configurations that consume no engine randomness (single-candidate
   routes, traffic outside the probabilistic ECN band) are **bit-identical**
-  across ``shards`` in {1, 2, 4};
+  across ``shards`` in {1, 2, 4} — including timed fault schedules and
+  convergent control planes (``time_to_recover_ns``, ``packets_blackholed``
+  and the full :class:`ConvergenceRecord` list match the serial engine);
 * configurations that do consume randomness (multi-candidate ECMP,
-  Valiant) are bit-identical across every shard count >= 2 (the keyed
-  streams depend only on simulated identities, never on shard layout);
+  Valiant, fault re-picks over multi-candidate tables) are bit-identical
+  across every shard count >= 2 (the keyed streams depend only on
+  simulated identities, never on shard layout);
+* load-adaptive routing is bit-identical across shard counts >= 2 at any
+  snapshot cadence; against the serial engine it is a documented
+  approximation (barrier snapshots vs live queue depths), so only
+  conserved totals are compared there;
 * the packet ledger ``sent == delivered + dropped + lost_to_faults +
-  blackholed`` balances for every shard count, drops included;
+  blackholed`` balances for every shard count, drops and faults included;
 * when worker pools cannot be spawned the engine falls back to running
   shards in-process with a ``RuntimeWarning`` and the *same* results.
 """
 from __future__ import annotations
 
+import contextlib
 import warnings
 
 import pytest
 
 from repro.collectives import build_collective_schedule
 from repro.network.config import SimulationConfig
+from repro.network.faults import (
+    LINK_DOWN,
+    LINK_UP,
+    SWITCH_DRAIN,
+    SWITCH_UNDRAIN,
+    FaultEvent,
+    FaultSchedule,
+)
 from repro.network.packet.sharded import (
     _NO_CUT,
     plan_shards,
@@ -43,6 +59,40 @@ def _run(schedule, config):
     )
     result = scheduler.run()
     return result, scheduler.events_executed
+
+
+@contextlib.contextmanager
+def _inline_pools():
+    """Run shards in-process (results are identical, pools are just slower).
+
+    The fallback is itself under test in :class:`TestSerialFallback`; the
+    differential grids below lean on it so a 4-point shard sweep does not
+    pay process spawn costs per cell.
+    """
+    import concurrent.futures
+
+    real = concurrent.futures.ProcessPoolExecutor
+
+    class _NoPool:
+        def __init__(self, *args, **kwargs):
+            raise NotImplementedError("inline shards for test speed")
+
+    concurrent.futures.ProcessPoolExecutor = _NoPool
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            yield
+    finally:
+        concurrent.futures.ProcessPoolExecutor = real
+
+
+def _flap(link, down_ns, up_ns):
+    return FaultSchedule(
+        events=(
+            FaultEvent(down_ns, LINK_DOWN, link),
+            FaultEvent(up_ns, LINK_UP, link),
+        )
+    )
 
 
 def _fingerprint(result):
@@ -333,27 +383,6 @@ class TestValidation:
             _allreduce(), backend="htsim", config=config, validate=False
         )
 
-    def test_adaptive_routing_rejected(self):
-        config = SimulationConfig(topology="fat_tree", routing="adaptive", shards=2)
-        with pytest.raises(ValueError, match="load-adaptive routing"):
-            self._scheduler(config).run()
-
-    def test_faults_rejected(self):
-        from repro.network.faults import FaultEvent, FaultSchedule
-
-        config = SimulationConfig(
-            topology="fat_tree",
-            shards=2,
-            faults=FaultSchedule([FaultEvent(time_ns=1000, kind="link_down", target=0)]),
-        )
-        with pytest.raises(ValueError, match="fault schedules"):
-            self._scheduler(config).run()
-
-    def test_convergent_control_plane_rejected(self):
-        config = SimulationConfig(topology="fat_tree", shards=2, control_plane="dv")
-        with pytest.raises(ValueError, match="control_plane"):
-            self._scheduler(config).run()
-
     def test_short_retransmit_timeout_rejected(self):
         config = SimulationConfig(
             topology="fat_tree", shards=2, min_retransmit_timeout=1
@@ -436,3 +465,416 @@ class TestShardPlan:
         assert tuple(clamped.rank_finish_times_ns) == tuple(
             serial.rank_finish_times_ns
         )
+
+
+# ------------------------------------------------------------------ fault grids
+#
+# Single-candidate tree: one ToR pair over one core (oversubscription 8
+# leaves exactly one cross-ToR candidate), probabilistic ECN band closed.
+# Every route decision is forced, so serial and sharded engines must agree
+# bit-for-bit even across fault transitions and control-plane waves.
+_ONE_PATH_TREE = SimulationConfig(
+    topology="fat_tree",
+    nodes_per_tor=8,
+    oversubscription=8.0,
+    routing="minimal",
+    cc_algorithm="mprdma",
+    ecn_kmin_frac=1.0,
+    ecn_kmax_frac=1.0,
+    seed=5,
+)
+
+# RNG-consuming faulted configurations: shard-count invariance (>= 2) and
+# conservation against the serial engine, but no bit-identity with serial
+# (multi-candidate re-picks draw from keyed streams the serial engine
+# does not share).
+FAULTED_INVARIANT = [
+    pytest.param(
+        SimulationConfig(
+            topology="fat_tree",
+            nodes_per_tor=8,
+            routing="minimal",
+            cc_algorithm="mprdma",
+            faults=_flap("tor0->core0", 3000, 9000),
+        ),
+        id="fat_tree-minimal-flap",
+    ),
+    pytest.param(
+        SimulationConfig(
+            topology="fat_tree",
+            nodes_per_tor=8,
+            routing="valiant",
+            cc_algorithm="dctcp",
+            faults=_flap("tor0->core0", 3000, 9000),
+        ),
+        id="fat_tree-valiant-flap",
+    ),
+    pytest.param(
+        SimulationConfig(
+            topology="fat_tree",
+            nodes_per_tor=8,
+            routing="minimal",
+            cc_algorithm="mprdma",
+            faults=FaultSchedule(
+                events=(
+                    FaultEvent(3000, SWITCH_DRAIN, 18),
+                    FaultEvent(9000, SWITCH_UNDRAIN, 18),
+                )
+            ),
+        ),
+        id="fat_tree-switch-drain",
+    ),
+    pytest.param(
+        SimulationConfig(
+            topology="dragonfly",
+            routing="valiant",
+            cc_algorithm="swift",
+            faults=_flap("r0.0->r0.1", 3000, 9000),
+        ),
+        id="dragonfly-valiant-flap",
+    ),
+    pytest.param(
+        # a 1 ns flap: the mask change itself is (almost) unobservable but
+        # the epoch machinery, the re-pick sweep, and the rf=0 compression
+        # cutoff all still fire — this cell caught the replica route-swap
+        # bug during development
+        SimulationConfig(
+            topology="dragonfly",
+            routing="valiant",
+            cc_algorithm="swift",
+            faults=_flap("r0.0->r0.1", 3000, 3001),
+        ),
+        id="dragonfly-1ns-flap",
+    ),
+    pytest.param(
+        SimulationConfig(
+            topology="fat_tree",
+            nodes_per_tor=8,
+            routing="minimal",
+            cc_algorithm="mprdma",
+            faults=FaultSchedule(
+                events=(
+                    FaultEvent(3000, LINK_DOWN, "tor0->core0"),
+                    FaultEvent(5000, LINK_DOWN, "tor1->core1"),
+                    FaultEvent(8000, LINK_UP, "tor0->core0"),
+                    FaultEvent(9000, LINK_UP, "tor1->core1"),
+                )
+            ),
+        ),
+        id="fat_tree-overlapping-flaps",
+    ),
+    pytest.param(
+        SimulationConfig(
+            topology="fat_tree",
+            nodes_per_tor=8,
+            routing="adaptive",
+            cc_algorithm="mprdma",
+            faults=_flap("tor0->core0", 3000, 9000),
+        ),
+        id="fat_tree-adaptive-flap",
+    ),
+]
+
+
+@pytest.mark.slow_sharded
+class TestFaultedShardInvariance:
+    """Timed fault schedules: identical across every shard count >= 2."""
+
+    @pytest.mark.parametrize("config", FAULTED_INVARIANT)
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_invariant_across_shard_counts(self, config, seed):
+        schedule = _allreduce(size=1 << 15)
+        config = config.replace(seed=seed)
+        serial, _ = _run(schedule, config)
+        reference = None
+        with _inline_pools():
+            for shards in (2, 3, 4):
+                result, _ = _run(schedule, config.replace(shards=shards))
+                _assert_ledger(result.stats)
+                probe = (_fingerprint(result), _stats_tuple(result.stats))
+                if reference is None:
+                    reference = probe
+                else:
+                    assert probe == reference, f"shards={shards} diverged"
+                # conserved against serial even when timing is not
+                assert (
+                    result.stats.messages_delivered
+                    == serial.stats.messages_delivered
+                )
+                assert result.stats.bytes_delivered == serial.stats.bytes_delivered
+
+    def test_fault_accounting_shared_with_serial_ledger(self):
+        # the faulted ledger balances serially too (same identity)
+        schedule = _allreduce(size=1 << 15)
+        config = FAULTED_INVARIANT[0].values[0].replace(seed=3)
+        serial, _ = _run(schedule, config)
+        _assert_ledger(serial.stats)
+
+
+@pytest.mark.slow_sharded
+class TestFaultSerialExactControlPlane:
+    """Single-candidate tree + convergent control plane: bit-identical to
+    the serial engine including TTR, blackholes, and ConvergenceRecords."""
+
+    def _compare(self, config, expect_blackholed=None, expect_lost=None):
+        schedule = _allreduce(size=1 << 15)
+        serial, _ = _run(schedule, config)
+        _assert_ledger(serial.stats)
+        ttr = {"dv": 1300, "ls": 700}[config.control_plane]
+        assert serial.stats.time_to_recover_ns == ttr
+        if expect_blackholed is not None:
+            assert serial.stats.packets_blackholed == expect_blackholed
+        if expect_lost is not None:
+            assert serial.stats.packets_lost_to_faults == expect_lost
+        with _inline_pools():
+            for shards in (2, 3, 4):
+                result, _ = _run(schedule, config.replace(shards=shards))
+                _assert_ledger(result.stats)
+                assert _fingerprint(result) == _fingerprint(serial), (
+                    f"shards={shards} diverged from serial"
+                )
+                assert _stats_tuple(result.stats) == _stats_tuple(serial.stats)
+                assert result.convergence_records == serial.convergence_records
+        return serial
+
+    @pytest.mark.parametrize("protocol", ["dv", "ls"])
+    def test_idle_link_flap_recovers_serial_exact(self, protocol):
+        # flap closes before the first learn: a pure convergence wave
+        config = _ONE_PATH_TREE.replace(
+            control_plane=protocol, faults=_flap("tor0->core0", 3000, 3300)
+        )
+        serial = self._compare(config, expect_blackholed=0, expect_lost=0)
+        assert serial.stats.retransmissions == 0
+
+    @pytest.mark.parametrize("protocol", ["dv", "ls"])
+    def test_traffic_flap_loses_packets_serial_exact(self, protocol):
+        # adjacent switches learn at +100 and shift in-flight packets to
+        # the lost-to-faults path; the source ToR learns only after the
+        # link is back, so no re-pick ever sees a partitioned truth
+        config = _ONE_PATH_TREE.replace(
+            control_plane=protocol, faults=_flap("core0->tor1", 12000, 12550)
+        )
+        serial = self._compare(config, expect_blackholed=0)
+        assert serial.stats.packets_lost_to_faults > 0
+        assert serial.stats.retransmissions > 0
+
+    @pytest.mark.parametrize("protocol", ["dv", "ls"])
+    def test_stale_switch_blackholes_serial_exact(self, protocol):
+        # fault start tuned so a packet reaches the stale core inside the
+        # 100 ns pre-learn window: it is forwarded into the black hole
+        config = _ONE_PATH_TREE.replace(
+            control_plane=protocol, faults=_flap("core0->tor1", 11074, 11624)
+        )
+        serial = self._compare(config)
+        assert serial.stats.packets_blackholed > 0
+
+    @pytest.mark.parametrize("protocol", ["dv", "ls"])
+    def test_convergence_record_structure(self, protocol):
+        schedule = _allreduce(size=1 << 15)
+        config = _ONE_PATH_TREE.replace(
+            control_plane=protocol, faults=_flap("tor0->core0", 3000, 3300)
+        )
+        with _inline_pools():
+            result, _ = _run(schedule, config.replace(shards=2))
+        kinds = [record.kind for record in result.convergence_records]
+        assert kinds == ["link_down", "link_up"]
+        for record in result.convergence_records:
+            assert record.protocol == protocol
+            assert record.converged_at_ns > record.time_ns
+            assert record.messages > 0
+        assert result.stats.time_to_recover_ns == max(
+            record.time_to_recover_ns for record in result.convergence_records
+        )
+
+
+@pytest.mark.slow_sharded
+class TestControlPlaneShardInvariance:
+    """Convergent control planes over multi-candidate fabrics: traffic
+    timing may diverge from serial (ECMP draws), but shard counts >= 2
+    agree bit-for-bit and the convergence wave itself — replayed
+    identically on every shard's full-topology replica — matches serial
+    exactly."""
+
+    @pytest.mark.parametrize("protocol", ["dv", "ls"])
+    @pytest.mark.parametrize(
+        "base",
+        [
+            pytest.param(
+                SimulationConfig(
+                    topology="fat_tree",
+                    nodes_per_tor=8,
+                    routing="minimal",
+                    cc_algorithm="mprdma",
+                    seed=1,
+                ),
+                id="fat_tree-ecmp",
+            ),
+            pytest.param(
+                SimulationConfig(
+                    topology="dragonfly",
+                    routing="valiant",
+                    cc_algorithm="swift",
+                    seed=1,
+                ),
+                id="dragonfly-valiant",
+            ),
+        ],
+    )
+    def test_wave_matches_serial_while_traffic_is_invariant(self, protocol, base):
+        schedule = _allreduce(size=1 << 15)
+        link = {"fat_tree": "tor0->core0", "dragonfly": "r0.0->r0.1"}[base.topology]
+        config = base.replace(
+            control_plane=protocol, faults=_flap(link, 3000, 6000)
+        )
+        serial, _ = _run(schedule, config)
+        assert serial.stats.time_to_recover_ns > 0
+        assert len(serial.convergence_records) == 2
+        reference = None
+        with _inline_pools():
+            for shards in (2, 3, 4):
+                result, _ = _run(schedule, config.replace(shards=shards))
+                _assert_ledger(result.stats)
+                probe = (
+                    _fingerprint(result),
+                    _stats_tuple(result.stats),
+                    result.convergence_records,
+                )
+                if reference is None:
+                    reference = probe
+                else:
+                    assert probe == reference, f"shards={shards} diverged"
+                # the wave is traffic-independent: serial-exact even here
+                assert result.convergence_records == serial.convergence_records
+                assert (
+                    result.stats.time_to_recover_ns
+                    == serial.stats.time_to_recover_ns
+                )
+
+
+@pytest.mark.slow_sharded
+class TestAdaptiveSnapshots:
+    """Load-adaptive routing under shards: barrier load snapshots replace
+    live queue depths.  Semantics are a function of the snapshot cadence
+    (a config knob), never of the shard layout."""
+
+    @pytest.mark.parametrize("cadence", [0, 2000], ids=["auto", "explicit-2000"])
+    def test_invariant_across_shard_counts(self, cadence):
+        schedule = _allreduce(size=1 << 15)
+        config = SimulationConfig(
+            topology="fat_tree",
+            nodes_per_tor=8,
+            routing="adaptive",
+            cc_algorithm="mprdma",
+            seed=3,
+            load_snapshot_ns=cadence,
+        )
+        reference = None
+        with _inline_pools():
+            for shards in (2, 3, 4):
+                result, _ = _run(schedule, config.replace(shards=shards))
+                _assert_ledger(result.stats)
+                probe = (_fingerprint(result), _stats_tuple(result.stats))
+                if reference is None:
+                    reference = probe
+                else:
+                    assert probe == reference, f"shards={shards} diverged"
+
+    def test_documented_approximation_conserves_payload(self):
+        # sharded adaptive routes on snapshots, serial on live loads: the
+        # two may time differently (the documented approximation), but
+        # both deliver every message exactly once
+        schedule = _allreduce(size=1 << 15)
+        config = SimulationConfig(
+            topology="fat_tree",
+            nodes_per_tor=8,
+            routing="adaptive",
+            cc_algorithm="mprdma",
+            seed=3,
+        )
+        serial, _ = _run(schedule, config)
+        with _inline_pools():
+            sharded, _ = _run(schedule, config.replace(shards=4))
+        assert sharded.stats.messages_delivered == serial.stats.messages_delivered
+        assert sharded.stats.bytes_delivered == serial.stats.bytes_delivered
+        assert sharded.ops_completed == serial.ops_completed
+
+    def test_cadence_with_faults_is_invariant(self):
+        schedule = _allreduce(size=1 << 15)
+        config = SimulationConfig(
+            topology="fat_tree",
+            nodes_per_tor=8,
+            routing="adaptive",
+            cc_algorithm="mprdma",
+            seed=11,
+            load_snapshot_ns=1500,
+            faults=_flap("tor0->core0", 3000, 9000),
+        )
+        with _inline_pools():
+            probes = []
+            for shards in (2, 3, 4):
+                result, _ = _run(schedule, config.replace(shards=shards))
+                _assert_ledger(result.stats)
+                probes.append((_fingerprint(result), _stats_tuple(result.stats)))
+        assert probes[0] == probes[1] == probes[2]
+
+    def test_negative_cadence_rejected(self):
+        with pytest.raises(ValueError, match="load_snapshot_ns"):
+            SimulationConfig(load_snapshot_ns=-1)
+
+
+@pytest.mark.slow_sharded
+class TestFaultLedgerAndCaches:
+    def test_ledger_under_congestion_and_faults(self):
+        # tiny buffers force congestion drops *while* a link flaps: every
+        # loss class lands in its own ledger column and the sum closes
+        schedule = all_to_all(16, 1 << 14)
+        config = SimulationConfig(
+            topology="fat_tree",
+            nodes_per_tor=8,
+            routing="minimal",
+            cc_algorithm="mprdma",
+            buffer_size=8192,
+            faults=_flap("tor0->core0", 3000, 9000),
+        )
+        serial, _ = _run(schedule, config)
+        assert serial.stats.packets_dropped > 0
+        _assert_ledger(serial.stats)
+        with _inline_pools():
+            for shards in (2, 4):
+                result, _ = _run(schedule, config.replace(shards=shards))
+                _assert_ledger(result.stats)
+                assert (
+                    result.stats.messages_delivered
+                    == serial.stats.messages_delivered
+                )
+                assert result.stats.bytes_delivered == serial.stats.bytes_delivered
+
+    def test_cache_totals_conserved_under_faults(self):
+        # fault epochs drop memoized alive tables on every shard exactly as
+        # they do serially: total lookups (hits + misses) stay conserved on
+        # a randomness-free configuration (the flap must close before the
+        # cross-ToR wave posts at ~8.6 us: the one-path tree has no detour,
+        # so an outage under live traffic would partition the serial run)
+        schedule = _allreduce(size=1 << 15)
+        config = _ONE_PATH_TREE.replace(faults=_flap("tor0->core0", 3000, 3300))
+        serial, _ = _run(schedule, config)
+        with _inline_pools():
+            sharded, _ = _run(schedule, config.replace(shards=4))
+        assert (
+            serial.stats.route_cache_hits + serial.stats.route_cache_misses
+            == sharded.stats.route_cache_hits + sharded.stats.route_cache_misses
+        )
+
+    def test_oracle_faults_on_one_path_tree_serial_exact(self):
+        # no control plane at all: the oracle path re-picks instantly; on
+        # the single-candidate tree nothing draws randomness, so faulted
+        # runs stay bit-identical to serial
+        schedule = _allreduce(size=1 << 15)
+        config = _ONE_PATH_TREE.replace(faults=_flap("tor0->core0", 3000, 3300))
+        serial, _ = _run(schedule, config)
+        _assert_ledger(serial.stats)
+        with _inline_pools():
+            for shards in (2, 3, 4):
+                result, _ = _run(schedule, config.replace(shards=shards))
+                assert _fingerprint(result) == _fingerprint(serial)
+                assert _stats_tuple(result.stats) == _stats_tuple(serial.stats)
